@@ -1,0 +1,183 @@
+"""Shared infrastructure of the experiment harness.
+
+Every ``bench_*.py`` module regenerates one table or figure of the paper's
+evaluation (Section 5).  Heavy artifacts — synthetic benchmarks, fitted
+matchers, FlexER runs — are computed lazily once per session by the
+:class:`ExperimentStore` and reused across tables, while each benchmark
+function times one representative, self-contained piece of the
+computation through ``pytest-benchmark``.
+
+Scale is controlled by environment variables so the harness can be run
+quickly (defaults) or closer to paper scale:
+
+* ``REPRO_BENCH_PAIRS`` — candidate pairs per dataset (default 240)
+* ``REPRO_BENCH_PRODUCTS`` — products per domain (default 20)
+* ``REPRO_BENCH_MATCHER_EPOCHS`` — matcher training epochs (default 20)
+* ``REPRO_BENCH_GNN_EPOCHS`` — GraphSAGE training epochs (default 40)
+
+Formatted result tables are printed and also written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from repro.core import FlexER, FlexERResult, MIERSolution
+from repro.datasets import MIERBenchmark, load_benchmark
+from repro.evaluation import MultiIntentEvaluation, evaluate_solution
+from repro.graph import IntentGraphBuilder
+from repro.matching import InParallelSolver, MultiLabelSolver, NaiveSolver, PairFeatureConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark datasets in the order used by the paper.
+DATASET_NAMES = ("amazon_mi", "walmart_amazon", "wdc")
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Scale knobs of the experiment harness."""
+
+    num_pairs: int = _env_int("REPRO_BENCH_PAIRS", 500)
+    products_per_domain: int = _env_int("REPRO_BENCH_PRODUCTS", 30)
+    matcher_epochs: int = _env_int("REPRO_BENCH_MATCHER_EPOCHS", 20)
+    gnn_epochs: int = _env_int("REPRO_BENCH_GNN_EPOCHS", 120)
+    seed: int = _env_int("REPRO_BENCH_SEED", 42)
+
+    def flexer_config(self, k_neighbors: int = 6, gnn_epochs: int | None = None) -> FlexERConfig:
+        """The FlexER configuration used throughout the harness."""
+        return FlexERConfig(
+            matcher=MatcherConfig(
+                hidden_dims=(64, 32),
+                n_features=256,
+                epochs=self.matcher_epochs,
+                seed=self.seed,
+            ),
+            graph=GraphConfig(k_neighbors=k_neighbors),
+            gnn=GNNConfig(
+                hidden_dim=48,
+                epochs=gnn_epochs if gnn_epochs is not None else self.gnn_epochs,
+                seed=self.seed,
+            ),
+        )
+
+    @property
+    def feature_config(self) -> PairFeatureConfig:
+        """Pair feature encoding used by the baselines."""
+        return PairFeatureConfig(n_features=160)
+
+
+class ExperimentStore:
+    """Lazily computed, cached experiment artifacts shared across tables."""
+
+    def __init__(self, settings: BenchSettings) -> None:
+        self.settings = settings
+        self._benchmarks: dict[str, MIERBenchmark] = {}
+        self._baselines: dict[tuple[str, str], tuple[MIERSolution, MultiIntentEvaluation]] = {}
+        self._flexer: dict[str, FlexER] = {}
+        self._flexer_results: dict[tuple, FlexERResult] = {}
+
+    # --------------------------------------------------------------- datasets
+
+    def benchmark(self, name: str) -> MIERBenchmark:
+        """The synthetic benchmark ``name`` at harness scale."""
+        if name not in self._benchmarks:
+            self._benchmarks[name] = load_benchmark(
+                name,
+                num_pairs=self.settings.num_pairs,
+                products_per_domain=self.settings.products_per_domain,
+                seed=self.settings.seed,
+            )
+        return self._benchmarks[name]
+
+    # --------------------------------------------------------------- baselines
+
+    def baseline(self, dataset: str, solver_name: str) -> tuple[MIERSolution, MultiIntentEvaluation]:
+        """Fit + predict a baseline solver on ``dataset`` (cached)."""
+        key = (dataset, solver_name)
+        if key not in self._baselines:
+            benchmark = self.benchmark(dataset)
+            split = benchmark.split
+            config = self.settings.flexer_config()
+            factories = {
+                "naive": lambda: NaiveSolver(
+                    benchmark.intents,
+                    matcher_config=config.matcher,
+                    feature_config=self.settings.feature_config,
+                ),
+                "in_parallel": lambda: InParallelSolver(
+                    benchmark.intents,
+                    matcher_config=config.matcher,
+                    feature_config=self.settings.feature_config,
+                ),
+                "multi_label": lambda: MultiLabelSolver(
+                    benchmark.intents,
+                    matcher_config=config.matcher,
+                    feature_config=self.settings.feature_config,
+                ),
+            }
+            solver = factories[solver_name]()
+            solver.fit(split.train)
+            solution = MIERSolution.from_mapping(
+                split.test, solver.predict(split.test), solver_name=solver_name
+            )
+            self._baselines[key] = (solution, evaluate_solution(solution))
+        return self._baselines[key]
+
+    # ------------------------------------------------------------------ flexer
+
+    def fitted_flexer(self, dataset: str) -> FlexER:
+        """A FlexER instance with trained per-intent matchers (cached)."""
+        if dataset not in self._flexer:
+            benchmark = self.benchmark(dataset)
+            flexer = FlexER(benchmark.intents, self.settings.flexer_config())
+            split = benchmark.split
+            flexer.fit(split.train, split.valid if len(split.valid) > 0 else None)
+            self._flexer[dataset] = flexer
+        return self._flexer[dataset]
+
+    def flexer_result(
+        self,
+        dataset: str,
+        intent_subset: tuple[str, ...] | None = None,
+        target_intents: tuple[str, ...] | None = None,
+        k_neighbors: int | None = None,
+    ) -> FlexERResult:
+        """A cached FlexER prediction run with optional graph variations."""
+        key = (dataset, intent_subset, target_intents, k_neighbors)
+        if key not in self._flexer_results:
+            benchmark = self.benchmark(dataset)
+            flexer = self.fitted_flexer(dataset)
+            original_builder = flexer.graph_builder
+            if k_neighbors is not None:
+                flexer.graph_builder = IntentGraphBuilder(GraphConfig(k_neighbors=k_neighbors))
+            try:
+                result = flexer.predict(
+                    benchmark.split.test,
+                    intent_subset=intent_subset,
+                    target_intents=target_intents,
+                )
+            finally:
+                flexer.graph_builder = original_builder
+            self._flexer_results[key] = result
+        return self._flexer_results[key]
+
+    def flexer_evaluation(self, dataset: str) -> MultiIntentEvaluation:
+        """Evaluation of the full FlexER run on ``dataset``."""
+        return evaluate_solution(self.flexer_result(dataset).solution)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under ``benchmarks/results/``."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,127 @@
+"""Extra ablations for design choices called out in DESIGN.md.
+
+These go beyond the paper's own ablations (Tables 8 and Figure 6):
+
+* **Aggregator** — GraphSAGE mean vs. sum aggregation (the paper uses a
+  mean-style aggregation following GraphSAGE defaults).
+* **Representation source** — independent per-intent matchers
+  (In-parallel, the paper's main configuration, Section 5.2.2) vs. the
+  multi-task network's per-intent representations.
+* **Inter-layer edges** — removing the inter-layer (peer) edges entirely,
+  which disables cross-intent message propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FlexERConfig, GNNConfig, GraphConfig
+from repro.core import FlexER
+from repro.evaluation import evaluate_binary, evaluate_solution, format_table
+from repro.graph import IntentGraphBuilder
+
+from _harness import publish
+
+DATASET = "amazon_mi"
+EQUIVALENCE = "equivalence"
+
+
+@pytest.mark.benchmark(group="ablation-aggregator")
+def test_ablation_aggregator(benchmark, store, settings):
+    """Mean vs. sum neighbourhood aggregation in GraphSAGE."""
+    bench = store.benchmark(DATASET)
+    split = bench.split
+    flexer = store.fitted_flexer(DATASET)
+    labels = split.test.labels(EQUIVALENCE)
+
+    def run(aggregator: str) -> float:
+        config = settings.flexer_config()
+        gnn = GNNConfig(
+            hidden_dim=config.gnn.hidden_dim,
+            epochs=config.gnn.epochs,
+            aggregator=aggregator,
+            seed=config.gnn.seed,
+        )
+        original = flexer.config
+        flexer.config = FlexERConfig(matcher=config.matcher, graph=config.graph, gnn=gnn)
+        try:
+            result = flexer.predict(split.test, target_intents=(EQUIVALENCE,))
+        finally:
+            flexer.config = original
+        return evaluate_binary(result.solution.prediction(EQUIVALENCE), labels).f1
+
+    mean_f1 = benchmark.pedantic(run, args=("mean",), rounds=1, iterations=1)
+    sum_f1 = run("sum")
+    table = format_table(
+        ["Aggregator", "equivalence F1"],
+        [["mean", mean_f1], ["sum", sum_f1]],
+        title="Ablation — GraphSAGE aggregation function (AmazonMI)",
+    )
+    publish("ablation_aggregator", table)
+    assert mean_f1 >= 0.0 and sum_f1 >= 0.0
+
+
+@pytest.mark.benchmark(group="ablation-representations")
+def test_ablation_representation_source(benchmark, store, settings):
+    """Independent (In-parallel) vs. multi-task per-intent representations."""
+    bench = store.benchmark(DATASET)
+    split = bench.split
+
+    independent = evaluate_solution(store.flexer_result(DATASET).solution)
+
+    def run_multi_task():
+        flexer = FlexER(
+            bench.intents,
+            settings.flexer_config(),
+            representation_source="multi_label",
+        )
+        return flexer.run_split(split)
+
+    multi_task_result = benchmark.pedantic(run_multi_task, rounds=1, iterations=1)
+    multi_task = evaluate_solution(multi_task_result.solution)
+
+    table = format_table(
+        ["Representation source", "MI-F", "MI-Acc"],
+        [
+            ["independent (in-parallel)", independent.mi_f1, independent.mi_accuracy],
+            ["multi-task (multi-label)", multi_task.mi_f1, multi_task.mi_accuracy],
+        ],
+        title="Ablation — intent-based representation source (AmazonMI)",
+    )
+    publish("ablation_representations", table)
+    assert 0.0 <= multi_task.mi_f1 <= 1.0
+
+
+@pytest.mark.benchmark(group="ablation-inter-layer")
+def test_ablation_inter_layer_edges(benchmark, store, settings):
+    """Removing inter-layer edges disables cross-intent propagation."""
+    bench = store.benchmark(DATASET)
+    split = bench.split
+    flexer = store.fitted_flexer(DATASET)
+    labels = split.test.labels(EQUIVALENCE)
+
+    with_inter = evaluate_binary(
+        store.flexer_result(DATASET, target_intents=(EQUIVALENCE,)).solution.prediction(EQUIVALENCE),
+        labels,
+    ).f1
+
+    def run_without_inter() -> float:
+        original_builder = flexer.graph_builder
+        flexer.graph_builder = IntentGraphBuilder(
+            GraphConfig(k_neighbors=settings.flexer_config().graph.k_neighbors, include_inter_layer=False)
+        )
+        try:
+            result = flexer.predict(split.test, target_intents=(EQUIVALENCE,))
+        finally:
+            flexer.graph_builder = original_builder
+        return evaluate_binary(result.solution.prediction(EQUIVALENCE), labels).f1
+
+    without_inter = benchmark.pedantic(run_without_inter, rounds=1, iterations=1)
+    table = format_table(
+        ["Configuration", "equivalence F1"],
+        [["with inter-layer edges", with_inter], ["without inter-layer edges", without_inter]],
+        title="Ablation — inter-layer (peer) edges (AmazonMI)",
+    )
+    publish("ablation_inter_layer", table)
+    assert with_inter >= without_inter - 0.1

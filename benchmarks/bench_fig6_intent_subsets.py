@@ -1,0 +1,89 @@
+"""Figure 6 — equivalence F1 as a function of the intent subset in the graph.
+
+The paper fixes the best hyper-parameters per dataset, builds the
+multiplex graph with every subset of the intent set that contains the
+equivalence intent, and plots the equivalence-intent F1 per subset.  The
+main finding is that the full intent set gives the best result — more
+intent layers provide more useful inter-layer information.
+
+The harness reruns the graph + GNN phase per subset on AmazonMI (the
+per-intent matchers are trained once and reused) and prints one row per
+subset; intent identifiers follow the Table 4 numbering
+(1 = Eq., 2 = Brand, 3 = Set-Cat., 4 = Main-Cat., 5 = Main-Cat.&Set-Cat.).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.evaluation import evaluate_binary, format_table
+
+from _harness import publish
+
+DATASET = "amazon_mi"
+EQUIVALENCE = "equivalence"
+
+#: Table 4 numbering of the AmazonMI intents.
+INTENT_IDS = {
+    "equivalence": 1,
+    "brand": 2,
+    "set_category": 3,
+    "main_category": 4,
+    "main_and_set_category": 5,
+}
+
+
+def _subsets_containing_equivalence(intents: tuple[str, ...]) -> list[tuple[str, ...]]:
+    """All subsets of the intent set that contain the equivalence intent."""
+    others = [intent for intent in intents if intent != EQUIVALENCE]
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, len(others) + 1):
+        for combo in combinations(others, size):
+            subsets.append((EQUIVALENCE, *combo))
+    return subsets
+
+
+def _equivalence_f1(store, subset: tuple[str, ...]) -> float:
+    result = store.flexer_result(DATASET, intent_subset=subset, target_intents=(EQUIVALENCE,))
+    labels = store.benchmark(DATASET).split.test.labels(EQUIVALENCE)
+    return evaluate_binary(result.solution.prediction(EQUIVALENCE), labels).f1
+
+
+@pytest.mark.benchmark(group="fig6-intent-subsets")
+def test_fig6_intent_subsets(benchmark, store):
+    """Regenerate the Figure 6 series (AmazonMI): F1 per intent subset."""
+    intents = store.benchmark(DATASET).intents
+    subsets = _subsets_containing_equivalence(intents)
+
+    # Time one representative subset run (two layers).
+    benchmark.pedantic(
+        _equivalence_f1, args=(store, (EQUIVALENCE, "brand")), rounds=1, iterations=1
+    )
+
+    rows = []
+    f1_by_size: dict[int, list[float]] = {}
+    for subset in subsets:
+        f1 = _equivalence_f1(store, subset)
+        identifiers = "".join(str(INTENT_IDS[intent]) for intent in subset)
+        rows.append([identifiers, len(subset), f1])
+        f1_by_size.setdefault(len(subset), []).append(f1)
+
+    full_set_f1 = next(f1 for ids, size, f1 in rows if size == len(intents))
+    table = format_table(
+        ["Intent subset", "#layers", "equivalence F1"],
+        rows,
+        title="Figure 6 — equivalence F1 per intent subset (AmazonMI)",
+    )
+    summary = format_table(
+        ["#layers", "mean F1"],
+        [[size, sum(values) / len(values)] for size, values in sorted(f1_by_size.items())],
+        title="Mean F1 by number of intent layers",
+    )
+    publish("fig6_intent_subsets", table + "\n\n" + summary)
+
+    # Shape check: the full intent set is at least as good as the average
+    # two-layer subset (the paper reports it is the best configuration).
+    two_layer_mean = sum(f1_by_size[2]) / len(f1_by_size[2])
+    assert full_set_f1 >= two_layer_mean - 0.05

@@ -1,0 +1,89 @@
+"""Figure 7 — preventable error of FlexER vs. the In-parallel baseline.
+
+The preventable error (Eq. 10) of a subsumed intent is the share of its
+false positives that a correct negative prediction of a subsuming intent
+could have prevented.  The paper reports, on AmazonMI, that FlexER's
+preventable error is an order of magnitude lower than In-parallel's for
+the equivalence, Set-Cat, and Main-Cat & Set-Cat intents — evidence that
+message propagation exploits subsumption relationships.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IntentSet
+from repro.evaluation import format_table, preventable_error
+
+from _harness import publish
+
+DATASET = "amazon_mi"
+
+#: Paper-reported preventable-error values (Section 5.5.2) for reference.
+PAPER_FIG7 = {
+    "equivalence": {"flexer": 7.97e-4, "in_parallel": 1.589e-2},
+    "set_category": {"flexer": 2.0e-3, "in_parallel": 6.3e-2},
+    "main_and_set_category": {"flexer": 2.0e-3, "in_parallel": 2.1e-2},
+}
+
+
+@pytest.mark.benchmark(group="fig7-preventable-error")
+def test_fig7_preventable_error(benchmark, store):
+    """Regenerate the Figure 7 comparison on AmazonMI."""
+    bench = store.benchmark(DATASET)
+    test = bench.split.test
+    labels = {intent: test.labels(intent) for intent in bench.intents}
+
+    in_parallel_solution, _ = store.baseline(DATASET, "in_parallel")
+    flexer_solution = store.flexer_result(DATASET).solution
+
+    # Derive the subsumption structure from the labels (Definition 4).
+    intent_set = IntentSet.from_candidates(bench.candidates)
+    relationships = intent_set.relationships(bench.candidates)
+
+    def preventable_for(solution, intent: str) -> float:
+        subsuming = tuple(sorted(relationships.subsumed_by(intent)))
+        if not subsuming:
+            return 0.0
+        return preventable_error(solution.predictions, labels, intent, subsuming)
+
+    analysed_intents = [
+        intent
+        for intent in bench.intents
+        if relationships.subsumed_by(intent)
+    ]
+
+    def compute_all() -> dict[str, dict[str, float]]:
+        return {
+            intent: {
+                "flexer": preventable_for(flexer_solution, intent),
+                "in_parallel": preventable_for(in_parallel_solution, intent),
+            }
+            for intent in analysed_intents
+        }
+
+    values = benchmark.pedantic(compute_all, rounds=1, iterations=1)
+
+    rows = []
+    for intent, measurements in values.items():
+        paper = PAPER_FIG7.get(intent, {})
+        rows.append([
+            intent,
+            measurements["flexer"],
+            measurements["in_parallel"],
+            paper.get("flexer", float("nan")),
+            paper.get("in_parallel", float("nan")),
+        ])
+    table = format_table(
+        ["Intent", "PE FlexER", "PE In-parallel", "paper PE FlexER", "paper PE In-parallel"],
+        rows,
+        title="Figure 7 — preventable error on AmazonMI",
+        float_digits=5,
+    )
+    publish("fig7_preventable_error", table)
+
+    # Shape check: FlexER never has a (much) higher preventable error than
+    # the baseline on average across the subsumed intents.
+    mean_flexer = sum(v["flexer"] for v in values.values()) / max(len(values), 1)
+    mean_baseline = sum(v["in_parallel"] for v in values.values()) / max(len(values), 1)
+    assert mean_flexer <= mean_baseline + 0.02

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the substrates (blocking, kNN, encoding, GNN epoch).
+
+These are classic pytest-benchmark measurements (multiple rounds) of the
+hot inner loops, complementing the experiment-level tables: q-gram
+blocking over the AmazonMI records, exact kNN search (the Faiss
+substitute), pair feature encoding (the DITTO-analogue input), one
+matcher training epoch, and one GraphSAGE forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import ExactNearestNeighbors
+from repro.blocking import QGramBlocker
+from repro.config import GNNConfig, MatcherConfig
+from repro.graph import GraphAggregation, GraphSAGE
+from repro.matching import PairFeatureEncoder, PairMatcher
+from repro.nn import Tensor
+
+from _harness import publish  # noqa: F401  (imported for parity with other bench modules)
+
+
+@pytest.mark.benchmark(group="substrate-blocking")
+def test_qgram_blocking_speed(benchmark, store):
+    """Shared 4-gram blocking over the AmazonMI-like records."""
+    dataset = store.benchmark("amazon_mi").dataset
+    blocker = QGramBlocker(q=4, max_block_size=100)
+    pairs = benchmark(blocker.block, dataset)
+    assert len(pairs) > 0
+
+
+@pytest.mark.benchmark(group="substrate-knn")
+def test_exact_knn_speed(benchmark):
+    """Exact L2 kNN over 1,000 representation vectors (Faiss substitute)."""
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(1000, 48))
+    index = ExactNearestNeighbors().fit(data)
+    result = benchmark(index.search, data, 6, exclude_self=True)
+    assert result.indices.shape == (1000, 6)
+
+
+@pytest.mark.benchmark(group="substrate-encoding")
+def test_pair_encoding_speed(benchmark, store):
+    """Encoding 100 candidate pairs into matcher features."""
+    bench = store.benchmark("amazon_mi")
+    encoder = PairFeatureEncoder()
+    pairs = bench.candidates.pairs[:100]
+    matrix = benchmark(encoder.encode, bench.dataset, pairs)
+    assert matrix.shape[0] == len(pairs)
+
+
+@pytest.mark.benchmark(group="substrate-matcher")
+def test_matcher_training_speed(benchmark):
+    """Training the pair matcher on 200 synthetic feature vectors."""
+    rng = np.random.default_rng(1)
+    features = rng.normal(size=(200, 128))
+    labels = (features[:, 0] > 0).astype(np.int64)
+    config = MatcherConfig(hidden_dims=(32, 16), epochs=5, seed=0)
+
+    def train():
+        return PairMatcher(config).fit(features, labels)
+
+    matcher = benchmark(train)
+    assert matcher.is_fitted
+
+
+@pytest.mark.benchmark(group="substrate-gnn")
+def test_graphsage_forward_speed(benchmark):
+    """One GraphSAGE forward pass over a 1,500-node graph."""
+    rng = np.random.default_rng(2)
+    num_nodes, dim, degree = 1500, 32, 6
+    features = Tensor(rng.normal(size=(num_nodes, dim)))
+    targets = np.repeat(np.arange(num_nodes), degree)
+    sources = rng.integers(0, num_nodes, size=num_nodes * degree)
+    weights = np.full(num_nodes * degree, 1.0 / degree)
+    aggregation = GraphAggregation(sources, targets, num_nodes, weights)
+    model = GraphSAGE(in_dim=dim, config=GNNConfig(hidden_dim=48, epochs=1))
+    logits = benchmark(model, features, aggregation)
+    assert logits.shape == (num_nodes, 2)

@@ -1,0 +1,97 @@
+"""Table 7 — per-intent results for every intent except equivalence.
+
+For each non-equivalence intent the harness reports precision, recall,
+F1, accuracy, and E_F of FlexER with respect to the per-intent DITTO
+analogue (In-parallel), next to the Multi-label baseline — mirroring
+Table 7 of the paper.
+
+Expected shape: FlexER's largest gains appear on the intents that are
+subsumed by others (Set-Cat and Main-Cat & Set-Cat on AmazonMI), because
+message propagation exploits the subsumption structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import evaluate_solution, format_table, residual_error_reduction
+
+from _harness import DATASET_NAMES, publish
+
+EQUIVALENCE = "equivalence"
+
+#: Paper-reported FlexER F1 per non-equivalence intent (Table 7).
+PAPER_TABLE7_FLEXER_F1 = {
+    "amazon_mi": {
+        "brand": 0.956,
+        "set_category": 0.972,
+        "main_category": 0.988,
+        "main_and_set_category": 0.944,
+    },
+    "walmart_amazon": {
+        "brand": 0.988,
+        "main_category": 0.950,
+        "general_category": 0.977,
+    },
+    "wdc": {"category": 0.911, "general_category": 0.921},
+}
+
+
+@pytest.mark.benchmark(group="table7-other-intents")
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_table7_other_intents(benchmark, store, dataset):
+    """Regenerate the Table 7 rows for one benchmark dataset."""
+    _, in_parallel = store.baseline(dataset, "in_parallel")
+    _, multi_label = store.baseline(dataset, "multi_label")
+    flexer_result = store.flexer_result(dataset)
+    flexer = benchmark.pedantic(
+        evaluate_solution, args=(flexer_result.solution,), rounds=1, iterations=1
+    )
+
+    other_intents = [
+        intent for intent in store.benchmark(dataset).intents if intent != EQUIVALENCE
+    ]
+    rows = []
+    for intent in other_intents:
+        baseline_f1 = in_parallel.per_intent[intent].f1
+        for model_name, evaluation in (
+            ("DITTO (In-parallel)", in_parallel),
+            ("Multi-label", multi_label),
+            ("FlexER", flexer),
+        ):
+            metrics = evaluation.per_intent[intent]
+            error_reduction = (
+                residual_error_reduction(metrics.f1, baseline_f1)
+                if model_name == "FlexER"
+                else float("nan")
+            )
+            paper_f1 = (
+                PAPER_TABLE7_FLEXER_F1[dataset].get(intent, float("nan"))
+                if model_name == "FlexER"
+                else float("nan")
+            )
+            rows.append([
+                intent,
+                model_name,
+                metrics.precision,
+                metrics.recall,
+                metrics.f1,
+                metrics.accuracy,
+                error_reduction,
+                paper_f1,
+            ])
+    table = format_table(
+        ["Intent", "Model", "P", "R", "F", "Acc", "E_F %", "paper FlexER F"],
+        rows,
+        title=f"Table 7 — non-equivalence intents on {dataset}",
+    )
+    publish(f"table7_{dataset}", table)
+
+    # Shape check: averaged over the non-equivalence intents FlexER is
+    # competitive.  The tolerance is loose because the category intents of
+    # the WDC analogue are where the paper itself reports its smallest
+    # gains (E_F of 1%), and the simulator-scale GNN can land slightly
+    # below the per-intent matcher there.
+    mean_flexer = sum(flexer.per_intent[i].f1 for i in other_intents) / len(other_intents)
+    mean_baseline = sum(in_parallel.per_intent[i].f1 for i in other_intents) / len(other_intents)
+    assert mean_flexer >= mean_baseline - 0.15

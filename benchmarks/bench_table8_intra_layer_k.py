@@ -1,0 +1,71 @@
+"""Table 8 — intra-layer edge analysis (k = 0 vs k > 0).
+
+The paper sweeps the number of intra-layer nearest-neighbour edges
+``k ∈ {0, 2, 4, 6, 8, 10}`` and reports, per dataset, the equivalence-
+intent F1 at k = 0 and the average over the positive k values.  Adding
+intra-layer edges consistently helps (Table 8 reports +0.4% to +0.65%).
+
+The harness reruns the graph construction and equivalence-intent GNN for
+each k on AmazonMI (matchers are reused), reporting the same two columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import evaluate_binary, format_table
+
+from _harness import publish
+
+#: k values swept by the paper (Section 5.6).
+K_VALUES = (0, 2, 4, 6, 8, 10)
+
+#: Paper-reported Table 8 values for reference.
+PAPER_TABLE8 = {
+    "amazon_mi": {"k0": 0.951, "k_positive": 0.955},
+    "walmart_amazon": {"k0": 0.833, "k_positive": 0.838},
+    "wdc": {"k0": 0.772, "k_positive": 0.777},
+}
+
+DATASET = "amazon_mi"
+EQUIVALENCE = "equivalence"
+
+
+def _equivalence_f1(store, k: int) -> float:
+    result = store.flexer_result(
+        DATASET, target_intents=(EQUIVALENCE,), k_neighbors=k
+    )
+    labels = store.benchmark(DATASET).split.test.labels(EQUIVALENCE)
+    return evaluate_binary(result.solution.prediction(EQUIVALENCE), labels).f1
+
+
+@pytest.mark.benchmark(group="table8-intra-layer")
+def test_table8_intra_layer_edges(benchmark, store):
+    """Sweep k and compare k=0 against the average over k>0 (Table 8)."""
+    # Time one representative graph + GNN run (k=6, the AmazonMI optimum in the paper).
+    benchmark.pedantic(_equivalence_f1, args=(store, 6), rounds=1, iterations=1)
+
+    f1_by_k = {k: _equivalence_f1(store, k) for k in K_VALUES}
+    k0 = f1_by_k[0]
+    k_positive_mean = float(np.mean([f1_by_k[k] for k in K_VALUES if k > 0]))
+
+    rows = [[
+        DATASET,
+        k0,
+        k_positive_mean,
+        100.0 * (k_positive_mean - k0) / max(k0, 1e-9),
+        PAPER_TABLE8[DATASET]["k0"],
+        PAPER_TABLE8[DATASET]["k_positive"],
+    ]]
+    detail_rows = [[f"k={k}", value] for k, value in f1_by_k.items()]
+    table = format_table(
+        ["Dataset", "F1 (k=0)", "F1 (k>0 avg)", "delta %", "paper k=0", "paper k>0"],
+        rows,
+        title="Table 8 — intra-layer edge analysis (equivalence F1)",
+    )
+    detail = format_table(["k", "F1"], detail_rows, title="Per-k equivalence F1")
+    publish("table8_intra_layer_k", table + "\n\n" + detail)
+
+    # Shape check: intra-layer edges do not hurt (paper: they help slightly).
+    assert k_positive_mean >= k0 - 0.05

@@ -1,0 +1,20 @@
+"""Pytest fixtures of the experiment harness (see ``_harness.py`` for details)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import RESULTS_DIR, BenchSettings, ExperimentStore
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchSettings:
+    """Harness scale settings (environment-variable overridable)."""
+    return BenchSettings()
+
+
+@pytest.fixture(scope="session")
+def store(settings: BenchSettings) -> ExperimentStore:
+    """The shared, lazily computed experiment store."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return ExperimentStore(settings)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists so legacy editable installs (``python setup.py develop`` or
+``pip install -e .`` without the ``wheel`` package) work in fully
+offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro — a reproduction of FlexER: Flexible Entity Resolution for Multiple Intents.
+
+The package implements the full FlexER stack from the SIGMOD 2023 paper
+(Genossar, Shraga, Gal): record/pair data model, blocking, per-intent
+matchers (a DITTO analogue over hashed text features trained with a
+numpy autodiff engine), the multiplex intent graph, GraphSAGE message
+propagation, the MIER baselines (Naïve, In-parallel, Multi-label), and
+the evaluation measures of the paper (MI-P/R/F, MI-Acc, residual-error
+reduction, preventable error).
+
+Quickstart
+----------
+>>> from repro import load_benchmark, FlexER, FlexERConfig, evaluate_solution
+>>> benchmark = load_benchmark("amazon_mi", num_pairs=200, products_per_domain=20)
+>>> flexer = FlexER(benchmark.intents, FlexERConfig.fast())
+>>> result = flexer.run_split(benchmark.split)
+>>> evaluation = evaluate_solution(result.solution)
+>>> 0.0 <= evaluation.mi_f1 <= 1.0
+True
+"""
+
+from .config import FlexERConfig, MatcherConfig, GraphConfig, GNNConfig
+from .data import (
+    Record,
+    Dataset,
+    RecordPair,
+    LabeledPair,
+    CandidateSet,
+    DatasetSplit,
+    SplitRatio,
+    split_candidates,
+)
+from .datasets import (
+    MIERBenchmark,
+    load_benchmark,
+    benchmark_names,
+    make_amazon_mi,
+    make_walmart_amazon,
+    make_wdc,
+)
+from .blocking import QGramBlocker, TokenBlocker
+from .matching import (
+    PairFeatureEncoder,
+    PairMatcher,
+    MultiLabelMatcher,
+    NaiveSolver,
+    InParallelSolver,
+    MultiLabelSolver,
+)
+from .graph import MultiplexGraph, IntentGraphBuilder, GraphSAGE, IntentNodeClassifier
+from .core import (
+    Intent,
+    IntentSet,
+    Resolution,
+    MIERProblem,
+    MIERSolution,
+    FlexER,
+    FlexERResult,
+)
+from .evaluation import (
+    evaluate_binary,
+    evaluate_solution,
+    residual_error_reduction,
+    multi_intent_error_reduction,
+    preventable_error,
+)
+from . import exceptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlexERConfig",
+    "MatcherConfig",
+    "GraphConfig",
+    "GNNConfig",
+    "Record",
+    "Dataset",
+    "RecordPair",
+    "LabeledPair",
+    "CandidateSet",
+    "DatasetSplit",
+    "SplitRatio",
+    "split_candidates",
+    "MIERBenchmark",
+    "load_benchmark",
+    "benchmark_names",
+    "make_amazon_mi",
+    "make_walmart_amazon",
+    "make_wdc",
+    "QGramBlocker",
+    "TokenBlocker",
+    "PairFeatureEncoder",
+    "PairMatcher",
+    "MultiLabelMatcher",
+    "NaiveSolver",
+    "InParallelSolver",
+    "MultiLabelSolver",
+    "MultiplexGraph",
+    "IntentGraphBuilder",
+    "GraphSAGE",
+    "IntentNodeClassifier",
+    "Intent",
+    "IntentSet",
+    "Resolution",
+    "MIERProblem",
+    "MIERSolution",
+    "FlexER",
+    "FlexERResult",
+    "evaluate_binary",
+    "evaluate_solution",
+    "residual_error_reduction",
+    "multi_intent_error_reduction",
+    "preventable_error",
+    "exceptions",
+    "__version__",
+]

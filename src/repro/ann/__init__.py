@@ -1,0 +1,5 @@
+"""Exact nearest-neighbour search (Faiss substitute)."""
+
+from .knn import ExactNearestNeighbors, NeighborResult
+
+__all__ = ["ExactNearestNeighbors", "NeighborResult"]

@@ -1,0 +1,142 @@
+"""Exact nearest-neighbour search (the Faiss substitute).
+
+The paper connects every intent-layer node to its ``k`` nearest
+neighbours computed with Faiss over L2 distance, using only the
+exhaustive (exact) index.  This module provides the same computation in
+numpy, for L2 and cosine distances, with optional self-exclusion and
+chunked evaluation to bound memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NeighborResult:
+    """Indices and distances of the nearest neighbours of each query row."""
+
+    indices: np.ndarray
+    distances: np.ndarray
+
+    def neighbors_of(self, row: int) -> list[int]:
+        """Neighbour indices of query ``row`` in increasing distance order."""
+        return self.indices[row].tolist()
+
+
+class ExactNearestNeighbors:
+    """Brute-force exact kNN index.
+
+    Parameters
+    ----------
+    metric:
+        ``"l2"`` (squared Euclidean, as in the paper) or ``"cosine"``
+        (one minus cosine similarity).
+    chunk_size:
+        Number of query rows scored per block, bounding peak memory.
+    """
+
+    def __init__(self, metric: str = "l2", chunk_size: int = 1024) -> None:
+        if metric not in ("l2", "cosine"):
+            raise ConfigurationError(f"unsupported metric: {metric!r}")
+        if chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        self.metric = metric
+        self.chunk_size = chunk_size
+        self._data: np.ndarray | None = None
+        self._normalized: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "ExactNearestNeighbors":
+        """Index the rows of ``data`` (shape ``(n, d)``)."""
+        array = np.asarray(data, dtype=np.float64)
+        if array.ndim != 2:
+            raise ConfigurationError("index data must be a 2-D array")
+        self._data = array
+        if self.metric == "cosine":
+            norms = np.linalg.norm(array, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            self._normalized = array / norms
+        return self
+
+    @property
+    def num_indexed(self) -> int:
+        """Number of indexed rows."""
+        return 0 if self._data is None else self._data.shape[0]
+
+    def _distances(self, queries: np.ndarray) -> np.ndarray:
+        assert self._data is not None
+        if self.metric == "l2":
+            # ||q - x||^2 = ||q||^2 - 2 q.x + ||x||^2
+            query_norms = (queries**2).sum(axis=1, keepdims=True)
+            data_norms = (self._data**2).sum(axis=1)[np.newaxis, :]
+            distances = query_norms - 2.0 * queries @ self._data.T + data_norms
+            return np.maximum(distances, 0.0)
+        assert self._normalized is not None
+        norms = np.linalg.norm(queries, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        normalized_queries = queries / norms
+        return 1.0 - normalized_queries @ self._normalized.T
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude_self: bool = False,
+        query_offset: int = 0,
+    ) -> NeighborResult:
+        """Find the ``k`` nearest indexed rows of each query row.
+
+        Parameters
+        ----------
+        queries:
+            Query matrix of shape ``(m, d)``.
+        k:
+            Number of neighbours to return per query.
+        exclude_self:
+            When true, the indexed row whose position equals
+            ``query_offset + row`` is excluded — used when querying the
+            index with its own rows.
+        query_offset:
+            Offset applied to query rows for self-exclusion.
+        """
+        if self._data is None:
+            raise ConfigurationError("the index must be fitted before searching")
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self._data.shape[1]:
+            raise ConfigurationError("queries must match the indexed dimensionality")
+
+        n_indexed = self.num_indexed
+        effective_k = min(k, n_indexed - (1 if exclude_self else 0))
+        effective_k = max(effective_k, 0)
+        all_indices = np.zeros((queries.shape[0], effective_k), dtype=np.int64)
+        all_distances = np.zeros((queries.shape[0], effective_k), dtype=np.float64)
+
+        for start in range(0, queries.shape[0], self.chunk_size):
+            stop = min(start + self.chunk_size, queries.shape[0])
+            block = queries[start:stop]
+            distances = self._distances(block)
+            if exclude_self:
+                for row in range(start, stop):
+                    self_index = query_offset + row
+                    if 0 <= self_index < n_indexed:
+                        distances[row - start, self_index] = np.inf
+            if effective_k == 0:
+                continue
+            order = np.argsort(distances, axis=1, kind="stable")[:, :effective_k]
+            all_indices[start:stop] = order
+            all_distances[start:stop] = np.take_along_axis(distances, order, axis=1)
+
+        return NeighborResult(indices=all_indices, distances=all_distances)
+
+    def kneighbors_graph(self, k: int) -> list[list[int]]:
+        """Adjacency list of the kNN graph of the indexed data (self excluded)."""
+        if self._data is None:
+            raise ConfigurationError("the index must be fitted before searching")
+        result = self.search(self._data, k, exclude_self=True)
+        return [result.neighbors_of(row) for row in range(self.num_indexed)]

@@ -1,0 +1,13 @@
+"""Blocking phase: candidate pair generation."""
+
+from .base import Blocker, BlockingReport
+from .qgram import QGramBlocker
+from .token import TokenBlocker, DEFAULT_STOPWORDS
+
+__all__ = [
+    "Blocker",
+    "BlockingReport",
+    "QGramBlocker",
+    "TokenBlocker",
+    "DEFAULT_STOPWORDS",
+]

@@ -1,0 +1,63 @@
+"""Blocking interfaces.
+
+Blocking (Section 2.1 / Figure 2 of the paper) reduces the quadratic
+candidate space ``D × D`` to a candidate pair set ``C`` before matching.
+Blockers produce *unlabeled* :class:`~repro.data.pairs.RecordPair`
+objects; labeling happens downstream from intent definitions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..data.pairs import RecordPair
+from ..data.records import Dataset
+
+
+class Blocker(abc.ABC):
+    """Base class for blocking strategies."""
+
+    @abc.abstractmethod
+    def block(self, dataset: Dataset) -> list[RecordPair]:
+        """Return the candidate pairs that survive blocking.
+
+        Implementations must return unique pairs, never pair a record
+        with itself, and — when the dataset is partitioned into sources
+        (clean-clean resolution) — never pair two records of the same
+        source.
+        """
+
+    @staticmethod
+    def allow_pair(dataset: Dataset, left_id: str, right_id: str, cross_source_only: bool) -> bool:
+        """Shared pair-admissibility rule used by concrete blockers."""
+        if left_id == right_id:
+            return False
+        if not cross_source_only:
+            return True
+        left_source = dataset[left_id].source
+        right_source = dataset[right_id].source
+        if left_source is None or right_source is None:
+            return True
+        return left_source != right_source
+
+
+@dataclass(frozen=True)
+class BlockingReport:
+    """Summary of a blocking run, used by benchmarks and examples."""
+
+    num_records: int
+    num_candidate_pairs: int
+    reduction_ratio: float
+
+    @classmethod
+    def from_result(cls, dataset: Dataset, pairs: list[RecordPair]) -> "BlockingReport":
+        """Compute the report for a blocker output over ``dataset``."""
+        n = len(dataset)
+        total_pairs = n * (n - 1) // 2
+        reduction = 1.0 - (len(pairs) / total_pairs) if total_pairs else 0.0
+        return cls(
+            num_records=n,
+            num_candidate_pairs=len(pairs),
+            reduction_ratio=reduction,
+        )

@@ -1,0 +1,96 @@
+"""Token-based blocking.
+
+A standard alternative to the q-gram blocker: records are keyed by word
+tokens, and pairs co-occurring in at least ``min_shared`` token blocks are
+kept.  Used by the Walmart-Amazon-like generator to assemble candidate
+pairs across the two sources.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from ..data.pairs import RecordPair
+from ..data.records import Dataset
+from ..exceptions import BlockingError
+from ..text.tokenize import word_tokens
+from .base import Blocker
+
+#: Tokens too frequent to be discriminative for product titles.
+DEFAULT_STOPWORDS = frozenset(
+    {"the", "a", "an", "and", "of", "for", "with", "in", "on", "by", "to", "new"}
+)
+
+
+class TokenBlocker(Blocker):
+    """Keep pairs of records sharing at least ``min_shared`` word tokens.
+
+    Parameters
+    ----------
+    min_shared:
+        Minimum number of shared (non-stopword) tokens.
+    min_token_length:
+        Tokens shorter than this are ignored.
+    attributes:
+        Attributes whose text participates in blocking; defaults to all.
+    cross_source_only:
+        Restrict pairs to records from different sources (clean-clean).
+    max_block_size:
+        Tokens indexing more than this many records are skipped.
+    stopwords:
+        Tokens never used as blocking keys.
+    """
+
+    def __init__(
+        self,
+        min_shared: int = 2,
+        min_token_length: int = 3,
+        attributes: Iterable[str] | None = None,
+        cross_source_only: bool = False,
+        max_block_size: int | None = 200,
+        stopwords: frozenset[str] = DEFAULT_STOPWORDS,
+    ) -> None:
+        if min_shared <= 0:
+            raise BlockingError("min_shared must be positive")
+        if min_token_length <= 0:
+            raise BlockingError("min_token_length must be positive")
+        self.min_shared = min_shared
+        self.min_token_length = min_token_length
+        self.attributes = tuple(attributes) if attributes is not None else None
+        self.cross_source_only = cross_source_only
+        self.max_block_size = max_block_size
+        self.stopwords = stopwords
+
+    def _keys(self, text: str) -> set[str]:
+        return {
+            token
+            for token in word_tokens(text)
+            if len(token) >= self.min_token_length and token not in self.stopwords
+        }
+
+    def block(self, dataset: Dataset) -> list[RecordPair]:
+        """Return candidate pairs sharing at least ``min_shared`` tokens."""
+        index: dict[str, list[str]] = defaultdict(list)
+        for record in dataset:
+            for key in self._keys(record.text(self.attributes)):
+                index[key].append(record.record_id)
+
+        shared_counts: dict[tuple[str, str], int] = defaultdict(int)
+        for key, record_ids in index.items():
+            if self.max_block_size is not None and len(record_ids) > self.max_block_size:
+                continue
+            record_ids = sorted(set(record_ids))
+            for i, left_id in enumerate(record_ids):
+                for right_id in record_ids[i + 1 :]:
+                    if not self.allow_pair(dataset, left_id, right_id, self.cross_source_only):
+                        continue
+                    shared_counts[(left_id, right_id)] += 1
+
+        pairs = [
+            RecordPair(left_id, right_id)
+            for (left_id, right_id), count in shared_counts.items()
+            if count >= self.min_shared
+        ]
+        pairs.sort()
+        return pairs

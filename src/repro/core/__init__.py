@@ -1,0 +1,19 @@
+"""FlexER core: intents, resolutions, MIER problem objects, and the pipeline."""
+
+from .intents import Intent, IntentSet, IntentRelationships
+from .resolution import Resolution
+from .mier import MIERProblem, MIERSolution
+from .flexer import FlexER, FlexERConfig, FlexERResult, FlexERTimings
+
+__all__ = [
+    "Intent",
+    "IntentSet",
+    "IntentRelationships",
+    "Resolution",
+    "MIERProblem",
+    "MIERSolution",
+    "FlexER",
+    "FlexERConfig",
+    "FlexERResult",
+    "FlexERTimings",
+]

@@ -1,0 +1,269 @@
+"""The FlexER pipeline (Section 4).
+
+FlexER solves MIER in three phases:
+
+1. **Intent-based representations** — per-intent matchers (the
+   In-parallel solver by default, or the multi-task Multi-label solver)
+   are trained on the training pairs and produce a latent representation
+   of every candidate pair under every intent.
+2. **Graph creation** — a multiplex intent graph is built over all
+   candidate pairs (training, validation, and test), with intra-layer kNN
+   edges and inter-layer peer edges.
+3. **Message propagation and prediction per intent** — one GraphSAGE
+   model per target intent is trained with supervision on the training
+   pairs of that intent's layer (validation pairs select the best epoch)
+   and scores every pair of the layer; test-pair predictions form the
+   intent's resolution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..config import FlexERConfig
+from ..data.pairs import CandidateSet
+from ..data.splits import DatasetSplit
+from ..exceptions import IntentError, MatchingError, NotFittedError
+from ..graph.builder import IntentGraphBuilder
+from ..graph.multiplex import MultiplexGraph
+from ..graph.sage import IntentNodeClassifier
+from ..matching.solvers import InParallelSolver, MultiLabelSolver
+from .mier import MIERSolution
+
+
+@dataclass
+class FlexERTimings:
+    """Wall-clock timings of a FlexER run (the Table 9 analysis)."""
+
+    matcher_training_seconds: float = 0.0
+    representation_seconds: float = 0.0
+    graph_build_seconds: float = 0.0
+    gnn_seconds_per_intent: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gnn_total_seconds(self) -> float:
+        """Total GNN training + testing time over all intents."""
+        return float(sum(self.gnn_seconds_per_intent.values()))
+
+
+@dataclass
+class FlexERResult:
+    """Everything a FlexER run produces: the solution, the graph, timings."""
+
+    solution: MIERSolution
+    graph: MultiplexGraph
+    timings: FlexERTimings
+    validation_f1: dict[str, float] = field(default_factory=dict)
+
+
+class FlexER:
+    """End-to-end FlexER solver for the MIER problem.
+
+    Parameters
+    ----------
+    intents:
+        Ordered intent names the solver is trained for.
+    config:
+        Matcher, graph, and GNN hyper-parameters.
+    representation_source:
+        ``"in_parallel"`` trains independent per-intent matchers
+        (Section 5.2.2, the configuration used for the main results);
+        ``"multi_label"`` uses the multi-task network's per-intent
+        representations instead.
+    augment_with_scores:
+        When true (default), each node's initial feature vector is the
+        matcher's latent pair representation concatenated with its
+        likelihood score for that intent, so message propagation starts
+        from the matcher's decision and refines it with cross-intent
+        information.
+    """
+
+    def __init__(
+        self,
+        intents: Sequence[str],
+        config: FlexERConfig | None = None,
+        representation_source: str = "in_parallel",
+        augment_with_scores: bool = True,
+    ) -> None:
+        if not intents:
+            raise IntentError("FlexER requires at least one intent")
+        if representation_source not in ("in_parallel", "multi_label"):
+            raise MatchingError(
+                f"unknown representation source: {representation_source!r}"
+            )
+        self.intents = tuple(intents)
+        self.config = config or FlexERConfig()
+        self.representation_source = representation_source
+        self.augment_with_scores = augment_with_scores
+        if representation_source == "in_parallel":
+            self.solver = InParallelSolver(self.intents, self.config.matcher)
+        else:
+            self.solver = MultiLabelSolver(self.intents, self.config.matcher)
+        self.graph_builder = IntentGraphBuilder(self.config.graph)
+        self._train: CandidateSet | None = None
+        self._valid: CandidateSet | None = None
+        self.timings = FlexERTimings()
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, train: CandidateSet, valid: CandidateSet | None = None) -> "FlexER":
+        """Train the per-intent matchers and remember the labeled splits."""
+        start = time.perf_counter()
+        self.solver.fit(train)
+        self.timings.matcher_training_seconds = time.perf_counter() - start
+        self._train = train
+        self._valid = valid
+        return self
+
+    # ------------------------------------------------------------- internals
+
+    def _require_fitted(self) -> CandidateSet:
+        if self._train is None:
+            raise NotFittedError("FlexER must be fitted before predicting")
+        return self._train
+
+    @staticmethod
+    def _combine(parts: list[CandidateSet]) -> tuple[CandidateSet, list[np.ndarray]]:
+        """Concatenate candidate sets sharing a dataset; return index ranges."""
+        non_empty = [part for part in parts if len(part) > 0]
+        if not non_empty:
+            raise MatchingError("cannot combine empty candidate sets")
+        dataset = non_empty[0].dataset
+        intents = non_empty[0].intents
+        combined = CandidateSet(dataset, intents=intents)
+        ranges: list[np.ndarray] = []
+        cursor = 0
+        for part in parts:
+            indices = np.arange(cursor, cursor + len(part), dtype=np.int64)
+            ranges.append(indices)
+            for labeled in part:
+                combined.add(labeled)
+            cursor += len(part)
+        return combined, ranges
+
+    def _resolve_layer_intents(self, intent_subset: Sequence[str] | None) -> tuple[str, ...]:
+        if intent_subset is None:
+            return self.intents
+        unknown = set(intent_subset) - set(self.intents)
+        if unknown:
+            raise IntentError(f"intent subset contains unknown intents: {sorted(unknown)}")
+        return tuple(intent_subset)
+
+    # ---------------------------------------------------------------- predict
+
+    def build_graph(
+        self,
+        candidates: CandidateSet,
+        intent_subset: Sequence[str] | None = None,
+    ) -> MultiplexGraph:
+        """Compute representations and build the multiplex graph over ``candidates``."""
+        layer_intents = self._resolve_layer_intents(intent_subset)
+        start = time.perf_counter()
+        representations = self.solver.representations(candidates)
+        if self.augment_with_scores:
+            probabilities = self.solver.predict_proba(candidates)
+            representations = {
+                intent: np.hstack([matrix, probabilities[intent][:, np.newaxis]])
+                for intent, matrix in representations.items()
+            }
+        self.timings.representation_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        graph = self.graph_builder.build(representations, intents=layer_intents)
+        self.timings.graph_build_seconds = time.perf_counter() - start
+        return graph
+
+    def predict(
+        self,
+        test: CandidateSet,
+        intent_subset: Sequence[str] | None = None,
+        target_intents: Sequence[str] | None = None,
+    ) -> FlexERResult:
+        """Run graph construction and per-intent GNN prediction on ``test``.
+
+        Parameters
+        ----------
+        test:
+            Labeled test candidate set (labels are used only for
+            evaluation downstream, never during prediction).
+        intent_subset:
+            Layers to include in the multiplex graph (Figure 6 analysis);
+            defaults to all intents.
+        target_intents:
+            Intents to predict; defaults to the graph's layers.  Every
+            target intent must be one of the graph's layers.
+        """
+        train = self._require_fitted()
+        valid = self._valid
+        layer_intents = self._resolve_layer_intents(intent_subset)
+        targets = tuple(target_intents) if target_intents is not None else layer_intents
+        outside = set(targets) - set(layer_intents)
+        if outside:
+            raise IntentError(
+                f"target intents {sorted(outside)} are not part of the graph layers"
+            )
+
+        parts = [train]
+        if valid is not None and len(valid) > 0:
+            parts.append(valid)
+        parts.append(test)
+        combined, ranges = self._combine(parts)
+        train_index = ranges[0]
+        valid_index = ranges[1] if valid is not None and len(valid) > 0 else None
+        test_index = ranges[-1]
+
+        graph = self.build_graph(combined, intent_subset=layer_intents)
+
+        predictions: dict[str, np.ndarray] = {}
+        probabilities: dict[str, np.ndarray] = {}
+        validation_f1: dict[str, float] = {}
+        for intent in targets:
+            start = time.perf_counter()
+            classifier = IntentNodeClassifier(self.config.gnn)
+            result = classifier.fit_predict(
+                graph,
+                target_intent=intent,
+                train_index=train_index,
+                train_labels=train.labels(intent),
+                valid_index=valid_index,
+                valid_labels=valid.labels(intent) if valid_index is not None and valid is not None else None,
+            )
+            elapsed = time.perf_counter() - start
+            self.timings.gnn_seconds_per_intent[intent] = elapsed
+            test_probabilities = result.probabilities[test_index]
+            probabilities[intent] = test_probabilities
+            predictions[intent] = (test_probabilities >= 0.5).astype(np.int64)
+            validation_f1[intent] = result.best_validation_f1
+
+        solution = MIERSolution(
+            candidates=test,
+            predictions=predictions,
+            probabilities=probabilities,
+            solver_name=f"FlexER[{self.representation_source}]",
+        )
+        return FlexERResult(
+            solution=solution,
+            graph=graph,
+            timings=self.timings,
+            validation_f1=validation_f1,
+        )
+
+    # ------------------------------------------------------------ convenience
+
+    def run_split(
+        self,
+        split: DatasetSplit,
+        intent_subset: Sequence[str] | None = None,
+        target_intents: Sequence[str] | None = None,
+    ) -> FlexERResult:
+        """Fit on the split's train/valid parts and predict its test part."""
+        self.fit(split.train, split.valid if len(split.valid) > 0 else None)
+        return self.predict(
+            split.test,
+            intent_subset=intent_subset,
+            target_intents=target_intents,
+        )

@@ -1,0 +1,157 @@
+"""Resolution intents and their interrelationships (Sections 2.2 and 2.4).
+
+An intent is, formally, an entity set and a mapping from records to it
+(Definition 2).  Pragmatically the mapping is unknown and the intent is
+expressed only through labeled record pairs, so this module works at the
+label level: it detects *overlapping* intents (Definition 3) and
+*subsumed* intents (Definition 4) from a labeled candidate set, which is
+exactly the information the preventable-error analysis (Eq. 10) relies
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from ..data.pairs import CandidateSet
+from ..exceptions import IntentError
+
+
+@dataclass(frozen=True)
+class Intent:
+    """A named resolution intent.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used to key labels, predictions, and reports.
+    description:
+        Optional human-readable description (for reports only — the model
+        never sees intent semantics, matching the paper's setting).
+    """
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IntentError("intent name must be non-empty")
+
+
+@dataclass
+class IntentRelationships:
+    """Pairwise intent relationships derived from labels.
+
+    Attributes
+    ----------
+    overlaps:
+        Set of unordered intent-name pairs that overlap (share at least
+        one positive pair).
+    subsumptions:
+        Mapping ``narrow -> set of broader intents``: ``narrow`` is a
+        sub-intent of each of them (every positive of ``narrow`` is a
+        positive of the broader intent).
+    """
+
+    overlaps: set[frozenset[str]] = field(default_factory=set)
+    subsumptions: dict[str, set[str]] = field(default_factory=dict)
+
+    def overlapping(self, left: str, right: str) -> bool:
+        """Whether ``left`` and ``right`` overlap (Definition 3)."""
+        return frozenset((left, right)) in self.overlaps
+
+    def subsumed_by(self, intent: str) -> set[str]:
+        """Intents that subsume ``intent`` (are implied by it)."""
+        return set(self.subsumptions.get(intent, set()))
+
+    def is_sub_intent(self, narrow: str, broad: str) -> bool:
+        """Whether ``narrow`` is a sub-intent of ``broad`` (Definition 4)."""
+        return broad in self.subsumptions.get(narrow, set())
+
+
+class IntentSet:
+    """An ordered set of intents with label-derived relationship analysis."""
+
+    def __init__(self, intents: Iterable[Intent | str]) -> None:
+        self._intents: list[Intent] = []
+        seen: set[str] = set()
+        for item in intents:
+            intent = item if isinstance(item, Intent) else Intent(name=item)
+            if intent.name in seen:
+                raise IntentError(f"duplicate intent name: {intent.name!r}")
+            seen.add(intent.name)
+            self._intents.append(intent)
+        if not self._intents:
+            raise IntentError("an intent set needs at least one intent")
+
+    def __len__(self) -> int:
+        return len(self._intents)
+
+    def __iter__(self):
+        return iter(self._intents)
+
+    def __contains__(self, name: str) -> bool:
+        return any(intent.name == name for intent in self._intents)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Intent names in declaration order."""
+        return tuple(intent.name for intent in self._intents)
+
+    def get(self, name: str) -> Intent:
+        """Return the intent named ``name``."""
+        for intent in self._intents:
+            if intent.name == name:
+                return intent
+        raise IntentError(f"unknown intent: {name!r}")
+
+    # ----------------------------------------------------------- relationships
+
+    @staticmethod
+    def _label_map(candidates: CandidateSet, names: tuple[str, ...]) -> dict[str, np.ndarray]:
+        missing = set(names) - set(candidates.intents)
+        if missing:
+            raise IntentError(f"candidate set lacks labels for intents: {sorted(missing)}")
+        return {name: candidates.labels(name) for name in names}
+
+    def relationships(self, candidates: CandidateSet) -> IntentRelationships:
+        """Derive overlap and subsumption relationships from labels.
+
+        Overlap (Definition 3): the two intents share at least one
+        positive pair.  Subsumption (Definition 4): ``narrow`` is a
+        sub-intent of ``broad`` when no pair is positive for ``narrow``
+        and negative for ``broad``.
+        """
+        labels = self._label_map(candidates, self.names)
+        relationships = IntentRelationships()
+        for narrow in self.names:
+            relationships.subsumptions.setdefault(narrow, set())
+        for i, left in enumerate(self.names):
+            for right in self.names[i + 1 :]:
+                left_labels = labels[left]
+                right_labels = labels[right]
+                if bool(np.any((left_labels == 1) & (right_labels == 1))):
+                    relationships.overlaps.add(frozenset((left, right)))
+                if not bool(np.any((left_labels == 1) & (right_labels == 0))):
+                    relationships.subsumptions[left].add(right)
+                if not bool(np.any((right_labels == 1) & (left_labels == 0))):
+                    relationships.subsumptions[right].add(left)
+        return relationships
+
+    def subsumption_map(self, candidates: CandidateSet) -> dict[str, set[str]]:
+        """Convenience wrapper returning only the subsumption mapping."""
+        return self.relationships(candidates).subsumptions
+
+    @classmethod
+    def from_candidates(cls, candidates: CandidateSet) -> "IntentSet":
+        """Build an intent set from the intents labeled on a candidate set."""
+        return cls(candidates.intents)
+
+    @classmethod
+    def from_names(cls, names: Iterable[str], descriptions: Mapping[str, str] | None = None) -> "IntentSet":
+        """Build an intent set from names with optional descriptions."""
+        descriptions = descriptions or {}
+        return cls(Intent(name=name, description=descriptions.get(name, "")) for name in names)

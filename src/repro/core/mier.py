@@ -1,0 +1,107 @@
+"""The multiple intents entity resolution (MIER) problem and its solutions.
+
+Problem 1 of the paper: given a dataset, a candidate pair set and a set
+of intents, produce one resolution per intent.  :class:`MIERSolution`
+bundles the per-intent predictions and resolutions produced by any solver
+(the baselines of Section 3 or FlexER itself) so evaluation and reporting
+are uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..data.pairs import CandidateSet
+from ..exceptions import EvaluationError, IntentError
+from .resolution import Resolution
+
+
+@dataclass(frozen=True)
+class MIERProblem:
+    """A MIER problem instance: candidates labeled for a set of intents."""
+
+    candidates: CandidateSet
+    intents: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        missing = set(self.intents) - set(self.candidates.intents)
+        if missing:
+            raise IntentError(f"candidates lack labels for intents: {sorted(missing)}")
+        if not self.intents:
+            raise IntentError("a MIER problem requires at least one intent")
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of candidate pairs."""
+        return len(self.candidates)
+
+    def golden_resolutions(self) -> dict[str, Resolution]:
+        """The golden-standard resolution of every intent."""
+        return {
+            intent: Resolution.from_labels(self.candidates, intent)
+            for intent in self.intents
+        }
+
+
+@dataclass
+class MIERSolution:
+    """Per-intent predictions (and resolutions) over a candidate set."""
+
+    candidates: CandidateSet
+    predictions: dict[str, np.ndarray]
+    probabilities: dict[str, np.ndarray] = field(default_factory=dict)
+    solver_name: str = "unknown"
+
+    def __post_init__(self) -> None:
+        for intent, prediction in self.predictions.items():
+            array = np.asarray(prediction, dtype=np.int64).ravel()
+            if array.shape[0] != len(self.candidates):
+                raise EvaluationError(
+                    f"predictions for intent {intent!r} have {array.shape[0]} entries, "
+                    f"expected {len(self.candidates)}"
+                )
+            self.predictions[intent] = array
+
+    @property
+    def intents(self) -> tuple[str, ...]:
+        """Intents covered by this solution."""
+        return tuple(self.predictions)
+
+    def prediction(self, intent: str) -> np.ndarray:
+        """Binary predictions for ``intent``."""
+        try:
+            return self.predictions[intent]
+        except KeyError:
+            raise IntentError(f"solution has no predictions for intent {intent!r}") from None
+
+    def resolution(self, intent: str) -> Resolution:
+        """The resolution induced by the predictions for ``intent``."""
+        return Resolution.from_predictions(self.candidates, self.prediction(intent), intent)
+
+    def resolutions(self) -> dict[str, Resolution]:
+        """All per-intent resolutions."""
+        return {intent: self.resolution(intent) for intent in self.intents}
+
+    def prediction_matrix(self, intents: tuple[str, ...] | None = None) -> np.ndarray:
+        """Stack predictions into an ``(n, P)`` matrix in intent order."""
+        names = intents or self.intents
+        return np.stack([self.prediction(name) for name in names], axis=1)
+
+    @classmethod
+    def from_mapping(
+        cls,
+        candidates: CandidateSet,
+        predictions: Mapping[str, np.ndarray],
+        probabilities: Mapping[str, np.ndarray] | None = None,
+        solver_name: str = "unknown",
+    ) -> "MIERSolution":
+        """Build a solution from plain prediction mappings."""
+        return cls(
+            candidates=candidates,
+            predictions=dict(predictions),
+            probabilities=dict(probabilities or {}),
+            solver_name=solver_name,
+        )

@@ -1,0 +1,126 @@
+"""Resolutions, entity mappings, clustering, and clean views (Section 2.1).
+
+A *resolution* ``M ⊆ C`` is the set of record pairs a matcher resolved
+to the same entity under some intent.  This module provides the
+resolution value type, the satisfaction check of Definition 1, the
+merging phase (equivalence-class clustering via transitive closure), and
+clean-view generation by representative selection (Example 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..data.pairs import CandidateSet, RecordPair
+from ..data.records import Dataset
+from ..exceptions import DataError
+
+
+@dataclass
+class Resolution:
+    """A set of matched record pairs for one intent."""
+
+    pairs: set[RecordPair] = field(default_factory=set)
+    intent: str = "equivalence"
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __contains__(self, pair: RecordPair) -> bool:
+        return pair in self.pairs
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def add(self, pair: RecordPair) -> None:
+        """Add a matched pair to the resolution."""
+        self.pairs.add(pair)
+
+    @classmethod
+    def from_predictions(
+        cls,
+        candidates: CandidateSet,
+        predictions: np.ndarray | Sequence[int],
+        intent: str = "equivalence",
+    ) -> "Resolution":
+        """Build a resolution from binary predictions aligned with ``candidates``."""
+        prediction_array = np.asarray(predictions, dtype=np.int64).ravel()
+        if prediction_array.shape[0] != len(candidates):
+            raise DataError(
+                "predictions must have one entry per candidate pair "
+                f"({prediction_array.shape[0]} vs {len(candidates)})"
+            )
+        pairs = {
+            labeled.pair
+            for labeled, prediction in zip(candidates, prediction_array)
+            if prediction == 1
+        }
+        return cls(pairs=pairs, intent=intent)
+
+    @classmethod
+    def from_labels(cls, candidates: CandidateSet, intent: str) -> "Resolution":
+        """The golden-standard resolution ``M*`` of ``intent``."""
+        return cls(pairs=candidates.positive_pairs(intent), intent=intent)
+
+    # ------------------------------------------------------------ satisfaction
+
+    def satisfies(
+        self,
+        entity_mapping: Mapping[str, str],
+        candidates: Iterable[RecordPair],
+    ) -> bool:
+        """Check Definition 1: ``M |= θ`` over the candidate pairs.
+
+        For every candidate pair, membership in the resolution must be
+        equivalent to the two records mapping to the same entity.
+        """
+        for pair in candidates:
+            left_entity = entity_mapping.get(pair.left_id)
+            right_entity = entity_mapping.get(pair.right_id)
+            same_entity = left_entity is not None and left_entity == right_entity
+            if (pair in self.pairs) != same_entity:
+                return False
+        return True
+
+    # --------------------------------------------------------------- merging
+
+    def clusters(self, dataset: Dataset | None = None) -> list[set[str]]:
+        """Equivalence classes induced by the resolution (transitive closure).
+
+        Parameters
+        ----------
+        dataset:
+            When given, singleton clusters are produced for records that
+            appear in no matched pair, so the clustering covers the whole
+            dataset.
+        """
+        graph = nx.Graph()
+        if dataset is not None:
+            graph.add_nodes_from(dataset.record_ids)
+        for pair in self.pairs:
+            graph.add_edge(pair.left_id, pair.right_id)
+        return [set(component) for component in nx.connected_components(graph)]
+
+    def clean_view(self, dataset: Dataset) -> Dataset:
+        """Derive a clean view by keeping one representative per cluster.
+
+        Representatives are chosen heuristically by dataset order (the
+        first record of each cluster), as in Example 2.4.
+        """
+        order = {record_id: position for position, record_id in enumerate(dataset.record_ids)}
+        representatives: list[str] = []
+        for cluster in self.clusters(dataset):
+            representative = min(cluster, key=lambda record_id: order.get(record_id, len(order)))
+            representatives.append(representative)
+        representatives.sort(key=lambda record_id: order.get(record_id, len(order)))
+        return dataset.subset(representatives, name=f"{dataset.name}-clean-{self.intent}")
+
+    # ------------------------------------------------------------- reporting
+
+    def describe(self) -> dict[str, object]:
+        """Size statistics of the resolution."""
+        return {"intent": self.intent, "num_matched_pairs": len(self.pairs)}

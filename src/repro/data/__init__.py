@@ -1,0 +1,30 @@
+"""Record, pair, label, split, and serialization primitives."""
+
+from .records import Record, Dataset
+from .pairs import RecordPair, LabeledPair, CandidateSet
+from .splits import SplitRatio, DatasetSplit, split_candidates
+from .serialization import (
+    SerializationConfig,
+    serialize_record,
+    serialize_pair,
+    serialize_candidates,
+    CLS_TOKEN,
+    SEP_TOKEN,
+)
+
+__all__ = [
+    "Record",
+    "Dataset",
+    "RecordPair",
+    "LabeledPair",
+    "CandidateSet",
+    "SplitRatio",
+    "DatasetSplit",
+    "split_candidates",
+    "SerializationConfig",
+    "serialize_record",
+    "serialize_pair",
+    "serialize_candidates",
+    "CLS_TOKEN",
+    "SEP_TOKEN",
+]

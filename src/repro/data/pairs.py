@@ -1,0 +1,206 @@
+"""Candidate record pairs and multi-intent labels.
+
+The matching phase of entity resolution operates on a *candidate set*
+``C ⊆ D × D`` produced by blocking.  For MIER each candidate pair carries
+one binary label per intent.  This module provides the immutable pair
+value type, the labeled multi-intent pair, and the :class:`CandidateSet`
+container used throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError, LabelingError
+from .records import Dataset, Record
+
+
+@dataclass(frozen=True, order=True)
+class RecordPair:
+    """An unordered candidate pair ``(r_i, r_j)`` identified by record ids.
+
+    The pair is canonicalized so that ``left_id <= right_id``; two pairs
+    built from the same records in either order compare equal.
+    """
+
+    left_id: str
+    right_id: str
+
+    def __post_init__(self) -> None:
+        if not self.left_id or not self.right_id:
+            raise DataError("pair record ids must be non-empty")
+        if self.left_id == self.right_id:
+            raise DataError(f"a pair cannot relate a record to itself: {self.left_id!r}")
+        if self.left_id > self.right_id:
+            left, right = self.right_id, self.left_id
+            object.__setattr__(self, "left_id", left)
+            object.__setattr__(self, "right_id", right)
+
+    @classmethod
+    def of(cls, left: Record | str, right: Record | str) -> "RecordPair":
+        """Build a pair from records or record ids."""
+        left_id = left.record_id if isinstance(left, Record) else left
+        right_id = right.record_id if isinstance(right, Record) else right
+        return cls(left_id, right_id)
+
+    def as_tuple(self) -> tuple[str, str]:
+        """Return the canonical ``(left_id, right_id)`` tuple."""
+        return (self.left_id, self.right_id)
+
+    def other(self, record_id: str) -> str:
+        """Return the id of the pair member that is not ``record_id``."""
+        if record_id == self.left_id:
+            return self.right_id
+        if record_id == self.right_id:
+            return self.left_id
+        raise DataError(f"record {record_id!r} is not part of pair {self.as_tuple()}")
+
+
+@dataclass(frozen=True)
+class LabeledPair:
+    """A candidate pair together with its per-intent binary labels."""
+
+    pair: RecordPair
+    labels: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        normalized: dict[str, int] = {}
+        for intent, value in dict(self.labels).items():
+            if value not in (0, 1):
+                raise LabelingError(
+                    f"label for intent {intent!r} must be 0 or 1, got {value!r}"
+                )
+            normalized[intent] = int(value)
+        object.__setattr__(self, "labels", normalized)
+
+    def label(self, intent: str) -> int:
+        """Return the binary label of ``intent``."""
+        try:
+            return self.labels[intent]
+        except KeyError:
+            raise LabelingError(f"pair {self.pair.as_tuple()} has no label for intent {intent!r}") from None
+
+    @property
+    def intents(self) -> tuple[str, ...]:
+        """Intent names labeled on this pair."""
+        return tuple(self.labels)
+
+
+class CandidateSet:
+    """An ordered set of labeled candidate pairs over a dataset.
+
+    The candidate set is the unit of work for matchers, graph
+    construction, and evaluation.  Pair order is stable, pairs are unique,
+    and every pair is labeled for the same set of intents.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        pairs: Iterable[LabeledPair] = (),
+        intents: Sequence[str] | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self._pairs: list[LabeledPair] = []
+        self._index: dict[RecordPair, int] = {}
+        self._intents: tuple[str, ...] | None = tuple(intents) if intents else None
+        for labeled in pairs:
+            self.add(labeled)
+
+    def add(self, labeled: LabeledPair) -> None:
+        """Append a labeled pair, validating uniqueness, membership, and intents."""
+        pair = labeled.pair
+        if pair in self._index:
+            raise DataError(f"duplicate candidate pair: {pair.as_tuple()}")
+        if pair.left_id not in self.dataset or pair.right_id not in self.dataset:
+            raise DataError(
+                f"pair {pair.as_tuple()} references records outside the dataset"
+            )
+        if self._intents is None:
+            self._intents = labeled.intents
+        elif set(labeled.intents) != set(self._intents):
+            raise LabelingError(
+                f"pair {pair.as_tuple()} is labeled for intents {labeled.intents}, "
+                f"expected {self._intents}"
+            )
+        self._index[pair] = len(self._pairs)
+        self._pairs.append(labeled)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[LabeledPair]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: RecordPair) -> bool:
+        return pair in self._index
+
+    def __getitem__(self, index: int) -> LabeledPair:
+        return self._pairs[index]
+
+    @property
+    def intents(self) -> tuple[str, ...]:
+        """Intent names labeled on this candidate set (empty if no pairs)."""
+        return self._intents or ()
+
+    @property
+    def pairs(self) -> list[RecordPair]:
+        """The candidate pairs, in insertion order."""
+        return [labeled.pair for labeled in self._pairs]
+
+    def index_of(self, pair: RecordPair) -> int:
+        """Return the position of ``pair`` in the candidate set."""
+        try:
+            return self._index[pair]
+        except KeyError:
+            raise DataError(f"pair {pair.as_tuple()} is not in the candidate set") from None
+
+    def records_of(self, pair: RecordPair) -> tuple[Record, Record]:
+        """Return the two :class:`Record` objects of a candidate pair."""
+        return self.dataset[pair.left_id], self.dataset[pair.right_id]
+
+    def labels(self, intent: str) -> np.ndarray:
+        """Return the binary label vector for ``intent`` (shape ``(|C|,)``)."""
+        if intent not in self.intents:
+            raise LabelingError(f"unknown intent: {intent!r}")
+        return np.array([labeled.label(intent) for labeled in self._pairs], dtype=np.int64)
+
+    def label_matrix(self, intents: Sequence[str] | None = None) -> np.ndarray:
+        """Return the label matrix of shape ``(|C|, P)`` for ``intents``."""
+        names = list(intents) if intents is not None else list(self.intents)
+        columns = [self.labels(name) for name in names]
+        if not columns:
+            return np.zeros((len(self._pairs), 0), dtype=np.int64)
+        return np.stack(columns, axis=1)
+
+    def positive_rate(self, intent: str) -> float:
+        """Fraction of pairs labeled positive for ``intent`` (Table 4)."""
+        if not self._pairs:
+            return 0.0
+        return float(self.labels(intent).mean())
+
+    def positive_pairs(self, intent: str) -> set[RecordPair]:
+        """The golden-standard resolution ``M*`` for ``intent`` (Eq. 6)."""
+        return {
+            labeled.pair for labeled in self._pairs if labeled.label(intent) == 1
+        }
+
+    def subset(self, indices: Sequence[int]) -> "CandidateSet":
+        """Return a new candidate set with the pairs at ``indices``."""
+        subset = CandidateSet(self.dataset, intents=self._intents)
+        for index in indices:
+            subset.add(self._pairs[index])
+        return subset
+
+    def describe(self) -> dict[str, object]:
+        """Summary statistics: pair count, intents, and positive rates."""
+        return {
+            "num_pairs": len(self._pairs),
+            "intents": list(self.intents),
+            "positive_rates": {
+                intent: self.positive_rate(intent) for intent in self.intents
+            },
+        }

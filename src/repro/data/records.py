@@ -1,0 +1,187 @@
+"""Record and dataset model.
+
+A :class:`Record` is a flat mapping of attribute names to (possibly null)
+string values plus a unique identifier.  A :class:`Dataset` is an ordered
+collection of records sharing an attribute schema, optionally partitioned
+into *sources* to model clean-clean resolution (two duplicate-free
+sources, as in the Walmart-Amazon benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator, Mapping
+
+from ..exceptions import DataError, SchemaError, UnknownRecordError
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single data record (tuple).
+
+    Attributes
+    ----------
+    record_id:
+        Unique identifier within a dataset (the ``rid`` of the paper).
+    values:
+        Mapping from attribute name to string value; ``None`` models a
+        null value.
+    source:
+        Optional source tag for clean-clean scenarios (e.g. ``"walmart"``
+        vs ``"amazon"``); records from the same source are never matched.
+    """
+
+    record_id: str
+    values: Mapping[str, str | None]
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.record_id:
+            raise DataError("record_id must be a non-empty string")
+        object.__setattr__(self, "values", dict(self.values))
+
+    def get(self, attribute: str, default: str | None = None) -> str | None:
+        """Return the value of ``attribute`` or ``default`` when absent/null."""
+        value = self.values.get(attribute, default)
+        return default if value is None else value
+
+    def text(self, attributes: Iterable[str] | None = None, sep: str = " ") -> str:
+        """Concatenate attribute values into a single text string.
+
+        Parameters
+        ----------
+        attributes:
+            Attributes to include, in order.  Defaults to all attributes
+            in insertion order.
+        sep:
+            Separator between attribute values.
+        """
+        names = list(attributes) if attributes is not None else list(self.values)
+        parts = [self.values.get(name) or "" for name in names]
+        return sep.join(part for part in parts if part)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names present on this record."""
+        return tuple(self.values)
+
+
+@dataclass
+class Dataset:
+    """An ordered collection of records with a shared schema.
+
+    Parameters
+    ----------
+    records:
+        The records of the dataset.  Identifiers must be unique.
+    name:
+        Human-readable dataset name (used in reports).
+    attributes:
+        The schema.  When omitted it is inferred as the union of record
+        attributes, in first-seen order.
+    """
+
+    records: list[Record] = field(default_factory=list)
+    name: str = "dataset"
+    attributes: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        self._by_id: dict[str, Record] = {}
+        inferred: list[str] = []
+        seen_attrs: set[str] = set()
+        for record in self.records:
+            if record.record_id in self._by_id:
+                raise DataError(f"duplicate record_id: {record.record_id!r}")
+            self._by_id[record.record_id] = record
+            for attribute in record.attributes:
+                if attribute not in seen_attrs:
+                    seen_attrs.add(attribute)
+                    inferred.append(attribute)
+        if self.attributes is None:
+            self.attributes = tuple(inferred)
+        else:
+            self.attributes = tuple(self.attributes)
+            for record in self.records:
+                unknown = set(record.attributes) - set(self.attributes)
+                if unknown:
+                    raise SchemaError(
+                        f"record {record.record_id!r} has attributes outside the "
+                        f"schema: {sorted(unknown)}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._by_id
+
+    def __getitem__(self, record_id: str) -> Record:
+        try:
+            return self._by_id[record_id]
+        except KeyError:
+            raise UnknownRecordError(f"unknown record_id: {record_id!r}") from None
+
+    def add(self, record: Record) -> None:
+        """Append a record, enforcing identifier uniqueness and the schema."""
+        if record.record_id in self._by_id:
+            raise DataError(f"duplicate record_id: {record.record_id!r}")
+        if self.attributes:
+            unknown = set(record.attributes) - set(self.attributes)
+            if unknown:
+                raise SchemaError(
+                    f"record {record.record_id!r} has attributes outside the "
+                    f"schema: {sorted(unknown)}"
+                )
+        self.records.append(record)
+        self._by_id[record.record_id] = record
+
+    @property
+    def record_ids(self) -> list[str]:
+        """Identifiers of all records, in dataset order."""
+        return [record.record_id for record in self.records]
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        """Distinct source tags present in the dataset (sorted)."""
+        return tuple(sorted({r.source for r in self.records if r.source is not None}))
+
+    def by_source(self, source: str) -> list[Record]:
+        """Return all records belonging to ``source``."""
+        return [record for record in self.records if record.source == source]
+
+    def texts(self, attributes: Iterable[str] | None = None) -> list[str]:
+        """Return the textual form of every record (see :meth:`Record.text`)."""
+        names = list(attributes) if attributes is not None else None
+        return [record.text(names) for record in self.records]
+
+    def subset(self, record_ids: Iterable[str], name: str | None = None) -> "Dataset":
+        """Return a new dataset containing only ``record_ids`` (in given order)."""
+        subset_records = [self[record_id] for record_id in record_ids]
+        return Dataset(
+            records=subset_records,
+            name=name or f"{self.name}-subset",
+            attributes=self.attributes,
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Summary statistics used for benchmark profiling (Section 5.1)."""
+        null_count = sum(
+            1
+            for record in self.records
+            for attribute in (self.attributes or ())
+            if record.values.get(attribute) is None
+        )
+        total_cells = len(self.records) * len(self.attributes or ())
+        token_lengths = [len(record.text().split()) for record in self.records]
+        avg_tokens = sum(token_lengths) / len(token_lengths) if token_lengths else 0.0
+        return {
+            "name": self.name,
+            "num_records": len(self.records),
+            "num_attributes": len(self.attributes or ()),
+            "sources": list(self.sources),
+            "sparsity": (null_count / total_cells) if total_cells else 0.0,
+            "avg_tokens_per_record": avg_tokens,
+        }

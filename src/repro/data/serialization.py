@@ -1,0 +1,97 @@
+"""DITTO-style serialization of records and record pairs.
+
+DITTO (Example 2.2 of the paper) serializes a record pair into a single
+token sequence of the form::
+
+    [CLS] COL title VAL nike men's ... [SEP] COL title VAL nike men ... [SEP]
+
+and feeds it to a transformer.  Our matcher consumes the same serialized
+text through a hashed n-gram encoder, so the serialization format is the
+shared contract between the data layer and the matching layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from .pairs import RecordPair
+from .records import Dataset, Record
+
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+COL_TOKEN = "COL"
+VAL_TOKEN = "VAL"
+
+
+@dataclass(frozen=True)
+class SerializationConfig:
+    """Controls which attributes are serialized and how long the output may be.
+
+    Attributes
+    ----------
+    attributes:
+        Attributes to serialize, in order.  ``None`` serializes every
+        attribute of the dataset schema.  The paper uses only the product
+        title for matching (Section 5.1).
+    max_tokens:
+        Hard cap on the number of whitespace tokens of the serialized
+        pair (DITTO uses 512 sub-word tokens).
+    lowercase:
+        Whether to lowercase values before serialization.
+    """
+
+    attributes: tuple[str, ...] | None = None
+    max_tokens: int = 256
+    lowercase: bool = True
+
+
+def serialize_record(
+    record: Record,
+    attributes: Sequence[str] | None = None,
+    lowercase: bool = True,
+) -> str:
+    """Serialize a single record into ``COL a VAL v`` segments."""
+    names: Iterable[str] = attributes if attributes is not None else record.attributes
+    parts: list[str] = []
+    for name in names:
+        value = record.values.get(name)
+        if value is None:
+            continue
+        text = value.lower() if lowercase else value
+        parts.append(f"{COL_TOKEN} {name} {VAL_TOKEN} {text}")
+    return " ".join(parts)
+
+
+def serialize_pair(
+    left: Record,
+    right: Record,
+    config: SerializationConfig | None = None,
+) -> str:
+    """Serialize a record pair into a single DITTO-style string."""
+    config = config or SerializationConfig()
+    left_text = serialize_record(left, config.attributes, config.lowercase)
+    right_text = serialize_record(right, config.attributes, config.lowercase)
+    serialized = f"{CLS_TOKEN} {left_text} {SEP_TOKEN} {right_text} {SEP_TOKEN}"
+    tokens = serialized.split()
+    if len(tokens) > config.max_tokens:
+        tokens = tokens[: config.max_tokens]
+        if tokens[-1] != SEP_TOKEN:
+            tokens.append(SEP_TOKEN)
+        serialized = " ".join(tokens)
+    return serialized
+
+
+def serialize_candidates(
+    dataset: Dataset,
+    pairs: Sequence[RecordPair],
+    config: SerializationConfig | None = None,
+) -> list[str]:
+    """Serialize every pair of ``pairs`` against ``dataset``."""
+    config = config or SerializationConfig()
+    serialized = []
+    for pair in pairs:
+        left = dataset[pair.left_id]
+        right = dataset[pair.right_id]
+        serialized.append(serialize_pair(left, right, config))
+    return serialized

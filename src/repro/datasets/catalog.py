@@ -1,0 +1,134 @@
+"""Synthetic product-catalog generation.
+
+A :class:`Product` is a real-world entity with a brand, an ordered
+category set (the Amazon-style category path), a product line, a model
+designator, and a clean title.  A :class:`CatalogGenerator` samples
+products per domain, and the benchmark builders turn products into
+records (duplicated + perturbed) and labeled candidate pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .perturb import PerturbationConfig, TitlePerturber
+from .vocab import (
+    AUDIENCES,
+    BRANDS,
+    CATEGORY_ROOTS,
+    GENERAL_CATEGORY,
+    PRODUCT_LINES,
+    USAGE_BY_DOMAIN,
+)
+
+
+@dataclass(frozen=True)
+class Product:
+    """A synthetic real-world product (an *entity* in the paper's model)."""
+
+    product_id: str
+    domain: str
+    brand: str
+    line: str
+    model: str
+    usage: str
+    category_set: tuple[str, ...]
+    title: str
+
+    @property
+    def main_category(self) -> str:
+        """The first (most general) category of the ordered category set."""
+        return self.category_set[0]
+
+    @property
+    def general_category(self) -> str:
+        """The manually aligned general category (electronics / house / ...)."""
+        return GENERAL_CATEGORY.get(self.domain, "other")
+
+
+@dataclass
+class CatalogConfig:
+    """Configuration of the synthetic catalog generator."""
+
+    domains: tuple[str, ...] = ("shoes", "computers", "cameras", "watches", "books")
+    products_per_domain: int = 40
+    seed: int = 11
+    perturbation: PerturbationConfig = field(default_factory=PerturbationConfig)
+
+    def __post_init__(self) -> None:
+        unknown = [domain for domain in self.domains if domain not in BRANDS]
+        if unknown:
+            raise ConfigurationError(f"unknown domains: {unknown}")
+        if self.products_per_domain <= 0:
+            raise ConfigurationError("products_per_domain must be positive")
+
+
+class CatalogGenerator:
+    """Generate synthetic products and noisy record titles."""
+
+    def __init__(self, config: CatalogConfig | None = None) -> None:
+        self.config = config or CatalogConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.perturber = TitlePerturber(self.config.perturbation, self.rng)
+
+    # ------------------------------------------------------------- products
+
+    def _make_title(self, domain: str, brand: str, line: str, model: str, usage: str) -> str:
+        if domain == "books":
+            return f"{line} ({usage})"
+        audience = self.rng.choice(AUDIENCES)
+        return f"{brand} {audience} {line} {model} {usage}"
+
+    def _category_set(self, domain: str, usage: str, line: str) -> tuple[str, ...]:
+        root = CATEGORY_ROOTS[domain]
+        # The final elements are the most fine-grained: usage keyword and
+        # product line, which creates graded category-set overlap between
+        # products of the same domain (driving the Set-Cat intent).
+        return (*root, usage, line)
+
+    def generate_products(self) -> list[Product]:
+        """Sample ``products_per_domain`` products for every configured domain."""
+        products: list[Product] = []
+        counter = 0
+        for domain in self.config.domains:
+            brands = BRANDS[domain]
+            lines = PRODUCT_LINES[domain]
+            usages = USAGE_BY_DOMAIN[domain]
+            for _ in range(self.config.products_per_domain):
+                brand = str(self.rng.choice(brands))
+                line = str(self.rng.choice(lines))
+                usage = str(self.rng.choice(usages))
+                model = str(int(self.rng.integers(1, 30)))
+                title = self._make_title(domain, brand, line, model, usage)
+                category_set = self._category_set(domain, usage, line)
+                counter += 1
+                products.append(
+                    Product(
+                        product_id=f"p{counter:05d}",
+                        domain=domain,
+                        brand=brand,
+                        line=line,
+                        model=model,
+                        usage=usage,
+                        category_set=category_set,
+                        title=title,
+                    )
+                )
+        return products
+
+    # --------------------------------------------------------------- records
+
+    def record_titles(self, product: Product, copies: int) -> list[str]:
+        """Return ``copies`` record titles for a product.
+
+        The first title is the clean title; the remaining ones are
+        perturbed variants modelling duplicate records.
+        """
+        if copies <= 0:
+            raise ConfigurationError("copies must be positive")
+        titles = [product.title]
+        titles.extend(self.perturber.variants(product.title, copies - 1))
+        return titles

@@ -1,0 +1,111 @@
+"""Title perturbation engine.
+
+Record duplication in real product data originates from discordant
+representations: capitalization differences, typos, abbreviations,
+re-ordered or dropped tokens, and added specification such as colour
+(Section 1.1 of the paper, e.g. ``Nike Men's Lunar Force 1 Duckboot`` vs
+``NIKE Men Lunar Force 1 Duckboot, Black/Dark Loden-BROGHT Crimson``).
+This module applies such perturbations to a clean title to create
+alternative records of the same real-world product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .vocab import ABBREVIATIONS, COLORS
+
+
+@dataclass(frozen=True)
+class PerturbationConfig:
+    """Probabilities of each perturbation applied to a duplicated title."""
+
+    p_uppercase_token: float = 0.15
+    p_lowercase_all: float = 0.15
+    p_typo: float = 0.25
+    p_drop_token: float = 0.15
+    p_swap_tokens: float = 0.10
+    p_abbreviate: float = 0.30
+    p_add_color_spec: float = 0.35
+    p_add_model_suffix: float = 0.25
+
+
+class TitlePerturber:
+    """Apply realistic noise to product titles.
+
+    Parameters
+    ----------
+    config:
+        Perturbation probabilities.
+    rng:
+        Numpy random generator; pass a seeded generator for reproducible
+        datasets.
+    """
+
+    def __init__(
+        self,
+        config: PerturbationConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or PerturbationConfig()
+        self.rng = rng or np.random.default_rng(0)
+
+    # ------------------------------------------------------------ primitives
+
+    def _typo(self, token: str) -> str:
+        """Introduce a single character-level typo into ``token``."""
+        if len(token) < 3:
+            return token
+        kind = self.rng.integers(3)
+        position = int(self.rng.integers(1, len(token) - 1))
+        if kind == 0:  # deletion
+            return token[:position] + token[position + 1 :]
+        if kind == 1:  # transposition
+            chars = list(token)
+            chars[position], chars[position - 1] = chars[position - 1], chars[position]
+            return "".join(chars)
+        # duplication
+        return token[:position] + token[position] + token[position:]
+
+    def _maybe(self, probability: float) -> bool:
+        return bool(self.rng.random() < probability)
+
+    # --------------------------------------------------------------- publics
+
+    def perturb(self, title: str) -> str:
+        """Return a noisy variant of ``title`` representing the same product."""
+        tokens = title.split()
+        config = self.config
+
+        if self._maybe(config.p_lowercase_all):
+            tokens = [token.lower() for token in tokens]
+        if tokens and self._maybe(config.p_uppercase_token):
+            index = int(self.rng.integers(len(tokens)))
+            tokens[index] = tokens[index].upper()
+        if tokens and self._maybe(config.p_typo):
+            index = int(self.rng.integers(len(tokens)))
+            tokens[index] = self._typo(tokens[index])
+        if len(tokens) > 4 and self._maybe(config.p_drop_token):
+            index = int(self.rng.integers(len(tokens)))
+            tokens = tokens[:index] + tokens[index + 1 :]
+        if len(tokens) > 2 and self._maybe(config.p_swap_tokens):
+            index = int(self.rng.integers(len(tokens) - 1))
+            tokens[index], tokens[index + 1] = tokens[index + 1], tokens[index]
+        if self._maybe(config.p_abbreviate):
+            tokens = [ABBREVIATIONS.get(token.lower(), token) for token in tokens]
+
+        title_out = " ".join(tokens)
+        if self._maybe(config.p_add_color_spec):
+            color_a = self.rng.choice(COLORS)
+            color_b = self.rng.choice(COLORS)
+            title_out = f"{title_out}, {color_a}/{color_b}"
+        if self._maybe(config.p_add_model_suffix):
+            suffix = int(self.rng.integers(10, 9999))
+            title_out = f"{title_out} {suffix}"
+        return title_out
+
+    def variants(self, title: str, count: int) -> list[str]:
+        """Return ``count`` independent perturbed variants of ``title``."""
+        return [self.perturb(title) for _ in range(count)]

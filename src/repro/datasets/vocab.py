@@ -1,0 +1,145 @@
+"""Vocabulary used by the synthetic product-catalog generators.
+
+The paper's benchmarks are product-matching datasets (AmazonMI,
+Walmart-Amazon, WDC).  Since the original data cannot be downloaded in
+this offline environment, we synthesize product catalogs with the same
+structural ingredients: brands, hierarchical category paths, product
+lines, model designators, and descriptive attributes.  The vocabulary
+below is intentionally organized per domain so each benchmark generator
+can mirror its original composition (e.g. WDC's computers / cameras /
+watches / shoes split).
+"""
+
+from __future__ import annotations
+
+#: Brands per product domain.  Brand identity drives the "same brand"
+#: intent of AmazonMI and Walmart-Amazon.
+BRANDS: dict[str, tuple[str, ...]] = {
+    "shoes": ("Nike", "Adidas", "Puma", "Reebok", "Asics", "New Balance", "Under Armour"),
+    "computers": ("Dell", "Lenovo", "HP", "Asus", "Acer", "Apple", "MSI"),
+    "cameras": ("Canon", "Nikon", "Sony", "Fujifilm", "Olympus", "Panasonic"),
+    "watches": ("Casio", "Seiko", "Citizen", "Timex", "Fossil", "Garmin"),
+    "phones": ("Samsung", "Apple", "Google", "Motorola", "OnePlus", "Nokia"),
+    "audio": ("Bose", "Sony", "JBL", "Sennheiser", "Beats", "Audio-Technica"),
+    "kitchen": ("KitchenAid", "Cuisinart", "Ninja", "Instant Pot", "Breville", "Oster"),
+    "tools": ("DeWalt", "Makita", "Bosch", "Ryobi", "Milwaukee", "Craftsman"),
+    "books": ("book", "Kindle"),
+}
+
+#: Product lines (families) per domain; combined with a model designator
+#: they identify a distinct real-world product.
+PRODUCT_LINES: dict[str, tuple[str, ...]] = {
+    "shoes": (
+        "Air Max", "Lunar Force", "Free Run", "Ultraboost", "Gel Kayano",
+        "Fresh Foam", "Classic Leather", "Court Vision", "Zoom Pegasus",
+        "D Rose Boost", "Superstar", "Charged Assert",
+    ),
+    "computers": (
+        "Inspiron", "ThinkPad", "Pavilion", "ZenBook", "Aspire", "MacBook Pro",
+        "Latitude", "IdeaPad", "Spectre", "ROG Strix", "Swift", "Prestige",
+    ),
+    "cameras": (
+        "EOS Rebel", "Coolpix", "Alpha", "X-T Series", "OM-D", "Lumix",
+        "PowerShot", "D-Series", "Cyber-shot", "Instax",
+    ),
+    "watches": (
+        "G-Shock", "Prospex", "Eco-Drive", "Weekender", "Grant", "Forerunner",
+        "Edifice", "Presage", "Promaster", "Expedition",
+    ),
+    "phones": (
+        "Galaxy S", "iPhone", "Pixel", "Moto G", "Nord", "Lumia",
+        "Galaxy Note", "iPhone SE", "Pixel Pro",
+    ),
+    "audio": (
+        "QuietComfort", "WH Series", "Flip", "Momentum", "Studio", "ATH Series",
+        "SoundLink", "Charge", "Live Pro",
+    ),
+    "kitchen": (
+        "Artisan Mixer", "Food Processor", "Foodi", "Duo Crisp", "Barista Express",
+        "Blender Pro", "Stand Mixer", "Air Fryer",
+    ),
+    "tools": (
+        "Drill Driver", "Impact Wrench", "Circular Saw", "Jigsaw", "Rotary Hammer",
+        "Angle Grinder", "Combo Kit",
+    ),
+    "books": (
+        "The Man Who Tried to Get Away", "A Brief History of Data", "Learning to Match",
+        "The Art of Integration", "Entity Tales", "Records of the Past",
+        "The Missing Key", "Duplicate Lives",
+    ),
+}
+
+#: Descriptor tokens appended to titles (color, audience, usage).
+COLORS: tuple[str, ...] = (
+    "Black", "White", "Red", "Blue", "Grey", "Green", "Navy", "Crimson",
+    "Dark Loden", "Silver", "Gold", "Rose",
+)
+
+AUDIENCES: tuple[str, ...] = ("Men's", "Women's", "Kids'", "Unisex")
+
+USAGE_BY_DOMAIN: dict[str, tuple[str, ...]] = {
+    "shoes": ("Basketball Shoe", "Running Shoe", "Trail Shoe", "Walking Shoe", "Training Shoe"),
+    "computers": ("Laptop", "Gaming Laptop", "Ultrabook", "2-in-1 Laptop", "Workstation"),
+    "cameras": ("DSLR Camera", "Mirrorless Camera", "Compact Camera", "Action Camera"),
+    "watches": ("Sport Watch", "Dress Watch", "Digital Watch", "Smartwatch", "Dive Watch"),
+    "phones": ("Smartphone", "Unlocked Phone", "5G Phone"),
+    "audio": ("Wireless Headphones", "Bluetooth Speaker", "Earbuds", "Noise Cancelling Headphones"),
+    "kitchen": ("Stand Mixer", "Blender", "Pressure Cooker", "Espresso Machine", "Air Fryer"),
+    "tools": ("Cordless Drill", "Power Tool Kit", "Impact Driver", "Saw"),
+    "books": ("Paperback", "Hardcover", "Kindle Edition"),
+}
+
+#: Hierarchical category paths per domain: from most general to most
+#: fine-grained (the ordered category set of AmazonMI).  The *usage*
+#: keyword is appended as the final, most fine-grained element.
+CATEGORY_ROOTS: dict[str, tuple[str, ...]] = {
+    "shoes": ("Clothing Shoes & Jewelry", "Shoes", "Athletic"),
+    "computers": ("Electronics", "Computers & Accessories", "Laptops"),
+    "cameras": ("Electronics", "Camera & Photo", "Digital Cameras"),
+    "watches": ("Clothing Shoes & Jewelry", "Watches", "Wrist Watches"),
+    "phones": ("Electronics", "Cell Phones & Accessories", "Cell Phones"),
+    "audio": ("Electronics", "Headphones & Speakers", "Audio"),
+    "kitchen": ("Home & Kitchen", "Kitchen & Dining", "Small Appliances"),
+    "tools": ("Tools & Home Improvement", "Power Tools", "Hand Tools"),
+    "books": ("Books", "Literature & Fiction", "Genre Fiction"),
+}
+
+#: The Walmart-Amazon benchmark aligns categories to a manually built
+#: hierarchy whose most general levels are electronics, personal
+#: equipment, house and cars (Section 5.1).  We map each domain to such a
+#: general category.
+GENERAL_CATEGORY: dict[str, str] = {
+    "shoes": "personal equipment",
+    "watches": "personal equipment",
+    "books": "personal equipment",
+    "computers": "electronics",
+    "cameras": "electronics",
+    "phones": "electronics",
+    "audio": "electronics",
+    "kitchen": "house",
+    "tools": "house",
+}
+
+#: The WDC general-category intent merges computers+cameras into
+#: electronics and watches+shoes into dressing (Section 5.1).
+WDC_GENERAL_CATEGORY: dict[str, str] = {
+    "computers": "electronics",
+    "cameras": "electronics",
+    "watches": "dressing",
+    "shoes": "dressing",
+}
+
+#: Frequent abbreviations used by the perturbation engine to mimic
+#: discordant representations across sources.
+ABBREVIATIONS: dict[str, str] = {
+    "men's": "men",
+    "women's": "women",
+    "wireless": "wl",
+    "bluetooth": "bt",
+    "laptop": "notebook",
+    "camera": "cam",
+    "edition": "ed",
+    "series": "ser",
+    "professional": "pro",
+    "generation": "gen",
+}

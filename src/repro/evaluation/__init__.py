@@ -1,0 +1,29 @@
+"""Evaluation measures (Eqs. 6-10) and report formatting."""
+
+from .metrics import (
+    BinaryEvaluation,
+    evaluate_binary,
+    evaluate_resolution,
+    residual_error_reduction,
+)
+from .multi_intent import (
+    MultiIntentEvaluation,
+    evaluate_solution,
+    multi_intent_error_reduction,
+    preventable_error,
+)
+from .report import format_table, format_metric_rows, comparison_summary
+
+__all__ = [
+    "BinaryEvaluation",
+    "evaluate_binary",
+    "evaluate_resolution",
+    "residual_error_reduction",
+    "MultiIntentEvaluation",
+    "evaluate_solution",
+    "multi_intent_error_reduction",
+    "preventable_error",
+    "format_table",
+    "format_metric_rows",
+    "comparison_summary",
+]

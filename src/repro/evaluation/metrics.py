@@ -1,0 +1,125 @@
+"""Single-intent evaluation measures (Eq. 6 and accuracy).
+
+Precision, recall, and F1 are computed over resolutions exactly as in
+Eq. 6: ``P = |M ∩ M*| / |M|`` and ``R = |M ∩ M*| / |M*|``, with the F1
+being their harmonic mean.  Array-based helpers over aligned
+prediction/label vectors are provided for convenience and are equivalent
+on a shared candidate set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.resolution import Resolution
+from ..exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class BinaryEvaluation:
+    """Precision / recall / F1 / accuracy plus the confusion counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by reports."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+        }
+
+
+def _validate_binary(array: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(array, dtype=np.int64).ravel()
+    if array.size and not np.isin(array, (0, 1)).all():
+        raise EvaluationError(f"{name} must be binary (0/1)")
+    return array
+
+
+def evaluate_binary(predictions: np.ndarray, labels: np.ndarray) -> BinaryEvaluation:
+    """Evaluate binary predictions against binary labels."""
+    predictions = _validate_binary(predictions, "predictions")
+    labels = _validate_binary(labels, "labels")
+    if predictions.shape[0] != labels.shape[0]:
+        raise EvaluationError("predictions and labels must have the same length")
+
+    true_positive = int(((predictions == 1) & (labels == 1)).sum())
+    false_positive = int(((predictions == 1) & (labels == 0)).sum())
+    true_negative = int(((predictions == 0) & (labels == 0)).sum())
+    false_negative = int(((predictions == 0) & (labels == 1)).sum())
+
+    predicted_positive = true_positive + false_positive
+    actual_positive = true_positive + false_negative
+    precision = true_positive / predicted_positive if predicted_positive else 0.0
+    recall = true_positive / actual_positive if actual_positive else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    total = predictions.shape[0]
+    accuracy = (true_positive + true_negative) / total if total else 0.0
+    return BinaryEvaluation(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        accuracy=accuracy,
+        true_positive=true_positive,
+        false_positive=false_positive,
+        true_negative=true_negative,
+        false_negative=false_negative,
+    )
+
+
+def evaluate_resolution(resolution: Resolution, golden: Resolution) -> BinaryEvaluation:
+    """Evaluate a predicted resolution against the golden-standard resolution.
+
+    Implements Eq. 6 over pair sets.  Accuracy is not defined at the
+    resolution level (there is no universe of negatives), so it is
+    reported as 0 and callers needing accuracy should evaluate over
+    aligned prediction vectors instead.
+    """
+    intersection = len(resolution.pairs & golden.pairs)
+    precision = intersection / len(resolution.pairs) if resolution.pairs else 0.0
+    recall = intersection / len(golden.pairs) if golden.pairs else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return BinaryEvaluation(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        accuracy=0.0,
+        true_positive=intersection,
+        false_positive=len(resolution.pairs) - intersection,
+        true_negative=0,
+        false_negative=len(golden.pairs) - intersection,
+    )
+
+
+def residual_error_reduction(candidate_value: float, baseline_value: float) -> float:
+    """Reduction of residual error ``E_V`` in percent (Eq. 7).
+
+    Measures which share of the baseline's remaining error (``1 - V``)
+    the candidate model removed.  Returns 0 when the baseline is already
+    perfect.
+    """
+    if not 0.0 <= candidate_value <= 1.0 or not 0.0 <= baseline_value <= 1.0:
+        raise EvaluationError("measure values must lie in [0, 1]")
+    residual = 1.0 - baseline_value
+    if residual <= 0.0:
+        return 0.0
+    return 100.0 * (candidate_value - baseline_value) / residual

@@ -1,0 +1,137 @@
+"""Multi-intent evaluation measures (Eqs. 7-10).
+
+* ``MI-V`` (Eq. 8): the average of a single-intent measure over all
+  intents.
+* ``MI-Acc`` (Eq. 9): exact-match accuracy — a pair counts as correct
+  only when *every* intent is predicted correctly.
+* ``MI-E_V`` (Eq. 7 applied to MI measures): reduction of residual error
+  with respect to a baseline.
+* Preventable error ``PE`` (Eq. 10): the share of an intent's false
+  positives that a correct negative prediction of a subsuming intent
+  could have prevented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..core.mier import MIERSolution
+from ..exceptions import EvaluationError
+from .metrics import BinaryEvaluation, evaluate_binary, residual_error_reduction
+
+
+@dataclass(frozen=True)
+class MultiIntentEvaluation:
+    """Aggregated MIER evaluation of one solver on one candidate set."""
+
+    per_intent: Mapping[str, BinaryEvaluation]
+    mi_precision: float
+    mi_recall: float
+    mi_f1: float
+    mi_accuracy: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Aggregate measures as a plain dict (per-intent results excluded)."""
+        return {
+            "MI-P": self.mi_precision,
+            "MI-R": self.mi_recall,
+            "MI-F": self.mi_f1,
+            "MI-Acc": self.mi_accuracy,
+        }
+
+
+def evaluate_solution(solution: MIERSolution) -> MultiIntentEvaluation:
+    """Evaluate a MIER solution against the labels of its candidate set."""
+    candidates = solution.candidates
+    per_intent: dict[str, BinaryEvaluation] = {}
+    for intent in solution.intents:
+        per_intent[intent] = evaluate_binary(
+            solution.prediction(intent), candidates.labels(intent)
+        )
+    if not per_intent:
+        raise EvaluationError("the solution contains no intents to evaluate")
+
+    mi_precision = float(np.mean([e.precision for e in per_intent.values()]))
+    mi_recall = float(np.mean([e.recall for e in per_intent.values()]))
+    mi_f1 = float(np.mean([e.f1 for e in per_intent.values()]))
+
+    prediction_matrix = solution.prediction_matrix()
+    label_matrix = candidates.label_matrix(solution.intents)
+    if len(candidates) == 0:
+        mi_accuracy = 0.0
+    else:
+        exact_match = (prediction_matrix == label_matrix).all(axis=1)
+        mi_accuracy = float(exact_match.mean())
+
+    return MultiIntentEvaluation(
+        per_intent=per_intent,
+        mi_precision=mi_precision,
+        mi_recall=mi_recall,
+        mi_f1=mi_f1,
+        mi_accuracy=mi_accuracy,
+    )
+
+
+def multi_intent_error_reduction(
+    candidate: MultiIntentEvaluation, baseline: MultiIntentEvaluation, measure: str = "MI-F"
+) -> float:
+    """MI reduction of residual error (Eq. 7 applied to an MI measure)."""
+    candidate_values = candidate.as_dict()
+    baseline_values = baseline.as_dict()
+    if measure not in candidate_values:
+        raise EvaluationError(f"unknown measure: {measure!r}")
+    return residual_error_reduction(candidate_values[measure], baseline_values[measure])
+
+
+def preventable_error(
+    predictions: Mapping[str, np.ndarray],
+    labels: Mapping[str, np.ndarray],
+    intent: str,
+    subsuming_intents: tuple[str, ...],
+) -> float:
+    """Preventable error ``PE`` of ``intent`` (Eq. 10).
+
+    A false positive of ``intent`` is *preventable* when at least one of
+    the intents that subsume it correctly predicts the pair as negative —
+    propagating that negative would have removed the error.  The measure
+    is the number of preventable false positives divided by the number of
+    true negatives of the disjunction (OR) of the subsuming intents.
+
+    Parameters
+    ----------
+    predictions, labels:
+        Per-intent binary arrays aligned on the same candidate pairs.
+    intent:
+        The (subsumed) intent whose false positives are analysed.
+    subsuming_intents:
+        The intents by which ``intent`` is subsumed.
+    """
+    if intent not in predictions or intent not in labels:
+        raise EvaluationError(f"missing predictions or labels for intent {intent!r}")
+    if not subsuming_intents:
+        raise EvaluationError("preventable error requires at least one subsuming intent")
+    for other in subsuming_intents:
+        if other not in predictions or other not in labels:
+            raise EvaluationError(f"missing predictions or labels for intent {other!r}")
+
+    target_prediction = np.asarray(predictions[intent]).ravel()
+    target_label = np.asarray(labels[intent]).ravel()
+    false_positive = (target_prediction == 1) & (target_label == 0)
+
+    # The OR operator over the subsuming intents: a pair is positive for
+    # the disjunction when any subsuming intent labels/predicts it 1.
+    or_prediction = np.zeros_like(target_prediction, dtype=bool)
+    or_label = np.zeros_like(target_label, dtype=bool)
+    for other in subsuming_intents:
+        or_prediction |= np.asarray(predictions[other]).ravel() == 1
+        or_label |= np.asarray(labels[other]).ravel() == 1
+    true_negative_or = (~or_prediction) & (~or_label)
+
+    preventable = false_positive & (~or_prediction)
+    denominator = int(true_negative_or.sum())
+    if denominator == 0:
+        return 0.0
+    return float(preventable.sum()) / denominator

@@ -1,0 +1,77 @@
+"""Plain-text report formatting for the experiment harness.
+
+The benchmark modules print paper-style rows (Table 5, Table 6, Table 7,
+Table 8, Table 9, Figures 6-7) through these helpers so the output is
+directly comparable with the published tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row values; floats are rounded to ``float_digits``.
+    title:
+        Optional title printed above the table.
+    """
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    rendered_rows = [[render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_metric_rows(
+    results: Mapping[str, Mapping[str, float]],
+    metric_order: Sequence[str],
+    row_label: str = "Model",
+) -> tuple[list[str], list[list[object]]]:
+    """Turn ``{row_name: {metric: value}}`` into (headers, rows) for a table."""
+    headers = [row_label, *metric_order]
+    rows: list[list[object]] = []
+    for name, metrics in results.items():
+        rows.append([name, *[metrics.get(metric, float("nan")) for metric in metric_order]])
+    return headers, rows
+
+
+def comparison_summary(
+    results: Mapping[str, Mapping[str, float]],
+    metric: str,
+    higher_is_better: bool = True,
+) -> str:
+    """One-line winner summary for a metric across models."""
+    if not results:
+        return f"no results for metric {metric!r}"
+    chooser = max if higher_is_better else min
+    winner = chooser(results, key=lambda name: results[name].get(metric, float("-inf")))
+    value = results[winner].get(metric, float("nan"))
+    return f"best {metric}: {winner} ({value:.3f})"

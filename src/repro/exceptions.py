@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro (FlexER reproduction) library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DataError(ReproError):
+    """Raised for malformed records, datasets, or labeled pairs."""
+
+
+class SchemaError(DataError):
+    """Raised when a record does not conform to its dataset schema."""
+
+
+class UnknownRecordError(DataError):
+    """Raised when a record identifier cannot be resolved in a dataset."""
+
+
+class LabelingError(DataError):
+    """Raised when intent labels are missing, duplicated, or inconsistent."""
+
+
+class BlockingError(ReproError):
+    """Raised when a blocker is misconfigured or produces invalid pairs."""
+
+
+class MatchingError(ReproError):
+    """Raised when a matcher is used before fitting or on invalid input."""
+
+
+class NotFittedError(MatchingError):
+    """Raised when predictions are requested from an unfitted model."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when the multiplex intent graph cannot be built."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when configuration values are out of their valid range."""
+
+
+class EvaluationError(ReproError):
+    """Raised when evaluation inputs are inconsistent (e.g. length mismatch)."""
+
+
+class IntentError(ReproError):
+    """Raised for invalid intent definitions or unknown intent names."""

@@ -1,0 +1,22 @@
+"""Multiplex intent graph and GraphSAGE GNN."""
+
+from .multiplex import MultiplexGraph
+from .builder import IntentGraphBuilder, GraphBuildReport
+from .sage import (
+    GraphAggregation,
+    SAGEConvolution,
+    GraphSAGE,
+    IntentNodeClassifier,
+    GNNTrainingResult,
+)
+
+__all__ = [
+    "MultiplexGraph",
+    "IntentGraphBuilder",
+    "GraphBuildReport",
+    "GraphAggregation",
+    "SAGEConvolution",
+    "GraphSAGE",
+    "IntentNodeClassifier",
+    "GNNTrainingResult",
+]

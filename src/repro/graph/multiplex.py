@@ -1,0 +1,187 @@
+"""Multiplex intent graph (Section 4.1).
+
+The graph has one *layer* per intent and one node per (record pair,
+intent).  Node features are the intent-based latent pair representations
+produced by the per-intent matchers.  Edges are directional and express
+who sends messages to whom during GraphSAGE aggregation:
+
+* **intra-layer** edges connect a node to its ``k`` nearest neighbours
+  within the same layer (computed over the initial representations);
+* **inter-layer** edges connect each node to its peers — the nodes of the
+  same record pair in every other layer.
+
+Node indexing is row-major by layer: node ``layer * num_pairs + pair``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import GraphConstructionError
+
+
+@dataclass
+class MultiplexGraph:
+    """A multiplex intent graph over candidate record pairs.
+
+    Attributes
+    ----------
+    intents:
+        Ordered intent names; one graph layer per intent.
+    num_pairs:
+        Number of record pairs (nodes per layer).
+    features:
+        Node feature matrix of shape ``(num_intents * num_pairs, dim)``.
+    in_neighbors:
+        For every node, the list of nodes it *receives* messages from
+        (sources of its incoming edges).
+    intra_edge_count, inter_edge_count:
+        Edge statistics kept for reporting (``|C|·|P|·|k|`` and
+        ``|C|·|P|·|P-1|`` in the paper).
+    """
+
+    intents: tuple[str, ...]
+    num_pairs: int
+    features: np.ndarray
+    in_neighbors: list[list[int]] = field(default_factory=list)
+    intra_edge_count: int = 0
+    inter_edge_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.intents:
+            raise GraphConstructionError("the graph needs at least one intent layer")
+        if self.num_pairs <= 0:
+            raise GraphConstructionError("the graph needs at least one record pair")
+        expected_nodes = len(self.intents) * self.num_pairs
+        if self.features.shape[0] != expected_nodes:
+            raise GraphConstructionError(
+                f"features has {self.features.shape[0]} rows, expected {expected_nodes}"
+            )
+        if not self.in_neighbors:
+            self.in_neighbors = [[] for _ in range(expected_nodes)]
+        if len(self.in_neighbors) != expected_nodes:
+            raise GraphConstructionError("in_neighbors must have one entry per node")
+
+    # --------------------------------------------------------------- indexing
+
+    @property
+    def num_intents(self) -> int:
+        """Number of intent layers."""
+        return len(self.intents)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes (``|C| · |Π|``)."""
+        return self.num_intents * self.num_pairs
+
+    @property
+    def feature_dim(self) -> int:
+        """Dimensionality of the node features."""
+        return int(self.features.shape[1])
+
+    def intent_index(self, intent: str) -> int:
+        """Position of ``intent`` among the layers."""
+        try:
+            return self.intents.index(intent)
+        except ValueError:
+            raise GraphConstructionError(f"unknown intent layer: {intent!r}") from None
+
+    def node_index(self, intent: str | int, pair_index: int) -> int:
+        """Node id of ``pair_index`` in the layer of ``intent``."""
+        layer = intent if isinstance(intent, int) else self.intent_index(intent)
+        if not 0 <= layer < self.num_intents:
+            raise GraphConstructionError(f"layer index out of range: {layer}")
+        if not 0 <= pair_index < self.num_pairs:
+            raise GraphConstructionError(f"pair index out of range: {pair_index}")
+        return layer * self.num_pairs + pair_index
+
+    def layer_nodes(self, intent: str | int) -> np.ndarray:
+        """Node ids of every pair in the layer of ``intent``."""
+        layer = intent if isinstance(intent, int) else self.intent_index(intent)
+        start = layer * self.num_pairs
+        return np.arange(start, start + self.num_pairs, dtype=np.int64)
+
+    def node_layer(self, node: int) -> int:
+        """Layer index of a node id."""
+        return node // self.num_pairs
+
+    def node_pair(self, node: int) -> int:
+        """Pair index of a node id."""
+        return node % self.num_pairs
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add a directed edge ``source -> target`` (message flows to target)."""
+        if not 0 <= source < self.num_nodes or not 0 <= target < self.num_nodes:
+            raise GraphConstructionError("edge endpoints out of range")
+        self.in_neighbors[target].append(source)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of directed edges."""
+        return sum(len(neighbors) for neighbors in self.in_neighbors)
+
+    def neighbors_of(self, node: int) -> list[int]:
+        """Incoming-message neighbours of ``node``."""
+        return list(self.in_neighbors[node])
+
+    def edge_arrays(self, mode: str = "mean") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edge-list view ``(sources, targets, weights)`` of the incoming edges.
+
+        With ``mode="mean"`` each target's incoming weights sum to one,
+        so scatter-aggregation over these arrays computes the GraphSAGE
+        mean aggregation; with ``mode="sum"`` all weights are one.
+        """
+        if mode not in ("mean", "sum"):
+            raise GraphConstructionError(f"unsupported aggregation mode: {mode!r}")
+        sources: list[int] = []
+        targets: list[int] = []
+        weights: list[float] = []
+        for target, incoming in enumerate(self.in_neighbors):
+            if not incoming:
+                continue
+            weight = 1.0 / len(incoming) if mode == "mean" else 1.0
+            for source in incoming:
+                sources.append(source)
+                targets.append(target)
+                weights.append(weight)
+        return (
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(targets, dtype=np.int64),
+            np.asarray(weights, dtype=np.float64),
+        )
+
+    def aggregation_matrix(self, mode: str = "mean") -> np.ndarray:
+        """Dense aggregation operator ``A`` with ``(A H)[v] = AGG(h_u, u ∈ N(v))``.
+
+        Parameters
+        ----------
+        mode:
+            ``"mean"`` (row-normalized, the GraphSAGE default) or
+            ``"sum"``.
+        """
+        if mode not in ("mean", "sum"):
+            raise GraphConstructionError(f"unsupported aggregation mode: {mode!r}")
+        matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
+        for target, sources in enumerate(self.in_neighbors):
+            if not sources:
+                continue
+            weight = 1.0 / len(sources) if mode == "mean" else 1.0
+            for source in sources:
+                matrix[target, source] += weight
+        return matrix
+
+    def describe(self) -> dict[str, object]:
+        """Graph statistics used by reports and run-time benchmarks."""
+        return {
+            "intents": list(self.intents),
+            "num_pairs": self.num_pairs,
+            "num_nodes": self.num_nodes,
+            "feature_dim": self.feature_dim,
+            "num_edges": self.num_edges,
+            "intra_edges": self.intra_edge_count,
+            "inter_edges": self.inter_edge_count,
+        }

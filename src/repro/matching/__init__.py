@@ -1,0 +1,18 @@
+"""Matching phase: pair feature encoding, matchers, and MIER baselines."""
+
+from .features import PairFeatureConfig, PairFeatureEncoder
+from .pair_matcher import PairMatcher, TrainingHistory
+from .multilabel import MultiLabelMatcher
+from .solvers import BaseSolver, NaiveSolver, InParallelSolver, MultiLabelSolver
+
+__all__ = [
+    "PairFeatureConfig",
+    "PairFeatureEncoder",
+    "PairMatcher",
+    "TrainingHistory",
+    "MultiLabelMatcher",
+    "BaseSolver",
+    "NaiveSolver",
+    "InParallelSolver",
+    "MultiLabelSolver",
+]

@@ -1,0 +1,97 @@
+"""Pair feature encoding.
+
+DITTO feeds a serialized pair through a pre-trained transformer; the
+offline substitute encodes the same serialized text with a hashing
+vectorizer and augments it with per-record interaction features
+(element-wise absolute difference and product of the two record vectors)
+plus classic string-similarity scores.  The encoding is deterministic, so
+independently trained per-intent matchers see the same raw features but
+learn their own projections — the analogue of separate fine-tuning runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.pairs import RecordPair
+from ..data.records import Dataset
+from ..data.serialization import SerializationConfig, serialize_pair
+from ..text.similarity import SIMILARITY_FUNCTIONS
+from ..text.vectorizers import HashingVectorizer, HashingVectorizerConfig
+
+
+@dataclass(frozen=True)
+class PairFeatureConfig:
+    """Configuration of :class:`PairFeatureEncoder`.
+
+    Attributes
+    ----------
+    n_features:
+        Buckets of the hashing vectorizer; each of the three hashed
+        blocks (pair text, |left - right|, left * right) has this size.
+    use_interaction_features:
+        Include the element-wise difference/product blocks.
+    use_similarity_features:
+        Append the classic string-similarity scores.
+    attributes:
+        Record attributes serialized for matching; ``None`` uses all.
+    """
+
+    n_features: int = 256
+    use_interaction_features: bool = True
+    use_similarity_features: bool = True
+    attributes: tuple[str, ...] | None = None
+
+    @property
+    def dimension(self) -> int:
+        """Total dimensionality of the encoded pair feature vector."""
+        dim = self.n_features
+        if self.use_interaction_features:
+            dim += 2 * self.n_features
+        if self.use_similarity_features:
+            dim += len(SIMILARITY_FUNCTIONS)
+        return dim
+
+
+class PairFeatureEncoder:
+    """Encode candidate record pairs into dense feature vectors."""
+
+    def __init__(self, config: PairFeatureConfig | None = None) -> None:
+        self.config = config or PairFeatureConfig()
+        vector_config = HashingVectorizerConfig(n_features=self.config.n_features)
+        self._vectorizer = HashingVectorizer(vector_config)
+        self._serialization = SerializationConfig(attributes=self.config.attributes)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the produced feature vectors."""
+        return self.config.dimension
+
+    def encode_pair(self, dataset: Dataset, pair: RecordPair) -> np.ndarray:
+        """Encode a single candidate pair."""
+        left = dataset[pair.left_id]
+        right = dataset[pair.right_id]
+        left_text = left.text(self.config.attributes)
+        right_text = right.text(self.config.attributes)
+
+        blocks = [self._vectorizer.transform_one(serialize_pair(left, right, self._serialization))]
+        if self.config.use_interaction_features:
+            left_vector = self._vectorizer.transform_one(left_text)
+            right_vector = self._vectorizer.transform_one(right_text)
+            blocks.append(np.abs(left_vector - right_vector))
+            blocks.append(left_vector * right_vector)
+        if self.config.use_similarity_features:
+            similarities = np.array(
+                [fn(left_text, right_text) for fn in SIMILARITY_FUNCTIONS.values()],
+                dtype=np.float64,
+            )
+            blocks.append(similarities)
+        return np.concatenate(blocks)
+
+    def encode(self, dataset: Dataset, pairs: list[RecordPair]) -> np.ndarray:
+        """Encode a list of candidate pairs into a ``(n, dimension)`` matrix."""
+        if not pairs:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.stack([self.encode_pair(dataset, pair) for pair in pairs], axis=0)

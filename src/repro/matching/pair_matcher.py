@@ -1,0 +1,136 @@
+"""Per-intent binary pair matcher (the DITTO analogue).
+
+The matcher casts single-intent entity resolution as binary
+classification over two logits trained with cross-entropy (Eq. 1), which
+is exactly the formulation DITTO fine-tunes.  Its last hidden layer is
+exposed as the latent pair representation used to initialize the
+multiplex intent graph (Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MatcherConfig
+from ..exceptions import MatchingError, NotFittedError
+from ..nn import MLP, Adam, Tensor, cross_entropy, l2_penalty
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training metadata returned by the matchers."""
+
+    losses: list[float]
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the final epoch (``nan`` when no epoch ran)."""
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class PairMatcher:
+    """Binary matcher over encoded pair features.
+
+    Parameters
+    ----------
+    config:
+        Training hyper-parameters (see :class:`~repro.config.MatcherConfig`).
+    """
+
+    def __init__(self, config: MatcherConfig | None = None) -> None:
+        self.config = config or MatcherConfig()
+        self._model: MLP | None = None
+        self.history: TrainingHistory | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._model is not None
+
+    def _require_model(self) -> MLP:
+        if self._model is None:
+            raise NotFittedError("PairMatcher must be fitted before use")
+        return self._model
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "PairMatcher":
+        """Train the matcher on encoded features and binary labels.
+
+        Parameters
+        ----------
+        features:
+            Matrix of shape ``(n, d)``.
+        labels:
+            Binary vector of shape ``(n,)``.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64).ravel()
+        if features.ndim != 2:
+            raise MatchingError("features must be a 2-D matrix")
+        if features.shape[0] != labels.shape[0]:
+            raise MatchingError("features and labels must have the same number of rows")
+        if features.shape[0] == 0:
+            raise MatchingError("cannot fit a matcher on an empty training set")
+        if not np.isin(labels, (0, 1)).all():
+            raise MatchingError("labels must be binary")
+
+        rng = np.random.default_rng(self.config.seed)
+        model = MLP(
+            in_features=features.shape[1],
+            hidden_dims=self.config.hidden_dims,
+            out_features=2,
+            rng=rng,
+        )
+        optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        n = features.shape[0]
+        batch_size = min(self.config.batch_size, n)
+        losses: list[float] = []
+        for _ in range(self.config.epochs):
+            permutation = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                batch_index = permutation[start : start + batch_size]
+                inputs = Tensor(features[batch_index])
+                logits = model(inputs)
+                loss = cross_entropy(logits, labels[batch_index])
+                if self.config.weight_decay:
+                    loss = loss + l2_penalty(
+                        list(model.parameters()), self.config.weight_decay
+                    )
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        self._model = model
+        self.history = TrainingHistory(losses=losses)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Likelihood scores (probability of the positive class) per pair."""
+        model = self._require_model()
+        model.eval()
+        logits = model(Tensor(np.asarray(features, dtype=np.float64)))
+        probabilities = logits.softmax(axis=1).numpy()
+        return probabilities[:, 1]
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions obtained by thresholding the likelihoods."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+    def representations(self, features: np.ndarray) -> np.ndarray:
+        """Latent pair representations (last hidden layer, the ``[CLS]`` analogue)."""
+        model = self._require_model()
+        model.eval()
+        hidden = model.hidden_representation(
+            Tensor(np.asarray(features, dtype=np.float64))
+        )
+        return hidden.numpy().copy()
+
+    @property
+    def representation_dim(self) -> int:
+        """Dimension of the latent pair representation."""
+        return self.config.representation_dim

@@ -1,0 +1,211 @@
+"""MIER solvers built from matchers: Naïve, In-parallel, and Multi-label.
+
+These are the three baselines of the paper (Section 5.2.4):
+
+* **Naïve** — one-size-fits-all: a single universal (equivalence) matcher
+  whose resolution is reused for every intent.
+* **In-parallel** (Section 3.2) — one independently trained binary
+  matcher per intent; also the source of the independent intent-based
+  representations FlexER builds on.
+* **Multi-label** (Section 3.3) — a single jointly trained matcher with
+  one sigmoid head per intent (Eq. 2 loss).
+
+All solvers share the interface ``fit(train) / predict(test)`` over
+labeled :class:`~repro.data.pairs.CandidateSet` objects and can expose
+per-intent latent representations for graph construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MatcherConfig
+from ..data.pairs import CandidateSet
+from ..exceptions import MatchingError, NotFittedError
+from .features import PairFeatureConfig, PairFeatureEncoder
+from .multilabel import MultiLabelMatcher
+from .pair_matcher import PairMatcher
+
+
+class BaseSolver:
+    """Shared feature-encoding logic of the MIER solvers."""
+
+    def __init__(
+        self,
+        intents: tuple[str, ...],
+        matcher_config: MatcherConfig | None = None,
+        feature_config: PairFeatureConfig | None = None,
+    ) -> None:
+        if not intents:
+            raise MatchingError("at least one intent is required")
+        self.intents = tuple(intents)
+        self.matcher_config = matcher_config or MatcherConfig()
+        self.encoder = PairFeatureEncoder(feature_config)
+        self._fitted = False
+
+    def encode(self, candidates: CandidateSet) -> np.ndarray:
+        """Encode every candidate pair into the feature matrix."""
+        return self.encoder.encode(candidates.dataset, candidates.pairs)
+
+    def _check_intents(self, candidates: CandidateSet) -> None:
+        missing = set(self.intents) - set(candidates.intents)
+        if missing:
+            raise MatchingError(f"candidate set is missing intents: {sorted(missing)}")
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before predicting")
+
+    @property
+    def name(self) -> str:
+        """Human-readable solver name used in reports."""
+        return type(self).__name__
+
+
+class NaiveSolver(BaseSolver):
+    """One-size-fits-all baseline: the universal resolution serves every intent."""
+
+    def __init__(
+        self,
+        intents: tuple[str, ...],
+        equivalence_intent: str | None = None,
+        matcher_config: MatcherConfig | None = None,
+        feature_config: PairFeatureConfig | None = None,
+    ) -> None:
+        super().__init__(intents, matcher_config, feature_config)
+        self.equivalence_intent = equivalence_intent or self.intents[0]
+        if self.equivalence_intent not in self.intents:
+            raise MatchingError(
+                f"equivalence intent {self.equivalence_intent!r} is not in {self.intents}"
+            )
+        self.matcher = PairMatcher(self.matcher_config)
+
+    def fit(self, train: CandidateSet) -> "NaiveSolver":
+        """Train the single universal matcher on the equivalence intent."""
+        self._check_intents(train)
+        features = self.encode(train)
+        self.matcher.fit(features, train.labels(self.equivalence_intent))
+        self._fitted = True
+        return self
+
+    def predict(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """Reuse the universal prediction for every intent."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        universal = self.matcher.predict(features)
+        return {intent: universal.copy() for intent in self.intents}
+
+    def predict_proba(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """Reuse the universal likelihoods for every intent."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        universal = self.matcher.predict_proba(features)
+        return {intent: universal.copy() for intent in self.intents}
+
+
+class InParallelSolver(BaseSolver):
+    """One independently trained binary matcher per intent (Section 3.2)."""
+
+    def __init__(
+        self,
+        intents: tuple[str, ...],
+        matcher_config: MatcherConfig | None = None,
+        feature_config: PairFeatureConfig | None = None,
+    ) -> None:
+        super().__init__(intents, matcher_config, feature_config)
+        self.matchers: dict[str, PairMatcher] = {}
+
+    def fit(self, train: CandidateSet) -> "InParallelSolver":
+        """Train one matcher per intent on the same candidate pairs."""
+        self._check_intents(train)
+        features = self.encode(train)
+        self.matchers = {}
+        for index, intent in enumerate(self.intents):
+            # Vary the seed per intent so the independently trained
+            # matchers land in different latent spaces, as in the paper.
+            config = MatcherConfig(
+                hidden_dims=self.matcher_config.hidden_dims,
+                n_features=self.matcher_config.n_features,
+                epochs=self.matcher_config.epochs,
+                batch_size=self.matcher_config.batch_size,
+                learning_rate=self.matcher_config.learning_rate,
+                weight_decay=self.matcher_config.weight_decay,
+                l2_similarity_features=self.matcher_config.l2_similarity_features,
+                seed=self.matcher_config.seed + index,
+            )
+            matcher = PairMatcher(config)
+            matcher.fit(features, train.labels(intent))
+            self.matchers[intent] = matcher
+        self._fitted = True
+        return self
+
+    def predict(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """Independent per-intent binary predictions."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        return {
+            intent: matcher.predict(features) for intent, matcher in self.matchers.items()
+        }
+
+    def predict_proba(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """Independent per-intent likelihood scores."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        return {
+            intent: matcher.predict_proba(features)
+            for intent, matcher in self.matchers.items()
+        }
+
+    def representations(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """Per-intent latent pair representations (graph node initializations)."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        return {
+            intent: matcher.representations(features)
+            for intent, matcher in self.matchers.items()
+        }
+
+
+class MultiLabelSolver(BaseSolver):
+    """Jointly trained multi-label matcher (Section 3.3)."""
+
+    def __init__(
+        self,
+        intents: tuple[str, ...],
+        matcher_config: MatcherConfig | None = None,
+        feature_config: PairFeatureConfig | None = None,
+        intent_weights: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(intents, matcher_config, feature_config)
+        self.matcher = MultiLabelMatcher(self.intents, self.matcher_config, intent_weights)
+
+    def fit(self, train: CandidateSet) -> "MultiLabelSolver":
+        """Train the joint matcher on the multi-label dataset."""
+        self._check_intents(train)
+        features = self.encode(train)
+        self.matcher.fit(features, train.label_matrix(self.intents))
+        self._fitted = True
+        return self
+
+    def predict(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """Per-intent binary predictions from the joint matcher."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        matrix = self.matcher.predict(features)
+        return {intent: matrix[:, index] for index, intent in enumerate(self.intents)}
+
+    def predict_proba(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """Per-intent likelihoods from the joint matcher."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        matrix = self.matcher.predict_proba(features)
+        return {intent: matrix[:, index] for index, intent in enumerate(self.intents)}
+
+    def representations(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """Per-intent latent representations from the multi-task network."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        return {
+            intent: self.matcher.representations(features, intent)
+            for intent in self.intents
+        }

@@ -1,0 +1,45 @@
+"""Numpy-based neural-network substrate (autodiff, layers, losses, optimizers)."""
+
+from .tensor import Tensor
+from .layers import (
+    Parameter,
+    Module,
+    Linear,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    Dropout,
+    Sequential,
+    MLP,
+)
+from .losses import (
+    cross_entropy,
+    binary_cross_entropy_with_logits,
+    multilabel_weighted_bce,
+    l2_penalty,
+)
+from .optim import Optimizer, SGD, Adam
+from .init import xavier_uniform, he_uniform, zeros
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "multilabel_weighted_bce",
+    "l2_penalty",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "xavier_uniform",
+    "he_uniform",
+    "zeros",
+]

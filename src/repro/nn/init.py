@@ -1,0 +1,24 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a weight matrix."""
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialization (suited to ReLU activations)."""
+    fan_in, _ = shape
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

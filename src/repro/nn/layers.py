@@ -1,0 +1,223 @@
+"""Neural-network modules built on the autodiff :class:`~repro.nn.tensor.Tensor`.
+
+The module system intentionally mirrors a slim subset of ``torch.nn``:
+modules own named parameters, compose hierarchically, and expose
+``parameters()`` for the optimizers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .init import he_uniform, xavier_uniform, zeros
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter of a module."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its submodules."""
+        yield from self._parameters.values()
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs for this module tree."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def zero_grad(self) -> None:
+        """Reset gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch this module tree to training mode."""
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module tree to evaluation mode."""
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(parameter.data.size for parameter in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array, keyed by dotted name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays previously produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        for name, value in state.items():
+            if name not in own:
+                raise KeyError(f"unexpected parameter in state dict: {name!r}")
+            if own[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{own[name].data.shape} vs {value.shape}"
+                )
+            own[name].data = value.copy()
+
+    def forward(self, *inputs: Tensor) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, *inputs: Tensor) -> Tensor:
+        return self.forward(*inputs)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        init: str = "xavier",
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if init == "he":
+            weight = he_uniform((in_features, out_features), rng)
+        else:
+            weight = xavier_uniform((in_features, out_features), rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight)
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    """Rectified linear unit activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, p: float = 0.1, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return inputs
+        mask = (self._rng.random(inputs.shape) >= self.p) / (1.0 - self.p)
+        return inputs * Tensor(mask)
+
+
+class Sequential(Module):
+    """Compose modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: list[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._ordered.append(module)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs
+        for module in self._ordered:
+            out = module(out)
+        return out
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between hidden layers.
+
+    The layer before the final projection exposes its activations via
+    :meth:`hidden_representation`, which is how matchers extract latent
+    pair representations (the ``[CLS]`` analogue).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dims: tuple[int, ...],
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        dims = [in_features, *hidden_dims]
+        hidden_layers: list[Module] = []
+        for index in range(len(dims) - 1):
+            hidden_layers.append(Linear(dims[index], dims[index + 1], rng=rng, init="he"))
+            hidden_layers.append(ReLU())
+            if dropout > 0:
+                hidden_layers.append(Dropout(dropout, seed=int(rng.integers(1 << 31))))
+        self.hidden = Sequential(*hidden_layers)
+        self.head = Linear(dims[-1], out_features, rng=rng)
+
+    def hidden_representation(self, inputs: Tensor) -> Tensor:
+        """Activations of the last hidden layer (the latent representation)."""
+        return self.hidden(inputs)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.head(self.hidden(inputs))

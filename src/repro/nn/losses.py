@@ -1,0 +1,110 @@
+"""Loss functions.
+
+Implements the cross-entropy loss of Eq. 1 (binary classification over
+two logits, as used to fine-tune per-intent matchers), the weighted
+multi-label binary cross-entropy of Eq. 2 (the multi-label baseline), and
+plain binary cross-entropy with logits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+from .tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray | Sequence[int]) -> Tensor:
+    """Mean cross-entropy of class ``logits`` against integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(n, num_classes)``.
+    targets:
+        Integer class indices of shape ``(n,)``.
+    """
+    target_array = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise EvaluationError("cross_entropy expects 2-D logits")
+    if target_array.shape[0] != logits.shape[0]:
+        raise EvaluationError("logits and targets must agree on the batch dimension")
+    n, num_classes = logits.shape
+    one_hot = np.zeros((n, num_classes), dtype=np.float64)
+    one_hot[np.arange(n), target_array] = 1.0
+    log_probs = logits.log_softmax(axis=1)
+    negative_log_likelihood = -(log_probs * Tensor(one_hot)).sum(axis=1)
+    return negative_log_likelihood.mean()
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets: np.ndarray | Sequence[float],
+    pos_weight: float = 1.0,
+) -> Tensor:
+    """Mean binary cross-entropy of sigmoid ``logits`` against 0/1 ``targets``.
+
+    Uses the numerically stable formulation
+    ``max(x, 0) - x*y + log(1 + exp(-|x|))`` expressed through autodiff
+    primitives via the sigmoid/log pair with clipping.
+    """
+    target_array = np.asarray(targets, dtype=np.float64)
+    if target_array.shape != logits.shape:
+        target_array = target_array.reshape(logits.shape)
+    probabilities = logits.sigmoid()
+    target_tensor = Tensor(target_array)
+    positive_term = target_tensor * probabilities.log() * pos_weight
+    negative_term = (Tensor(1.0) - target_tensor) * (Tensor(1.0) - probabilities).log()
+    return -(positive_term + negative_term).mean()
+
+
+def multilabel_weighted_bce(
+    logits: Tensor,
+    targets: np.ndarray,
+    intent_weights: np.ndarray | Sequence[float] | None = None,
+) -> Tensor:
+    """Weighted multi-label binary cross-entropy (Eq. 2 of the paper).
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(n, P)``: one raw score per intent.
+    targets:
+        Binary matrix of shape ``(n, P)``.
+    intent_weights:
+        Per-intent weights ``w_p``; defaults to equal weights (the
+        configuration used in the paper after preliminary experiments).
+    """
+    target_array = np.asarray(targets, dtype=np.float64)
+    if logits.ndim != 2 or target_array.shape != logits.shape:
+        raise EvaluationError("multilabel_weighted_bce expects matching (n, P) shapes")
+    _, num_intents = logits.shape
+    if intent_weights is None:
+        weights = np.ones(num_intents, dtype=np.float64)
+    else:
+        weights = np.asarray(intent_weights, dtype=np.float64)
+        if weights.shape != (num_intents,):
+            raise EvaluationError("intent_weights must have one weight per intent")
+    probabilities = logits.sigmoid()
+    target_tensor = Tensor(target_array)
+    weight_tensor = Tensor(weights.reshape(1, num_intents))
+    per_element = -(
+        target_tensor * probabilities.log()
+        + (Tensor(1.0) - target_tensor) * (Tensor(1.0) - probabilities).log()
+    )
+    weighted = per_element * weight_tensor
+    # Average over intents (1/P) then over the batch, matching Eq. 2.
+    return weighted.mean(axis=1).mean()
+
+
+def l2_penalty(parameters: Sequence[Tensor], weight: float) -> Tensor:
+    """Sum of squared parameter norms scaled by ``weight`` (explicit L2)."""
+    total: Tensor | None = None
+    for parameter in parameters:
+        term = (parameter * parameter).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * weight

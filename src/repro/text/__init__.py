@@ -1,0 +1,49 @@
+"""Text processing substrate: tokenization, n-grams, similarity, vectorizers."""
+
+from .tokenize import normalize, word_tokens, char_tokens, token_set
+from .ngrams import char_ngrams, word_ngrams, ngram_profile, shared_ngrams
+from .similarity import (
+    levenshtein_distance,
+    levenshtein_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    jaccard_similarity,
+    token_jaccard,
+    qgram_jaccard,
+    overlap_coefficient,
+    dice_coefficient,
+    cosine_token_similarity,
+    monge_elkan_similarity,
+    SIMILARITY_FUNCTIONS,
+)
+from .vectorizers import (
+    HashingVectorizer,
+    HashingVectorizerConfig,
+    TfidfVectorizer,
+)
+
+__all__ = [
+    "normalize",
+    "word_tokens",
+    "char_tokens",
+    "token_set",
+    "char_ngrams",
+    "word_ngrams",
+    "ngram_profile",
+    "shared_ngrams",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "jaccard_similarity",
+    "token_jaccard",
+    "qgram_jaccard",
+    "overlap_coefficient",
+    "dice_coefficient",
+    "cosine_token_similarity",
+    "monge_elkan_similarity",
+    "SIMILARITY_FUNCTIONS",
+    "HashingVectorizer",
+    "HashingVectorizerConfig",
+    "TfidfVectorizer",
+]

@@ -1,0 +1,60 @@
+"""Character and word n-gram extraction.
+
+Q-grams are the backbone of the blocking phase used by the paper (pairs
+sharing at least one 4-gram survive blocking) and of the hashed feature
+encoder that substitutes DITTO's sub-word tokenizer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from .tokenize import normalize, word_tokens
+
+
+def char_ngrams(text: str, n: int = 4, pad: bool = False) -> list[str]:
+    """Return overlapping character ``n``-grams of the normalized text.
+
+    Parameters
+    ----------
+    text:
+        Input string; normalization lowercases and strips punctuation.
+    n:
+        Gram length; must be positive.
+    pad:
+        When true, the text is padded with ``n - 1`` boundary markers
+        (``#``) on both sides so short strings still produce grams.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    normalized = normalize(text)
+    if pad:
+        padding = "#" * (n - 1)
+        normalized = f"{padding}{normalized}{padding}"
+    if len(normalized) < n:
+        return [normalized] if normalized else []
+    return [normalized[i : i + n] for i in range(len(normalized) - n + 1)]
+
+
+def word_ngrams(text: str, n: int = 2) -> list[str]:
+    """Return overlapping word ``n``-grams of the text."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    tokens = word_tokens(text)
+    if len(tokens) < n:
+        return [" ".join(tokens)] if tokens else []
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def ngram_profile(texts: Iterable[str], n: int = 4) -> Counter:
+    """Count character n-grams over a corpus (useful for blocking statistics)."""
+    counter: Counter = Counter()
+    for text in texts:
+        counter.update(char_ngrams(text, n))
+    return counter
+
+
+def shared_ngrams(left: str, right: str, n: int = 4) -> set[str]:
+    """The set of character n-grams shared by two strings."""
+    return set(char_ngrams(left, n)) & set(char_ngrams(right, n))

@@ -1,0 +1,33 @@
+"""Tokenization utilities shared by blockers, matchers, and similarity measures."""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+_ALNUM_RE = re.compile(r"[^a-z0-9 ]+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase, strip punctuation, and collapse whitespace."""
+    lowered = text.lower()
+    cleaned = _ALNUM_RE.sub(" ", lowered)
+    return " ".join(cleaned.split())
+
+
+def word_tokens(text: str) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric word tokens."""
+    return _WORD_RE.findall(text.lower())
+
+
+def char_tokens(text: str, keep_spaces: bool = False) -> list[str]:
+    """Split normalized ``text`` into characters (optionally keeping spaces)."""
+    normalized = normalize(text)
+    if keep_spaces:
+        return list(normalized)
+    return [ch for ch in normalized if ch != " "]
+
+
+def token_set(text: str) -> set[str]:
+    """Set of distinct word tokens of ``text``."""
+    return set(word_tokens(text))

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build *small* synthetic benchmarks and fast configurations so
+the full suite stays CPU-friendly; benchmark-scale runs live under
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from repro.data.pairs import CandidateSet, LabeledPair, RecordPair
+from repro.data.records import Dataset, Record
+from repro.datasets import load_benchmark
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> FlexERConfig:
+    """A configuration scaled down for unit tests."""
+    return FlexERConfig(
+        matcher=MatcherConfig(hidden_dims=(24, 12), n_features=96, epochs=6, seed=5),
+        graph=GraphConfig(k_neighbors=3),
+        gnn=GNNConfig(hidden_dim=16, epochs=12, seed=5),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_benchmark():
+    """A tiny AmazonMI-like benchmark shared across integration tests."""
+    return load_benchmark("amazon_mi", num_pairs=120, products_per_domain=12, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_walmart_benchmark():
+    """A tiny Walmart-Amazon-like benchmark (clean-clean structure)."""
+    return load_benchmark("walmart_amazon", num_pairs=120, products_per_domain=10, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_wdc_benchmark():
+    """A tiny WDC-like benchmark."""
+    return load_benchmark("wdc", num_pairs=120, products_per_domain=12, seed=7)
+
+
+@pytest.fixture
+def toy_dataset() -> Dataset:
+    """The six-record running example of the paper (Table 1)."""
+    titles = {
+        "r1": "Nike Men's Lunar Force 1 Duckboot",
+        "r2": "NIKE Men Lunar Force 1 Duckboot, Black/Dark Loden-BROGHT Crimson",
+        "r3": "NIKE Men's Air Max Stutter Step Ankle-High Basketball Shoe",
+        "r4": "Nike Men's Air Max 2016 Running Shoe",
+        "r5": "adidas Performance Men's D Rose 6 Boost Primeknit Basketball",
+        "r6": "The Man Who Tried to Get Away",
+    }
+    records = [Record(record_id=rid, values={"title": title}) for rid, title in titles.items()]
+    return Dataset(records=records, name="table1", attributes=("title",))
+
+
+@pytest.fixture
+def toy_candidates(toy_dataset: Dataset) -> CandidateSet:
+    """Labeled candidate pairs over the Table 1 records for two intents."""
+    labels = {
+        ("r1", "r2"): {"equivalence": 1, "brand": 1},
+        ("r1", "r3"): {"equivalence": 0, "brand": 1},
+        ("r1", "r4"): {"equivalence": 0, "brand": 1},
+        ("r1", "r5"): {"equivalence": 0, "brand": 0},
+        ("r1", "r6"): {"equivalence": 0, "brand": 0},
+        ("r3", "r5"): {"equivalence": 0, "brand": 0},
+        ("r3", "r4"): {"equivalence": 0, "brand": 1},
+        ("r2", "r3"): {"equivalence": 0, "brand": 1},
+        ("r4", "r5"): {"equivalence": 0, "brand": 0},
+        ("r5", "r6"): {"equivalence": 0, "brand": 0},
+    }
+    candidates = CandidateSet(toy_dataset, intents=("equivalence", "brand"))
+    for (left, right), pair_labels in labels.items():
+        candidates.add(LabeledPair(pair=RecordPair(left, right), labels=pair_labels))
+    return candidates
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(123)

@@ -1,0 +1,89 @@
+"""Tests for the exact nearest-neighbour index (Faiss substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ann import ExactNearestNeighbors
+from repro.exceptions import ConfigurationError
+
+
+class TestExactNearestNeighbors:
+    def test_requires_fit(self):
+        with pytest.raises(ConfigurationError):
+            ExactNearestNeighbors().search(np.zeros((1, 2)), k=1)
+
+    def test_rejects_invalid_metric_and_chunk(self):
+        with pytest.raises(ConfigurationError):
+            ExactNearestNeighbors(metric="hamming")
+        with pytest.raises(ConfigurationError):
+            ExactNearestNeighbors(chunk_size=0)
+
+    def test_nearest_point_is_itself_when_not_excluded(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0], [5.0, 5.0]])
+        index = ExactNearestNeighbors().fit(data)
+        result = index.search(data, k=1)
+        assert result.indices[:, 0].tolist() == [0, 1, 2]
+        assert np.allclose(result.distances[:, 0], 0.0)
+
+    def test_exclude_self_skips_the_query_row(self):
+        data = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        index = ExactNearestNeighbors().fit(data)
+        result = index.search(data, k=1, exclude_self=True)
+        assert result.indices[0, 0] == 1
+        assert result.indices[1, 0] == 0
+        assert result.indices[2, 0] == 1
+
+    def test_k_is_capped_by_index_size(self):
+        data = np.array([[0.0], [1.0], [2.0]])
+        index = ExactNearestNeighbors().fit(data)
+        result = index.search(data, k=10, exclude_self=True)
+        assert result.indices.shape == (3, 2)
+
+    def test_cosine_metric_prefers_direction(self):
+        data = np.array([[1.0, 0.0], [10.0, 0.5], [0.0, 1.0]])
+        index = ExactNearestNeighbors(metric="cosine").fit(data)
+        result = index.search(np.array([[2.0, 0.0]]), k=1)
+        assert result.indices[0, 0] == 0 or result.indices[0, 0] == 1
+
+    def test_chunked_search_matches_unchunked(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 8))
+        chunked = ExactNearestNeighbors(chunk_size=7).fit(data).search(data, k=3)
+        whole = ExactNearestNeighbors(chunk_size=1024).fit(data).search(data, k=3)
+        assert np.array_equal(chunked.indices, whole.indices)
+
+    def test_kneighbors_graph_shape(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(10, 4))
+        graph = ExactNearestNeighbors().fit(data).kneighbors_graph(k=3)
+        assert len(graph) == 10
+        assert all(len(neighbors) == 3 for neighbors in graph)
+        assert all(row not in neighbors for row, neighbors in enumerate(graph))
+
+    def test_dimensionality_mismatch_rejected(self):
+        index = ExactNearestNeighbors().fit(np.zeros((3, 4)))
+        with pytest.raises(ConfigurationError):
+            index.search(np.zeros((1, 5)), k=1)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(3, 12), st.integers(2, 5)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_l2_search_matches_argmin_property(self, data):
+        """The top-1 neighbour equals the argmin of pairwise distances."""
+        index = ExactNearestNeighbors().fit(data)
+        result = index.search(data, k=1, exclude_self=True)
+        for row in range(data.shape[0]):
+            distances = ((data - data[row]) ** 2).sum(axis=1)
+            distances[row] = np.inf
+            best = distances.min()
+            found = ((data[result.indices[row, 0]] - data[row]) ** 2).sum()
+            assert found == pytest.approx(best, abs=1e-9)

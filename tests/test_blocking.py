@@ -1,0 +1,102 @@
+"""Tests for the blocking phase (q-gram and token blockers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import BlockingReport, QGramBlocker, TokenBlocker
+from repro.data.pairs import RecordPair
+from repro.data.records import Dataset, Record
+from repro.exceptions import BlockingError
+
+
+class TestQGramBlocker:
+    def test_duplicate_titles_survive_blocking(self, toy_dataset):
+        pairs = QGramBlocker(q=4).block(toy_dataset)
+        assert RecordPair("r1", "r2") in pairs
+
+    def test_unrelated_records_do_not_survive(self, toy_dataset):
+        pairs = QGramBlocker(q=4, min_shared=3).block(toy_dataset)
+        assert RecordPair("r1", "r6") not in pairs
+
+    def test_no_self_pairs_and_no_duplicates(self, toy_dataset):
+        pairs = QGramBlocker(q=4).block(toy_dataset)
+        assert len(pairs) == len(set(pairs))
+        assert all(pair.left_id != pair.right_id for pair in pairs)
+
+    def test_min_shared_monotonicity(self, toy_dataset):
+        loose = set(QGramBlocker(q=4, min_shared=1).block(toy_dataset))
+        strict = set(QGramBlocker(q=4, min_shared=5).block(toy_dataset))
+        assert strict <= loose
+
+    def test_cross_source_only(self):
+        records = [
+            Record("w1", {"title": "nike air max running shoe"}, source="walmart"),
+            Record("a1", {"title": "nike air max running shoe"}, source="amazon"),
+            Record("a2", {"title": "nike air max running shoes men"}, source="amazon"),
+        ]
+        dataset = Dataset(records=records)
+        pairs = QGramBlocker(q=4, cross_source_only=True).block(dataset)
+        assert RecordPair("a1", "a2") not in pairs
+        assert RecordPair("w1", "a1") in pairs
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(BlockingError):
+            QGramBlocker(q=0)
+        with pytest.raises(BlockingError):
+            QGramBlocker(min_shared=0)
+        with pytest.raises(BlockingError):
+            QGramBlocker(max_block_size=1)
+
+    def test_max_block_size_prunes_stop_grams(self):
+        records = [
+            Record(f"r{i}", {"title": f"common prefix text item {i}"}) for i in range(12)
+        ]
+        dataset = Dataset(records=records)
+        unlimited = QGramBlocker(q=4, max_block_size=None).block(dataset)
+        limited = QGramBlocker(q=4, max_block_size=5).block(dataset)
+        assert len(limited) <= len(unlimited)
+
+
+class TestTokenBlocker:
+    def test_shared_tokens_create_pairs(self, toy_dataset):
+        pairs = TokenBlocker(min_shared=2).block(toy_dataset)
+        assert RecordPair("r1", "r2") in pairs
+
+    def test_stopwords_are_ignored(self):
+        records = [
+            Record("r1", {"title": "the new shoe for the season"}),
+            Record("r2", {"title": "the new watch for the season"}),
+        ]
+        dataset = Dataset(records=records)
+        pairs = TokenBlocker(min_shared=3).block(dataset)
+        # "the", "new", "for" are stopwords; only "season" is shared.
+        assert pairs == []
+
+    def test_min_token_length_filters_short_tokens(self):
+        records = [
+            Record("r1", {"title": "ab cd nike"}),
+            Record("r2", {"title": "ab cd adidas"}),
+        ]
+        dataset = Dataset(records=records)
+        assert TokenBlocker(min_shared=1, min_token_length=3).block(dataset) == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(BlockingError):
+            TokenBlocker(min_shared=0)
+        with pytest.raises(BlockingError):
+            TokenBlocker(min_token_length=0)
+
+
+class TestBlockingReport:
+    def test_reduction_ratio(self, toy_dataset):
+        pairs = QGramBlocker(q=4).block(toy_dataset)
+        report = BlockingReport.from_result(toy_dataset, pairs)
+        assert report.num_records == len(toy_dataset)
+        assert report.num_candidate_pairs == len(pairs)
+        assert 0.0 <= report.reduction_ratio <= 1.0
+
+    def test_empty_dataset_report(self):
+        dataset = Dataset(records=[])
+        report = BlockingReport.from_result(dataset, [])
+        assert report.reduction_ratio == 0.0

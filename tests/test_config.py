@@ -1,0 +1,92 @@
+"""Tests for configuration objects and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestMatcherConfig:
+    def test_defaults_are_valid(self):
+        config = MatcherConfig()
+        assert config.representation_dim == config.hidden_dims[-1]
+
+    def test_representation_dim_is_last_hidden_layer(self):
+        config = MatcherConfig(hidden_dims=(64, 32, 16))
+        assert config.representation_dim == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hidden_dims": ()},
+            {"hidden_dims": (0,)},
+            {"hidden_dims": (-4, 8)},
+            {"n_features": 0},
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"weight_decay": -1.0},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MatcherConfig(**kwargs)
+
+
+class TestGraphConfig:
+    def test_defaults_are_valid(self):
+        config = GraphConfig()
+        assert config.k_neighbors > 0
+        assert config.metric == "l2"
+
+    def test_k_zero_is_allowed_for_ablation(self):
+        assert GraphConfig(k_neighbors=0).k_neighbors == 0
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ConfigurationError):
+            GraphConfig(k_neighbors=-1)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ConfigurationError):
+            GraphConfig(metric="manhattan")
+
+
+class TestGNNConfig:
+    def test_two_and_three_layers_allowed(self):
+        assert GNNConfig(num_layers=2).num_layers == 2
+        assert GNNConfig(num_layers=3).num_layers == 3
+
+    @pytest.mark.parametrize("layers", [1, 4, 0])
+    def test_other_layer_counts_raise(self, layers):
+        with pytest.raises(ConfigurationError):
+            GNNConfig(num_layers=layers)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hidden_dim": 0},
+            {"epochs": 0},
+            {"learning_rate": 0},
+            {"weight_decay": -0.1},
+            {"aggregator": "median"},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GNNConfig(**kwargs)
+
+
+class TestFlexERConfig:
+    def test_to_dict_round_trips_sections(self):
+        config = FlexERConfig()
+        as_dict = config.to_dict()
+        assert set(as_dict) == {"matcher", "graph", "gnn"}
+        assert as_dict["graph"]["k_neighbors"] == config.graph.k_neighbors
+
+    def test_fast_preset_is_smaller_than_default(self):
+        fast = FlexERConfig.fast()
+        default = FlexERConfig()
+        assert fast.matcher.epochs < default.matcher.epochs
+        assert fast.gnn.epochs < default.gnn.epochs

@@ -1,0 +1,138 @@
+"""Tests for intents, intent relationships, resolutions, and clean views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Intent, IntentSet, MIERProblem, MIERSolution, Resolution
+from repro.data.pairs import RecordPair
+from repro.exceptions import DataError, EvaluationError, IntentError
+
+
+class TestIntent:
+    def test_requires_name(self):
+        with pytest.raises(IntentError):
+            Intent(name="")
+
+    def test_description_optional(self):
+        assert Intent(name="brand").description == ""
+
+
+class TestIntentSet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(IntentError):
+            IntentSet(["brand", "brand"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(IntentError):
+            IntentSet([])
+
+    def test_names_and_lookup(self):
+        intents = IntentSet(["equivalence", Intent("brand", "same brand")])
+        assert intents.names == ("equivalence", "brand")
+        assert intents.get("brand").description == "same brand"
+        with pytest.raises(IntentError):
+            intents.get("category")
+        assert "brand" in intents and "missing" not in intents
+
+    def test_relationships_from_labels(self, toy_candidates):
+        intents = IntentSet.from_candidates(toy_candidates)
+        relationships = intents.relationships(toy_candidates)
+        # The toy labels make equivalence a sub-intent of brand (Def. 4)
+        assert relationships.is_sub_intent("equivalence", "brand")
+        assert not relationships.is_sub_intent("brand", "equivalence")
+        # They overlap because (r1, r2) is positive for both (Def. 3)
+        assert relationships.overlapping("equivalence", "brand")
+
+    def test_relationships_on_benchmark(self, tiny_benchmark):
+        intents = IntentSet.from_candidates(tiny_benchmark.candidates)
+        relationships = intents.relationships(tiny_benchmark.candidates)
+        assert relationships.is_sub_intent("equivalence", "brand")
+        assert relationships.is_sub_intent("main_and_set_category", "main_category")
+
+    def test_relationships_require_labels(self, toy_candidates):
+        intents = IntentSet(["equivalence", "brand", "missing"])
+        with pytest.raises(IntentError):
+            intents.relationships(toy_candidates)
+
+    def test_from_names_with_descriptions(self):
+        intents = IntentSet.from_names(["a", "b"], {"a": "first"})
+        assert intents.get("a").description == "first"
+
+
+class TestResolution:
+    def test_from_predictions_requires_alignment(self, toy_candidates):
+        with pytest.raises(DataError):
+            Resolution.from_predictions(toy_candidates, [1, 0])
+
+    def test_from_predictions_collects_positive_pairs(self, toy_candidates):
+        predictions = np.zeros(len(toy_candidates), dtype=int)
+        predictions[0] = 1
+        resolution = Resolution.from_predictions(toy_candidates, predictions, "equivalence")
+        assert len(resolution) == 1
+        assert toy_candidates.pairs[0] in resolution
+
+    def test_from_labels_matches_positive_pairs(self, toy_candidates):
+        golden = Resolution.from_labels(toy_candidates, "brand")
+        assert golden.pairs == toy_candidates.positive_pairs("brand")
+
+    def test_satisfaction_definition(self, toy_candidates):
+        mapping = {f"r{i}": f"e{i}" for i in range(1, 7)}
+        mapping["r2"] = "e1"  # r1 and r2 are the same entity
+        resolution = Resolution({RecordPair("r1", "r2")}, "equivalence")
+        assert resolution.satisfies(mapping, toy_candidates.pairs)
+        # Removing the matched pair breaks satisfaction.
+        assert not Resolution(set(), "equivalence").satisfies(mapping, toy_candidates.pairs)
+        # Adding a wrong pair breaks satisfaction too.
+        wrong = Resolution({RecordPair("r1", "r2"), RecordPair("r1", "r6")}, "equivalence")
+        assert not wrong.satisfies(mapping, toy_candidates.pairs)
+
+    def test_clusters_transitive_closure(self, toy_dataset):
+        resolution = Resolution({RecordPair("r1", "r2"), RecordPair("r2", "r3")})
+        clusters = resolution.clusters(toy_dataset)
+        cluster_of_r1 = next(c for c in clusters if "r1" in c)
+        assert cluster_of_r1 == {"r1", "r2", "r3"}
+        assert {"r6"} in clusters
+
+    def test_clean_view_keeps_first_representative(self, toy_dataset):
+        resolution = Resolution({RecordPair("r1", "r2"), RecordPair("r2", "r3")})
+        clean = resolution.clean_view(toy_dataset)
+        assert clean.record_ids == ["r1", "r4", "r5", "r6"]
+
+    def test_clean_view_of_empty_resolution_is_identity(self, toy_dataset):
+        clean = Resolution(set()).clean_view(toy_dataset)
+        assert clean.record_ids == toy_dataset.record_ids
+
+    def test_describe(self):
+        resolution = Resolution({RecordPair("a", "b")}, intent="brand")
+        assert resolution.describe() == {"intent": "brand", "num_matched_pairs": 1}
+
+
+class TestMIERProblemAndSolution:
+    def test_problem_validates_intents(self, toy_candidates):
+        with pytest.raises(IntentError):
+            MIERProblem(toy_candidates, ("equivalence", "category"))
+        problem = MIERProblem(toy_candidates, ("equivalence", "brand"))
+        assert problem.num_pairs == len(toy_candidates)
+        golden = problem.golden_resolutions()
+        assert set(golden) == {"equivalence", "brand"}
+
+    def test_solution_validates_prediction_lengths(self, toy_candidates):
+        with pytest.raises(EvaluationError):
+            MIERSolution(toy_candidates, {"equivalence": np.array([1, 0])})
+
+    def test_solution_resolutions_and_matrix(self, toy_candidates):
+        n = len(toy_candidates)
+        solution = MIERSolution(
+            toy_candidates,
+            predictions={
+                "equivalence": np.zeros(n, dtype=int),
+                "brand": np.ones(n, dtype=int),
+            },
+        )
+        assert len(solution.resolution("brand")) == n
+        assert solution.prediction_matrix().shape == (n, 2)
+        assert set(solution.resolutions()) == {"equivalence", "brand"}
+        with pytest.raises(IntentError):
+            solution.prediction("category")

@@ -1,0 +1,129 @@
+"""Tests for record pairs, labels, and candidate sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.pairs import CandidateSet, LabeledPair, RecordPair
+from repro.data.records import Dataset, Record
+from repro.exceptions import DataError, LabelingError
+
+record_ids = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+
+
+class TestRecordPair:
+    def test_canonical_order(self):
+        assert RecordPair("b", "a") == RecordPair("a", "b")
+        assert RecordPair("b", "a").as_tuple() == ("a", "b")
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(DataError):
+            RecordPair("a", "a")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(DataError):
+            RecordPair("", "a")
+
+    def test_of_accepts_records_and_strings(self):
+        record = Record("r9", {"title": "x"})
+        assert RecordPair.of(record, "r1") == RecordPair("r1", "r9")
+
+    def test_other_returns_the_opposite_member(self):
+        pair = RecordPair("a", "b")
+        assert pair.other("a") == "b"
+        assert pair.other("b") == "a"
+        with pytest.raises(DataError):
+            pair.other("c")
+
+    @given(left=record_ids, right=record_ids)
+    def test_symmetry_property(self, left, right):
+        """Pairs are order-insensitive and hash-consistent (property-based)."""
+        if left == right:
+            with pytest.raises(DataError):
+                RecordPair(left, right)
+        else:
+            assert RecordPair(left, right) == RecordPair(right, left)
+            assert hash(RecordPair(left, right)) == hash(RecordPair(right, left))
+
+
+class TestLabeledPair:
+    def test_labels_must_be_binary(self):
+        with pytest.raises(LabelingError):
+            LabeledPair(RecordPair("a", "b"), {"equivalence": 2})
+
+    def test_label_lookup(self):
+        labeled = LabeledPair(RecordPair("a", "b"), {"equivalence": 1, "brand": 0})
+        assert labeled.label("equivalence") == 1
+        assert labeled.label("brand") == 0
+        with pytest.raises(LabelingError):
+            labeled.label("unknown")
+
+    def test_intents_property(self):
+        labeled = LabeledPair(RecordPair("a", "b"), {"x": 0, "y": 1})
+        assert labeled.intents == ("x", "y")
+
+
+class TestCandidateSet:
+    def test_rejects_pairs_outside_dataset(self, toy_dataset):
+        candidates = CandidateSet(toy_dataset)
+        with pytest.raises(DataError):
+            candidates.add(LabeledPair(RecordPair("r1", "zz"), {"equivalence": 0}))
+
+    def test_rejects_duplicate_pairs(self, toy_dataset):
+        candidates = CandidateSet(toy_dataset)
+        candidates.add(LabeledPair(RecordPair("r1", "r2"), {"equivalence": 1}))
+        with pytest.raises(DataError):
+            candidates.add(LabeledPair(RecordPair("r2", "r1"), {"equivalence": 1}))
+
+    def test_rejects_inconsistent_intents(self, toy_dataset):
+        candidates = CandidateSet(toy_dataset)
+        candidates.add(LabeledPair(RecordPair("r1", "r2"), {"equivalence": 1}))
+        with pytest.raises(LabelingError):
+            candidates.add(LabeledPair(RecordPair("r1", "r3"), {"brand": 1}))
+
+    def test_labels_vector_and_matrix(self, toy_candidates):
+        eq = toy_candidates.labels("equivalence")
+        brand = toy_candidates.labels("brand")
+        assert eq.shape == (len(toy_candidates),)
+        matrix = toy_candidates.label_matrix(["equivalence", "brand"])
+        assert matrix.shape == (len(toy_candidates), 2)
+        assert np.array_equal(matrix[:, 0], eq)
+        assert np.array_equal(matrix[:, 1], brand)
+
+    def test_unknown_intent_raises(self, toy_candidates):
+        with pytest.raises(LabelingError):
+            toy_candidates.labels("category")
+
+    def test_positive_rate_matches_labels(self, toy_candidates):
+        rate = toy_candidates.positive_rate("brand")
+        assert rate == pytest.approx(toy_candidates.labels("brand").mean())
+
+    def test_positive_pairs_is_golden_resolution(self, toy_candidates):
+        golden = toy_candidates.positive_pairs("equivalence")
+        assert golden == {RecordPair("r1", "r2")}
+
+    def test_subset_preserves_order(self, toy_candidates):
+        subset = toy_candidates.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset.pairs[0] == toy_candidates.pairs[0]
+        assert subset.pairs[1] == toy_candidates.pairs[2]
+
+    def test_index_of_and_records_of(self, toy_candidates):
+        pair = toy_candidates.pairs[3]
+        assert toy_candidates.index_of(pair) == 3
+        left, right = toy_candidates.records_of(pair)
+        assert {left.record_id, right.record_id} == {pair.left_id, pair.right_id}
+        with pytest.raises(DataError):
+            toy_candidates.index_of(RecordPair("r2", "r6"))
+
+    def test_describe_contains_positive_rates(self, toy_candidates):
+        stats = toy_candidates.describe()
+        assert stats["num_pairs"] == len(toy_candidates)
+        assert set(stats["positive_rates"]) == {"equivalence", "brand"}
+
+    def test_empty_candidate_set_label_matrix(self, toy_dataset):
+        empty = CandidateSet(toy_dataset)
+        assert empty.label_matrix().shape == (0, 0)
+        assert empty.positive_rate("anything") == 0.0 if not empty.intents else True

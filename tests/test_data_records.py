@@ -1,0 +1,86 @@
+"""Tests for the record and dataset model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import Dataset, Record
+from repro.exceptions import DataError, SchemaError, UnknownRecordError
+
+
+class TestRecord:
+    def test_requires_non_empty_id(self):
+        with pytest.raises(DataError):
+            Record(record_id="", values={"title": "x"})
+
+    def test_get_returns_default_for_null_and_missing(self):
+        record = Record(record_id="r1", values={"title": None})
+        assert record.get("title", "fallback") == "fallback"
+        assert record.get("brand", "none") == "none"
+
+    def test_text_concatenates_non_null_values_in_order(self):
+        record = Record(record_id="r1", values={"title": "Nike Air", "brand": None, "cat": "Shoes"})
+        assert record.text() == "Nike Air Shoes"
+        assert record.text(["cat", "title"]) == "Shoes Nike Air"
+
+    def test_attributes_preserve_insertion_order(self):
+        record = Record(record_id="r1", values={"b": "1", "a": "2"})
+        assert record.attributes == ("b", "a")
+
+
+class TestDataset:
+    def test_duplicate_ids_rejected(self):
+        records = [Record("r1", {"title": "a"}), Record("r1", {"title": "b"})]
+        with pytest.raises(DataError):
+            Dataset(records=records)
+
+    def test_schema_inferred_from_records(self):
+        dataset = Dataset(records=[Record("r1", {"title": "a", "brand": "b"})])
+        assert dataset.attributes == ("title", "brand")
+
+    def test_explicit_schema_enforced(self):
+        with pytest.raises(SchemaError):
+            Dataset(records=[Record("r1", {"color": "red"})], attributes=("title",))
+
+    def test_lookup_and_membership(self, toy_dataset):
+        assert "r1" in toy_dataset
+        assert toy_dataset["r1"].record_id == "r1"
+        with pytest.raises(UnknownRecordError):
+            toy_dataset["missing"]
+
+    def test_add_enforces_uniqueness_and_schema(self, toy_dataset):
+        with pytest.raises(DataError):
+            toy_dataset.add(Record("r1", {"title": "dup"}))
+        with pytest.raises(SchemaError):
+            toy_dataset.add(Record("r99", {"color": "red"}))
+        toy_dataset.add(Record("r7", {"title": "new product"}))
+        assert "r7" in toy_dataset
+
+    def test_by_source_and_sources(self):
+        records = [
+            Record("a1", {"title": "x"}, source="amazon"),
+            Record("w1", {"title": "y"}, source="walmart"),
+            Record("w2", {"title": "z"}, source="walmart"),
+        ]
+        dataset = Dataset(records=records)
+        assert dataset.sources == ("amazon", "walmart")
+        assert {r.record_id for r in dataset.by_source("walmart")} == {"w1", "w2"}
+
+    def test_subset_preserves_order_and_schema(self, toy_dataset):
+        subset = toy_dataset.subset(["r3", "r1"])
+        assert subset.record_ids == ["r3", "r1"]
+        assert subset.attributes == toy_dataset.attributes
+
+    def test_describe_reports_sparsity(self):
+        records = [
+            Record("r1", {"title": "a", "brand": None}),
+            Record("r2", {"title": "b", "brand": "nike"}),
+        ]
+        dataset = Dataset(records=records, attributes=("title", "brand"))
+        stats = dataset.describe()
+        assert stats["num_records"] == 2
+        assert stats["sparsity"] == pytest.approx(0.25)
+
+    def test_iteration_and_len(self, toy_dataset):
+        assert len(toy_dataset) == 6
+        assert [r.record_id for r in toy_dataset] == [f"r{i}" for i in range(1, 7)]

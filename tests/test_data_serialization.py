@@ -1,0 +1,60 @@
+"""Tests for DITTO-style record pair serialization."""
+
+from __future__ import annotations
+
+from repro.data.records import Record
+from repro.data.serialization import (
+    CLS_TOKEN,
+    SEP_TOKEN,
+    SerializationConfig,
+    serialize_candidates,
+    serialize_pair,
+    serialize_record,
+)
+from repro.data.pairs import RecordPair
+
+
+class TestSerializeRecord:
+    def test_col_val_structure(self):
+        record = Record("r1", {"title": "Nike Air Max", "brand": "Nike"})
+        serialized = serialize_record(record)
+        assert serialized == "COL title VAL nike air max COL brand VAL nike"
+
+    def test_null_values_skipped(self):
+        record = Record("r1", {"title": "Nike Air", "brand": None})
+        assert "brand" not in serialize_record(record)
+
+    def test_attribute_selection_and_case(self):
+        record = Record("r1", {"title": "Nike Air", "brand": "NIKE"})
+        serialized = serialize_record(record, attributes=["brand"], lowercase=False)
+        assert serialized == "COL brand VAL NIKE"
+
+
+class TestSerializePair:
+    def test_contains_cls_and_separators(self, toy_dataset):
+        left = toy_dataset["r1"]
+        right = toy_dataset["r2"]
+        serialized = serialize_pair(left, right)
+        assert serialized.startswith(CLS_TOKEN)
+        assert serialized.count(SEP_TOKEN) == 2
+
+    def test_max_tokens_truncation(self, toy_dataset):
+        config = SerializationConfig(max_tokens=8)
+        serialized = serialize_pair(toy_dataset["r2"], toy_dataset["r3"], config)
+        tokens = serialized.split()
+        assert len(tokens) <= 9  # truncation may append a closing SEP
+        assert tokens[-1] == SEP_TOKEN
+
+    def test_symmetric_content_not_symmetric_order(self, toy_dataset):
+        left_first = serialize_pair(toy_dataset["r1"], toy_dataset["r2"])
+        right_first = serialize_pair(toy_dataset["r2"], toy_dataset["r1"])
+        assert left_first != right_first
+        assert sorted(left_first.split()) == sorted(right_first.split())
+
+
+class TestSerializeCandidates:
+    def test_one_string_per_pair(self, toy_dataset):
+        pairs = [RecordPair("r1", "r2"), RecordPair("r3", "r4")]
+        serialized = serialize_candidates(toy_dataset, pairs)
+        assert len(serialized) == 2
+        assert all(CLS_TOKEN in text for text in serialized)

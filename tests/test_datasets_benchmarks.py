@@ -1,0 +1,129 @@
+"""Tests for the assembled MIER benchmarks (AmazonMI / Walmart-Amazon / WDC analogues)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blocking import QGramBlocker
+from repro.datasets import (
+    AMAZON_MI_LABELER,
+    PAPER_TABLE4_TEST_POSITIVE_RATES,
+    benchmark_names,
+    candidate_pairs_from_blocker,
+    load_benchmark,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_names_match_paper_order(self):
+        assert benchmark_names() == ("amazon_mi", "walmart_amazon", "wdc")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_benchmark("dblp_acm")
+
+    def test_paper_tables_cover_all_benchmarks(self):
+        assert set(PAPER_TABLE4_TEST_POSITIVE_RATES) == set(benchmark_names())
+
+
+class TestBenchmarkStructure:
+    def test_amazon_mi_has_five_intents(self, tiny_benchmark):
+        assert len(tiny_benchmark.intents) == 5
+        assert tiny_benchmark.intents[0] == "equivalence"
+
+    def test_walmart_amazon_is_clean_clean(self, small_walmart_benchmark):
+        benchmark = small_walmart_benchmark
+        assert set(benchmark.dataset.sources) == {"walmart", "amazon"}
+        for labeled in benchmark.candidates:
+            left = benchmark.dataset[labeled.pair.left_id]
+            right = benchmark.dataset[labeled.pair.right_id]
+            assert left.source != right.source
+
+    def test_wdc_has_three_intents(self, small_wdc_benchmark):
+        assert small_wdc_benchmark.intents == ("equivalence", "category", "general_category")
+
+    def test_every_pair_references_existing_records(self, tiny_benchmark):
+        for labeled in tiny_benchmark.candidates:
+            assert labeled.pair.left_id in tiny_benchmark.dataset
+            assert labeled.pair.right_id in tiny_benchmark.dataset
+
+    def test_split_partitions_candidates(self, tiny_benchmark):
+        sizes = tiny_benchmark.split.sizes()
+        assert sum(sizes.values()) == len(tiny_benchmark.candidates)
+
+    def test_record_products_cover_all_records(self, tiny_benchmark):
+        assert set(tiny_benchmark.record_products) == set(tiny_benchmark.dataset.record_ids)
+
+    def test_describe_contains_expected_keys(self, tiny_benchmark):
+        stats = tiny_benchmark.describe()
+        assert {"name", "num_records", "num_pairs", "intents", "positive_rates"} <= set(stats)
+
+
+class TestLabelStructure:
+    def test_subsumption_equivalence_within_brand(self, tiny_benchmark):
+        candidates = tiny_benchmark.candidates
+        eq = candidates.labels("equivalence")
+        brand = candidates.labels("brand")
+        assert not np.any((eq == 1) & (brand == 0))
+
+    def test_subsumption_main_and_set_within_main(self, tiny_benchmark):
+        candidates = tiny_benchmark.candidates
+        narrow = candidates.labels("main_and_set_category")
+        broad = candidates.labels("main_category")
+        assert not np.any((narrow == 1) & (broad == 0))
+
+    def test_positive_rates_follow_paper_ordering(self):
+        benchmark = load_benchmark("amazon_mi", num_pairs=400, products_per_domain=25, seed=1)
+        rates = {
+            intent: benchmark.candidates.positive_rate(intent)
+            for intent in benchmark.intents
+        }
+        assert rates["equivalence"] < rates["brand"] < rates["main_category"]
+        assert rates["set_category"] <= rates["main_category"]
+
+    def test_wdc_rate_ordering(self, small_wdc_benchmark):
+        rates = {
+            intent: small_wdc_benchmark.candidates.positive_rate(intent)
+            for intent in small_wdc_benchmark.intents
+        }
+        assert rates["equivalence"] < rates["category"] < rates["general_category"]
+
+    def test_walmart_amazon_rate_ordering(self, small_walmart_benchmark):
+        rates = {
+            intent: small_walmart_benchmark.candidates.positive_rate(intent)
+            for intent in small_walmart_benchmark.intents
+        }
+        assert rates["equivalence"] < rates["brand"]
+        assert rates["main_category"] <= rates["general_category"]
+
+    def test_deterministic_given_seed(self):
+        first = load_benchmark("amazon_mi", num_pairs=80, products_per_domain=10, seed=9)
+        second = load_benchmark("amazon_mi", num_pairs=80, products_per_domain=10, seed=9)
+        assert [p.as_tuple() for p in first.candidates.pairs] == [
+            p.as_tuple() for p in second.candidates.pairs
+        ]
+
+
+class TestBlockerIntegration:
+    def test_blocker_pairs_can_be_labeled(self, tiny_benchmark):
+        blocker = QGramBlocker(q=4, max_block_size=100)
+        pairs = blocker.block(tiny_benchmark.dataset)[:50]
+        candidates = candidate_pairs_from_blocker(
+            tiny_benchmark.dataset,
+            tiny_benchmark.record_products,
+            AMAZON_MI_LABELER,
+            pairs,
+        )
+        assert len(candidates) == len(pairs)
+        assert set(candidates.intents) == set(tiny_benchmark.intents)
+
+    def test_blocking_recovers_duplicates(self, tiny_benchmark):
+        """Most equivalence-positive pairs share a 4-gram and survive blocking."""
+        blocker = QGramBlocker(q=4, max_block_size=None)
+        blocked = set(blocker.block(tiny_benchmark.dataset))
+        positives = tiny_benchmark.candidates.positive_pairs("equivalence")
+        if positives:
+            recovered = sum(1 for pair in positives if pair in blocked)
+            assert recovered / len(positives) > 0.8

@@ -1,0 +1,214 @@
+"""Tests for the synthetic catalog, perturbation, labeling, and sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    AMAZON_MI_LABELER,
+    WALMART_AMAZON_LABELER,
+    WDC_LABELER,
+    CatalogConfig,
+    CatalogGenerator,
+    PairSampler,
+    PerturbationConfig,
+    StratumWeights,
+    TitlePerturber,
+)
+from repro.datasets.catalog import Product
+from repro.exceptions import ConfigurationError, DataError, LabelingError
+
+
+def make_product(pid="p1", domain="shoes", brand="Nike", line="Air Max", usage="Running Shoe"):
+    return Product(
+        product_id=pid,
+        domain=domain,
+        brand=brand,
+        line=line,
+        model="7",
+        usage=usage,
+        category_set=("Clothing Shoes & Jewelry", "Shoes", "Athletic", usage, line),
+        title=f"{brand} Men's {line} 7 {usage}",
+    )
+
+
+class TestCatalogGenerator:
+    def test_generates_requested_number_of_products(self):
+        config = CatalogConfig(domains=("shoes", "books"), products_per_domain=5, seed=1)
+        products = CatalogGenerator(config).generate_products()
+        assert len(products) == 10
+        assert {p.domain for p in products} == {"shoes", "books"}
+
+    def test_product_ids_are_unique(self):
+        products = CatalogGenerator(CatalogConfig(products_per_domain=10, seed=2)).generate_products()
+        assert len({p.product_id for p in products}) == len(products)
+
+    def test_category_set_ends_with_usage_and_line(self):
+        products = CatalogGenerator(CatalogConfig(domains=("shoes",), products_per_domain=3)).generate_products()
+        for product in products:
+            assert product.category_set[-1] == product.line
+            assert product.category_set[-2] == product.usage
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CatalogConfig(domains=("spaceships",))
+
+    def test_record_titles_first_is_clean(self):
+        generator = CatalogGenerator(CatalogConfig(seed=3))
+        product = generator.generate_products()[0]
+        titles = generator.record_titles(product, copies=3)
+        assert titles[0] == product.title
+        assert len(titles) == 3
+
+    def test_record_titles_requires_positive_copies(self):
+        generator = CatalogGenerator(CatalogConfig(seed=3))
+        product = generator.generate_products()[0]
+        with pytest.raises(ConfigurationError):
+            generator.record_titles(product, copies=0)
+
+    def test_deterministic_given_seed(self):
+        first = CatalogGenerator(CatalogConfig(seed=5)).generate_products()
+        second = CatalogGenerator(CatalogConfig(seed=5)).generate_products()
+        assert [p.title for p in first] == [p.title for p in second]
+
+
+class TestTitlePerturber:
+    def test_perturbation_changes_or_keeps_text(self):
+        perturber = TitlePerturber(rng=np.random.default_rng(0))
+        title = "Nike Men's Air Max 7 Running Shoe"
+        variants = perturber.variants(title, 10)
+        assert len(variants) == 10
+        assert any(variant != title for variant in variants)
+
+    def test_all_noise_disabled_is_identity(self):
+        config = PerturbationConfig(
+            p_uppercase_token=0, p_lowercase_all=0, p_typo=0, p_drop_token=0,
+            p_swap_tokens=0, p_abbreviate=0, p_add_color_spec=0, p_add_model_suffix=0,
+        )
+        perturber = TitlePerturber(config, np.random.default_rng(0))
+        title = "Nike Air Max"
+        assert perturber.perturb(title) == title
+
+    def test_deterministic_given_rng_seed(self):
+        title = "Nike Men's Air Max 7 Running Shoe"
+        first = TitlePerturber(rng=np.random.default_rng(7)).variants(title, 5)
+        second = TitlePerturber(rng=np.random.default_rng(7)).variants(title, 5)
+        assert first == second
+
+
+class TestLabelers:
+    def test_equivalence_requires_same_product(self):
+        left = make_product("p1")
+        right = make_product("p2")
+        labels = AMAZON_MI_LABELER.label_pair(left, right)
+        assert labels["equivalence"] == 0
+        assert AMAZON_MI_LABELER.label_pair(left, make_product("p1"))["equivalence"] == 1
+
+    def test_brand_intent(self):
+        nike = make_product("p1", brand="Nike")
+        adidas = make_product("p2", brand="Adidas")
+        assert AMAZON_MI_LABELER.label_pair(nike, adidas)["brand"] == 0
+        assert AMAZON_MI_LABELER.label_pair(nike, make_product("p3", brand="NIKE"))["brand"] == 1
+
+    def test_set_category_threshold(self):
+        left = make_product("p1", line="Air Max", usage="Running Shoe")
+        same_domain = make_product("p2", line="Lunar Force", usage="Basketball Shoe")
+        labels = AMAZON_MI_LABELER.label_pair(left, same_domain)
+        # Same domain shares the three root categories: Jaccard 3/7 >= 0.4.
+        assert labels["set_category"] == 1
+
+    def test_subsumption_equivalence_implies_brand(self):
+        products = CatalogGenerator(CatalogConfig(seed=11, products_per_domain=10)).generate_products()
+        pairs = [(p, p) for p in products] + list(zip(products, products[1:]))
+        assert AMAZON_MI_LABELER.validate_subsumption(pairs, "equivalence", "brand")
+        assert AMAZON_MI_LABELER.validate_subsumption(pairs, "main_and_set_category", "main_category")
+
+    def test_walmart_amazon_general_category(self):
+        camera = make_product("p1", domain="cameras")
+        laptop = make_product("p2", domain="computers")
+        labels = WALMART_AMAZON_LABELER.label_pair(camera, laptop)
+        assert labels["main_category"] == 0
+        assert labels["general_category"] == 1  # both electronics
+
+    def test_wdc_general_category_merge(self):
+        watch = make_product("p1", domain="watches")
+        shoe = make_product("p2", domain="shoes")
+        camera = make_product("p3", domain="cameras")
+        assert WDC_LABELER.label_pair(watch, shoe)["general_category"] == 1
+        assert WDC_LABELER.label_pair(watch, camera)["general_category"] == 0
+
+    def test_wdc_rejects_unknown_domain(self):
+        book = make_product("p1", domain="books")
+        watch = make_product("p2", domain="watches")
+        with pytest.raises(LabelingError):
+            WDC_LABELER.label_pair(book, watch)
+
+    def test_intent_names_order(self):
+        assert AMAZON_MI_LABELER.intent_names[0] == "equivalence"
+        assert len(WALMART_AMAZON_LABELER.intent_names) == 4
+        assert len(WDC_LABELER.intent_names) == 3
+
+
+class TestStratumWeights:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StratumWeights(duplicate=-0.1, same_line=0, same_brand=0, same_domain=0, same_general=0, cross=1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StratumWeights(0, 0, 0, 0, 0, 0)
+
+    def test_as_dict_keys(self):
+        weights = StratumWeights(1, 1, 1, 1, 1, 1)
+        assert set(weights.as_dict()) == {
+            "duplicate", "same_line", "same_brand", "same_domain", "same_general", "cross",
+        }
+
+
+class TestPairSampler:
+    def _sampler(self, seed=0, copies=2):
+        generator = CatalogGenerator(CatalogConfig(seed=seed, products_per_domain=10))
+        products = generator.generate_products()
+        record_products = {}
+        counter = 0
+        for product in products:
+            for title in generator.record_titles(product, copies):
+                counter += 1
+                record_products[f"r{counter}"] = product
+        return PairSampler(record_products, rng=np.random.default_rng(seed))
+
+    def test_requires_records(self):
+        with pytest.raises(DataError):
+            PairSampler({})
+
+    def test_samples_are_unique_and_bounded(self):
+        sampler = self._sampler()
+        weights = StratumWeights(0.2, 0.1, 0.1, 0.2, 0.2, 0.2)
+        pairs = sampler.sample(100, weights)
+        assert len(pairs) <= 100
+        assert len(set(pairs)) == len(pairs)
+
+    def test_duplicate_stratum_produces_equivalence_positives(self):
+        sampler = self._sampler()
+        weights = StratumWeights(1.0, 0, 0, 0, 0, 0)
+        pairs = sampler.sample(30, weights)
+        assert pairs, "duplicate stratum should produce pairs when copies >= 2"
+        for pair in pairs:
+            left = sampler.record_products[pair.left_id]
+            right = sampler.record_products[pair.right_id]
+            assert left.product_id == right.product_id
+
+    def test_cross_stratum_crosses_general_categories(self):
+        sampler = self._sampler()
+        weights = StratumWeights(0, 0, 0, 0, 0, 1.0)
+        pairs = sampler.sample(30, weights)
+        for pair in pairs:
+            left = sampler.record_products[pair.left_id]
+            right = sampler.record_products[pair.right_id]
+            assert left.general_category != right.general_category
+
+    def test_invalid_num_pairs(self):
+        sampler = self._sampler()
+        with pytest.raises(ConfigurationError):
+            sampler.sample(0, StratumWeights(1, 1, 1, 1, 1, 1))

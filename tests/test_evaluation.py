@@ -1,0 +1,163 @@
+"""Tests for the evaluation measures (Eqs. 6-10) and report formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mier import MIERSolution
+from repro.core.resolution import Resolution
+from repro.data.pairs import RecordPair
+from repro.evaluation import (
+    comparison_summary,
+    evaluate_binary,
+    evaluate_resolution,
+    evaluate_solution,
+    format_metric_rows,
+    format_table,
+    multi_intent_error_reduction,
+    preventable_error,
+    residual_error_reduction,
+)
+from repro.exceptions import EvaluationError
+
+binary_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=30)
+
+
+class TestBinaryEvaluation:
+    def test_perfect_predictions(self):
+        labels = np.array([1, 0, 1, 0])
+        result = evaluate_binary(labels, labels)
+        assert result.precision == result.recall == result.f1 == result.accuracy == 1.0
+
+    def test_known_confusion_counts(self):
+        predictions = np.array([1, 1, 0, 0])
+        labels = np.array([1, 0, 1, 0])
+        result = evaluate_binary(predictions, labels)
+        assert (result.true_positive, result.false_positive) == (1, 1)
+        assert (result.true_negative, result.false_negative) == (1, 1)
+        assert result.precision == 0.5 and result.recall == 0.5
+
+    def test_degenerate_cases(self):
+        assert evaluate_binary(np.zeros(4, int), np.zeros(4, int)).f1 == 0.0
+        assert evaluate_binary(np.zeros(4, int), np.ones(4, int)).recall == 0.0
+        assert evaluate_binary(np.ones(4, int), np.zeros(4, int)).precision == 0.0
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            evaluate_binary(np.array([2]), np.array([1]))
+        with pytest.raises(EvaluationError):
+            evaluate_binary(np.array([1, 0]), np.array([1]))
+
+    @given(binary_arrays)
+    @settings(max_examples=50)
+    def test_bounds_property(self, values):
+        labels = np.array(values)
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 2, size=len(values))
+        result = evaluate_binary(predictions, labels)
+        for value in result.as_dict().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_resolution_evaluation_matches_array_evaluation(self, toy_candidates):
+        predictions = np.array([1, 1, 0, 0, 0, 0, 0, 1, 0, 0])
+        labels = toy_candidates.labels("brand")
+        array_eval = evaluate_binary(predictions, labels)
+        resolution = Resolution.from_predictions(toy_candidates, predictions, "brand")
+        golden = Resolution.from_labels(toy_candidates, "brand")
+        set_eval = evaluate_resolution(resolution, golden)
+        assert set_eval.precision == pytest.approx(array_eval.precision)
+        assert set_eval.recall == pytest.approx(array_eval.recall)
+        assert set_eval.f1 == pytest.approx(array_eval.f1)
+
+
+class TestResidualErrorReduction:
+    def test_paper_semantics(self):
+        # Baseline F = 0.9, candidate F = 0.95 -> removed half of the residual error.
+        assert residual_error_reduction(0.95, 0.9) == pytest.approx(50.0)
+
+    def test_perfect_baseline_gives_zero(self):
+        assert residual_error_reduction(1.0, 1.0) == 0.0
+
+    def test_degradation_is_negative(self):
+        assert residual_error_reduction(0.8, 0.9) < 0
+
+    def test_bounds_validation(self):
+        with pytest.raises(EvaluationError):
+            residual_error_reduction(1.5, 0.5)
+
+
+class TestMultiIntentEvaluation:
+    def _solution(self, toy_candidates, flip_brand=False):
+        predictions = {
+            "equivalence": toy_candidates.labels("equivalence"),
+            "brand": toy_candidates.labels("brand"),
+        }
+        if flip_brand:
+            predictions["brand"] = 1 - predictions["brand"]
+        return MIERSolution(toy_candidates, predictions)
+
+    def test_perfect_solution(self, toy_candidates):
+        evaluation = evaluate_solution(self._solution(toy_candidates))
+        assert evaluation.mi_f1 == 1.0
+        assert evaluation.mi_accuracy == 1.0
+
+    def test_mi_accuracy_requires_all_intents_correct(self, toy_candidates):
+        evaluation = evaluate_solution(self._solution(toy_candidates, flip_brand=True))
+        assert evaluation.mi_accuracy == 0.0
+        assert evaluation.mi_f1 < 1.0
+
+    def test_mi_values_average_per_intent(self, toy_candidates):
+        evaluation = evaluate_solution(self._solution(toy_candidates, flip_brand=True))
+        per_intent_f1 = [e.f1 for e in evaluation.per_intent.values()]
+        assert evaluation.mi_f1 == pytest.approx(np.mean(per_intent_f1))
+
+    def test_error_reduction_between_solutions(self, toy_candidates):
+        better = evaluate_solution(self._solution(toy_candidates))
+        worse = evaluate_solution(self._solution(toy_candidates, flip_brand=True))
+        assert multi_intent_error_reduction(better, worse, "MI-F") > 0
+        with pytest.raises(EvaluationError):
+            multi_intent_error_reduction(better, worse, "unknown")
+
+
+class TestPreventableError:
+    def test_requires_subsuming_intents(self):
+        with pytest.raises(EvaluationError):
+            preventable_error({"a": np.array([1])}, {"a": np.array([0])}, "a", ())
+
+    def test_zero_when_no_false_positives(self):
+        predictions = {"narrow": np.array([0, 0, 1]), "broad": np.array([0, 1, 1])}
+        labels = {"narrow": np.array([0, 0, 1]), "broad": np.array([0, 1, 1])}
+        assert preventable_error(predictions, labels, "narrow", ("broad",)) == 0.0
+
+    def test_counts_preventable_false_positives(self):
+        # Pair 0: narrow FP while broad correctly predicts negative -> preventable.
+        # Pair 1: narrow FP but broad also (wrongly) predicts positive -> not preventable.
+        predictions = {"narrow": np.array([1, 1, 0, 0]), "broad": np.array([0, 1, 0, 1])}
+        labels = {"narrow": np.array([0, 0, 0, 0]), "broad": np.array([0, 0, 0, 1])}
+        value = preventable_error(predictions, labels, "narrow", ("broad",))
+        # True negatives of the OR of subsuming intents: pairs 0 and 2 -> denominator 2.
+        assert value == pytest.approx(0.5)
+
+    def test_missing_intent_raises(self):
+        with pytest.raises(EvaluationError):
+            preventable_error({"a": np.array([1])}, {"a": np.array([1])}, "a", ("b",))
+
+
+class TestReports:
+    def test_format_table_contains_values(self):
+        table = format_table(["Model", "F1"], [["FlexER", 0.9641]], title="Table 5")
+        assert "Table 5" in table
+        assert "FlexER" in table
+        assert "0.964" in table
+
+    def test_format_metric_rows(self):
+        headers, rows = format_metric_rows({"FlexER": {"MI-F": 0.9}}, ["MI-F"])
+        assert headers == ["Model", "MI-F"]
+        assert rows[0][0] == "FlexER"
+
+    def test_comparison_summary(self):
+        summary = comparison_summary({"a": {"f1": 0.5}, "b": {"f1": 0.7}}, "f1")
+        assert "b" in summary
+        assert comparison_summary({}, "f1").startswith("no results")

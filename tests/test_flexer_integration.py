@@ -1,0 +1,137 @@
+"""Integration tests for the end-to-end FlexER pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from repro.core import FlexER, MIERSolution
+from repro.evaluation import evaluate_solution
+from repro.exceptions import IntentError, MatchingError, NotFittedError
+from repro.matching import InParallelSolver, NaiveSolver
+
+
+@pytest.fixture(scope="module")
+def flexer_result(tiny_benchmark, fast_config):
+    """A single shared FlexER run over the tiny benchmark."""
+    flexer = FlexER(tiny_benchmark.intents, fast_config)
+    result = flexer.run_split(tiny_benchmark.split)
+    return flexer, result
+
+
+class TestFlexERPipeline:
+    def test_requires_intents_and_valid_source(self):
+        with pytest.raises(IntentError):
+            FlexER([])
+        with pytest.raises(MatchingError):
+            FlexER(["equivalence"], representation_source="transformer")
+
+    def test_predict_requires_fit(self, tiny_benchmark, fast_config):
+        flexer = FlexER(tiny_benchmark.intents, fast_config)
+        with pytest.raises(NotFittedError):
+            flexer.predict(tiny_benchmark.split.test)
+
+    def test_solution_covers_all_intents(self, tiny_benchmark, flexer_result):
+        _, result = flexer_result
+        solution = result.solution
+        assert set(solution.intents) == set(tiny_benchmark.intents)
+        for intent in tiny_benchmark.intents:
+            prediction = solution.prediction(intent)
+            assert prediction.shape == (len(tiny_benchmark.split.test),)
+            assert set(np.unique(prediction)) <= {0, 1}
+
+    def test_probabilities_are_valid(self, flexer_result):
+        _, result = flexer_result
+        for probabilities in result.solution.probabilities.values():
+            assert probabilities.min() >= 0.0 and probabilities.max() <= 1.0
+
+    def test_graph_dimensions(self, tiny_benchmark, flexer_result, fast_config):
+        _, result = flexer_result
+        split = tiny_benchmark.split
+        expected_pairs = len(split.train) + len(split.valid) + len(split.test)
+        assert result.graph.num_pairs == expected_pairs
+        assert result.graph.num_intents == len(tiny_benchmark.intents)
+        # Node features: the latent representation plus the matcher's score.
+        assert result.graph.feature_dim == fast_config.matcher.representation_dim + 1
+
+    def test_timings_recorded(self, flexer_result):
+        _, result = flexer_result
+        timings = result.timings
+        assert timings.matcher_training_seconds > 0
+        assert timings.graph_build_seconds > 0
+        assert timings.gnn_total_seconds > 0
+        assert set(result.timings.gnn_seconds_per_intent) == set(result.solution.intents)
+
+    def test_evaluation_is_reasonable(self, flexer_result):
+        _, result = flexer_result
+        evaluation = evaluate_solution(result.solution)
+        assert 0.0 <= evaluation.mi_accuracy <= 1.0
+        assert evaluation.mi_f1 > 0.3
+
+    def test_intent_subset_restricts_graph_and_targets(self, tiny_benchmark, fast_config):
+        flexer = FlexER(tiny_benchmark.intents, fast_config)
+        flexer.fit(tiny_benchmark.split.train, tiny_benchmark.split.valid)
+        subset = ("equivalence", "brand")
+        result = flexer.predict(
+            tiny_benchmark.split.test,
+            intent_subset=subset,
+            target_intents=("equivalence",),
+        )
+        assert result.graph.intents == subset
+        assert set(result.solution.intents) == {"equivalence"}
+
+    def test_target_outside_subset_rejected(self, tiny_benchmark, fast_config):
+        flexer = FlexER(tiny_benchmark.intents, fast_config)
+        flexer.fit(tiny_benchmark.split.train)
+        with pytest.raises(IntentError):
+            flexer.predict(
+                tiny_benchmark.split.test,
+                intent_subset=("equivalence",),
+                target_intents=("brand",),
+            )
+
+    def test_unknown_subset_intent_rejected(self, tiny_benchmark, fast_config):
+        flexer = FlexER(tiny_benchmark.intents, fast_config)
+        flexer.fit(tiny_benchmark.split.train)
+        with pytest.raises(IntentError):
+            flexer.predict(tiny_benchmark.split.test, intent_subset=("nonexistent",))
+
+    def test_multi_label_representation_source_runs(self, tiny_benchmark, fast_config):
+        flexer = FlexER(
+            tiny_benchmark.intents, fast_config, representation_source="multi_label"
+        )
+        result = flexer.run_split(tiny_benchmark.split, target_intents=("equivalence",))
+        assert set(result.solution.intents) == {"equivalence"}
+
+
+class TestExpectedResultShape:
+    """Coarse checks that the paper's qualitative findings hold."""
+
+    def test_flexer_beats_naive_on_mi_recall(self, tiny_benchmark, fast_config, flexer_result):
+        _, result = flexer_result
+        flexer_eval = evaluate_solution(result.solution)
+        naive = NaiveSolver(
+            tiny_benchmark.intents, matcher_config=fast_config.matcher
+        ).fit(tiny_benchmark.split.train)
+        naive_eval = evaluate_solution(
+            MIERSolution.from_mapping(
+                tiny_benchmark.split.test, naive.predict(tiny_benchmark.split.test)
+            )
+        )
+        assert flexer_eval.mi_recall > naive_eval.mi_recall
+        assert flexer_eval.mi_f1 > naive_eval.mi_f1
+
+    def test_flexer_at_least_matches_in_parallel(self, tiny_benchmark, fast_config, flexer_result):
+        _, result = flexer_result
+        flexer_eval = evaluate_solution(result.solution)
+        parallel = InParallelSolver(
+            tiny_benchmark.intents, matcher_config=fast_config.matcher
+        ).fit(tiny_benchmark.split.train)
+        parallel_eval = evaluate_solution(
+            MIERSolution.from_mapping(
+                tiny_benchmark.split.test, parallel.predict(tiny_benchmark.split.test)
+            )
+        )
+        # Allow a small tolerance: on the tiny test benchmark the gap can be noisy.
+        assert flexer_eval.mi_f1 >= parallel_eval.mi_f1 - 0.05

@@ -1,0 +1,208 @@
+"""Tests for layers, losses, and optimizers of the neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, EvaluationError
+from repro.nn import (
+    MLP,
+    Adam,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    l2_penalty,
+    multilabel_weighted_bce,
+)
+
+
+class TestModules:
+    def test_linear_shapes(self):
+        layer = Linear(4, 3)
+        out = layer(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_linear_without_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert sum(1 for _ in layer.parameters()) == 1
+
+    def test_parameters_are_collected_recursively(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_state_dict_round_trip(self):
+        model = MLP(4, (8,), 2)
+        state = model.state_dict()
+        for parameter in model.parameters():
+            parameter.data = parameter.data + 1.0
+        model.load_state_dict(state)
+        restored = model.state_dict()
+        for name in state:
+            assert np.allclose(state[name], restored[name])
+
+    def test_load_state_dict_validates(self):
+        model = MLP(4, (8,), 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"not.there": np.zeros((1,))})
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert all(not module.training for module in model)
+        model.train()
+        assert all(module.training for module in model)
+
+    def test_dropout_noop_in_eval(self):
+        dropout = Dropout(0.9, seed=1)
+        dropout.eval()
+        data = np.ones((4, 4))
+        assert np.array_equal(dropout(Tensor(data)).numpy(), data)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_activations(self):
+        x = Tensor(np.array([[-1.0, 2.0]]))
+        assert np.allclose(ReLU()(x).numpy(), [[0.0, 2.0]])
+        assert np.allclose(Tanh()(x).numpy(), np.tanh([[-1.0, 2.0]]))
+        assert np.allclose(Sigmoid()(x).numpy(), 1 / (1 + np.exp([[1.0, -2.0]])))
+
+    def test_mlp_hidden_representation_dim(self):
+        model = MLP(10, (16, 8), 2)
+        hidden = model.hidden_representation(Tensor(np.ones((3, 10))))
+        assert hidden.shape == (3, 8)
+        assert model(Tensor(np.ones((3, 10)))).shape == (3, 2)
+
+    def test_setattr_registers_parameters(self):
+        class Custom(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.zeros((2, 2)))
+
+        custom = Custom()
+        assert len(list(custom.parameters())) == 1
+
+
+class TestLosses:
+    def test_cross_entropy_prefers_correct_class(self):
+        good = cross_entropy(Tensor(np.array([[5.0, -5.0]])), [0]).item()
+        bad = cross_entropy(Tensor(np.array([[-5.0, 5.0]])), [0]).item()
+        assert good < bad
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(EvaluationError):
+            cross_entropy(Tensor(np.zeros((2, 2))), [0])
+        with pytest.raises(EvaluationError):
+            cross_entropy(Tensor(np.zeros(3)), [0, 1, 0])
+
+    def test_bce_with_logits_matches_manual(self):
+        logits = Tensor(np.array([[0.0], [2.0]]))
+        targets = np.array([[0.0], [1.0]])
+        loss = binary_cross_entropy_with_logits(logits, targets).item()
+        probabilities = 1 / (1 + np.exp(-np.array([0.0, 2.0])))
+        manual = -np.mean([np.log(1 - probabilities[0]), np.log(probabilities[1])])
+        assert loss == pytest.approx(manual, rel=1e-6)
+
+    def test_multilabel_bce_equal_weights_default(self):
+        logits = Tensor(np.zeros((4, 3)))
+        targets = np.zeros((4, 3))
+        loss = multilabel_weighted_bce(logits, targets).item()
+        assert loss == pytest.approx(-np.log(0.5), rel=1e-6)
+
+    def test_multilabel_bce_respects_weights(self):
+        logits = Tensor(np.array([[10.0, 10.0]]))
+        targets = np.array([[0.0, 1.0]])
+        light = multilabel_weighted_bce(logits, targets, [0.1, 1.0]).item()
+        heavy = multilabel_weighted_bce(logits, targets, [10.0, 1.0]).item()
+        assert heavy > light
+
+    def test_multilabel_bce_validates(self):
+        with pytest.raises(EvaluationError):
+            multilabel_weighted_bce(Tensor(np.zeros((2, 2))), np.zeros((2, 3)))
+        with pytest.raises(EvaluationError):
+            multilabel_weighted_bce(Tensor(np.zeros((2, 2))), np.zeros((2, 2)), [1.0])
+
+    def test_l2_penalty(self):
+        params = [Tensor(np.array([3.0, 4.0]), requires_grad=True)]
+        assert l2_penalty(params, 0.5).item() == pytest.approx(12.5)
+        assert l2_penalty([], 0.5).item() == 0.0
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer_factory) -> float:
+        parameter = Parameter(np.array([5.0]))
+        optimizer = optimizer_factory([parameter])
+        for _ in range(200):
+            loss = (Tensor(parameter.data, requires_grad=False) * 0).sum()  # placeholder
+            optimizer.zero_grad()
+            loss_tensor = (parameter * parameter).sum()
+            loss_tensor.backward()
+            optimizer.step()
+        return float(abs(parameter.data[0]))
+
+    def test_sgd_minimizes_quadratic(self):
+        final = self._quadratic_step(lambda p: SGD(p, lr=0.1))
+        assert final < 1e-3
+
+    def test_sgd_with_momentum_minimizes_quadratic(self):
+        final = self._quadratic_step(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        assert final < 1e-3
+
+    def test_adam_minimizes_quadratic(self):
+        final = self._quadratic_step(lambda p: Adam(p, lr=0.1))
+        assert final < 1e-2
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Adam([])
+
+    def test_invalid_hyperparameters(self):
+        parameter = Parameter(np.zeros(1))
+        with pytest.raises(ConfigurationError):
+            SGD([parameter], lr=-1)
+        with pytest.raises(ConfigurationError):
+            SGD([parameter], momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            Adam([parameter], lr=0)
+        with pytest.raises(ConfigurationError):
+            Adam([parameter], betas=(1.0, 0.9))
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        loss = (parameter * 0.0).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert abs(parameter.data[0]) < 1.0
+
+    def test_adam_training_mlp_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 8))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        model = MLP(8, (16,), 2, rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        first_loss = None
+        for _ in range(60):
+            logits = model(Tensor(x))
+            loss = cross_entropy(logits, y)
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.7

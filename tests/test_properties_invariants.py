@@ -1,0 +1,128 @@
+"""Cross-module property-based tests on core invariants.
+
+These tests exercise invariants that hold for *any* input: clustering is
+a partition, clean views keep exactly one representative per cluster,
+golden resolutions achieve perfect scores, blocking output is always
+admissible, and the intent-relationship derivation is consistent with
+the label matrix it was computed from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IntentSet, Resolution
+from repro.data.pairs import CandidateSet, LabeledPair, RecordPair
+from repro.data.records import Dataset, Record
+from repro.evaluation import evaluate_binary, evaluate_solution
+from repro.core.mier import MIERSolution
+
+
+def _dataset(num_records: int) -> Dataset:
+    records = [
+        Record(record_id=f"r{i:02d}", values={"title": f"product {i}"})
+        for i in range(num_records)
+    ]
+    return Dataset(records=records, name="synthetic", attributes=("title",))
+
+
+@st.composite
+def labeled_candidate_sets(draw):
+    """Random small candidate sets labeled for two intents where eq ⊆ broad."""
+    num_records = draw(st.integers(min_value=3, max_value=8))
+    dataset = _dataset(num_records)
+    ids = dataset.record_ids
+    all_pairs = [(a, b) for i, a in enumerate(ids) for b in ids[i + 1 :]]
+    chosen = draw(
+        st.lists(st.sampled_from(all_pairs), min_size=1, max_size=len(all_pairs), unique=True)
+    )
+    candidates = CandidateSet(dataset, intents=("equivalence", "broad"))
+    for left, right in chosen:
+        eq = draw(st.integers(0, 1))
+        # Enforce subsumption: equivalence positive implies broad positive.
+        broad = 1 if eq == 1 else draw(st.integers(0, 1))
+        candidates.add(
+            LabeledPair(pair=RecordPair(left, right), labels={"equivalence": eq, "broad": broad})
+        )
+    return dataset, candidates
+
+
+class TestResolutionInvariants:
+    @given(labeled_candidate_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_clusters_partition_the_dataset(self, data):
+        dataset, candidates = data
+        resolution = Resolution.from_labels(candidates, "broad")
+        clusters = resolution.clusters(dataset)
+        covered = [record_id for cluster in clusters for record_id in cluster]
+        assert sorted(covered) == sorted(dataset.record_ids)
+        assert len(covered) == len(set(covered))
+
+    @given(labeled_candidate_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_clean_view_has_one_representative_per_cluster(self, data):
+        dataset, candidates = data
+        resolution = Resolution.from_labels(candidates, "equivalence")
+        clusters = resolution.clusters(dataset)
+        clean = resolution.clean_view(dataset)
+        assert len(clean) == len(clusters)
+        for cluster in clusters:
+            assert len(cluster & set(clean.record_ids)) == 1
+
+    @given(labeled_candidate_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_broader_intent_never_merges_fewer_records(self, data):
+        """A subsuming intent has at least as many matched pairs, so its clean view is no larger."""
+        dataset, candidates = data
+        narrow = Resolution.from_labels(candidates, "equivalence")
+        broad = Resolution.from_labels(candidates, "broad")
+        assert narrow.pairs <= broad.pairs
+        assert len(broad.clean_view(dataset)) <= len(narrow.clean_view(dataset))
+
+
+class TestEvaluationInvariants:
+    @given(labeled_candidate_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_golden_predictions_score_perfectly(self, data):
+        _, candidates = data
+        solution = MIERSolution(
+            candidates,
+            predictions={intent: candidates.labels(intent) for intent in candidates.intents},
+        )
+        evaluation = evaluate_solution(solution)
+        assert evaluation.mi_f1 == pytest.approx(
+            np.mean([1.0 if candidates.labels(i).sum() else 0.0 for i in candidates.intents])
+        )
+        assert evaluation.mi_accuracy == 1.0
+
+    @given(labeled_candidate_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_flipping_predictions_never_improves_accuracy(self, data):
+        _, candidates = data
+        labels = candidates.labels("equivalence")
+        correct = evaluate_binary(labels, labels)
+        flipped = evaluate_binary(1 - labels, labels)
+        assert flipped.accuracy <= correct.accuracy
+
+
+class TestIntentRelationshipInvariants:
+    @given(labeled_candidate_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_derived_subsumption_matches_construction(self, data):
+        """The generator enforces eq ⊆ broad, so the derivation must find it."""
+        _, candidates = data
+        relationships = IntentSet.from_candidates(candidates).relationships(candidates)
+        assert relationships.is_sub_intent("equivalence", "broad")
+
+    @given(labeled_candidate_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_overlap_is_symmetric_and_implied_by_shared_positive(self, data):
+        _, candidates = data
+        relationships = IntentSet.from_candidates(candidates).relationships(candidates)
+        eq = candidates.labels("equivalence")
+        broad = candidates.labels("broad")
+        shares_positive = bool(np.any((eq == 1) & (broad == 1)))
+        assert relationships.overlapping("equivalence", "broad") == shares_positive
+        assert relationships.overlapping("broad", "equivalence") == shares_positive

@@ -1,0 +1,111 @@
+"""Tests (including property-based tests) for string similarity measures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.similarity import (
+    SIMILARITY_FUNCTIONS,
+    cosine_token_similarity,
+    dice_coefficient,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    overlap_coefficient,
+    qgram_jaccard,
+    token_jaccard,
+)
+
+short_text = st.text(alphabet="abcdefg 0123", max_size=12)
+
+
+class TestLevenshtein:
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_similarity_bounds(self):
+        assert levenshtein_similarity("nike", "nike") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert 0.0 <= levenshtein_similarity("nike", "adidas") < 1.0
+
+    @given(short_text, short_text)
+    @settings(max_examples=60)
+    def test_distance_is_symmetric_metric(self, left, right):
+        assert levenshtein_distance(left, right) == levenshtein_distance(right, left)
+        assert levenshtein_distance(left, right) >= abs(len(left) - len(right))
+        assert levenshtein_distance(left, right) <= max(len(left), len(right))
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+
+class TestJaro:
+    def test_identical_and_empty(self):
+        assert jaro_similarity("nike", "nike") == 1.0
+        assert jaro_similarity("", "nike") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        base = jaro_similarity("nikee", "nikes")
+        winkler = jaro_winkler_similarity("nikee", "nikes")
+        assert winkler >= base
+
+    @given(short_text, short_text)
+    @settings(max_examples=60)
+    def test_jaro_winkler_bounded_and_symmetric(self, left, right):
+        value = jaro_winkler_similarity(left, right)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(jaro_winkler_similarity(right, left))
+
+
+class TestSetSimilarities:
+    def test_jaccard_edge_cases(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+        assert jaccard_similarity({"a"}, set()) == 0.0
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_overlap_and_dice(self):
+        assert overlap_coefficient({"a", "b"}, {"b"}) == 1.0
+        assert dice_coefficient({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+        assert dice_coefficient(set(), set()) == 1.0
+
+    @given(st.sets(st.integers(0, 20)), st.sets(st.integers(0, 20)))
+    @settings(max_examples=60)
+    def test_jaccard_bounds_and_symmetry(self, left, right):
+        value = jaccard_similarity(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_similarity(right, left)
+        if left == right:
+            assert value == 1.0
+
+
+class TestTokenSimilarities:
+    def test_token_jaccard(self):
+        assert token_jaccard("nike air max", "nike air force") == pytest.approx(0.5)
+
+    def test_qgram_jaccard_identical(self):
+        assert qgram_jaccard("lunar force", "lunar force") == 1.0
+
+    def test_cosine_bounds(self):
+        assert cosine_token_similarity("a b c", "a b c") == pytest.approx(1.0)
+        assert cosine_token_similarity("a b", "c d") == 0.0
+        assert cosine_token_similarity("", "") == 1.0
+
+    def test_monge_elkan_handles_empty(self):
+        assert monge_elkan_similarity("", "") == 1.0
+        assert monge_elkan_similarity("nike", "") == 0.0
+
+    @given(short_text, short_text)
+    @settings(max_examples=40)
+    def test_registry_functions_are_bounded(self, left, right):
+        """Every registered similarity is within [0, 1] (loss features rely on it)."""
+        for name, function in SIMILARITY_FUNCTIONS.items():
+            value = function(left, right)
+            assert 0.0 <= value <= 1.0 + 1e-9, name

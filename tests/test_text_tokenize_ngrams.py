@@ -1,0 +1,89 @@
+"""Tests for tokenization and n-gram extraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.ngrams import char_ngrams, ngram_profile, shared_ngrams, word_ngrams
+from repro.text.tokenize import char_tokens, normalize, token_set, word_tokens
+
+text_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Zs"), whitelist_characters="-'/"),
+    max_size=40,
+)
+
+
+class TestTokenize:
+    def test_normalize_lowercases_and_strips_punctuation(self):
+        assert normalize("NIKE Men's, Air-Max!") == "nike men s air max"
+
+    def test_word_tokens_keep_apostrophes(self):
+        assert word_tokens("Men's Lunar Force") == ["men's", "lunar", "force"]
+
+    def test_char_tokens_drop_spaces_by_default(self):
+        assert char_tokens("a b") == ["a", "b"]
+        assert char_tokens("a b", keep_spaces=True) == ["a", " ", "b"]
+
+    def test_token_set_is_deduplicated(self):
+        assert token_set("nike nike air") == {"nike", "air"}
+
+    @given(text_strategy)
+    def test_normalize_is_idempotent(self, text):
+        assert normalize(normalize(text)) == normalize(text)
+
+
+class TestCharNgrams:
+    def test_short_string_returns_whole_string(self):
+        assert char_ngrams("abc", n=4) == ["abc"]
+
+    def test_empty_string_returns_empty_list(self):
+        assert char_ngrams("", n=4) == []
+
+    def test_expected_grams(self):
+        assert char_ngrams("abcde", n=3) == ["abc", "bcd", "cde"]
+
+    def test_padding_produces_boundary_grams(self):
+        grams = char_ngrams("ab", n=3, pad=True)
+        assert "##a" in grams and "b##" in grams
+
+    def test_invalid_n_raises(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", n=0)
+
+    @given(text_strategy, st.integers(min_value=1, max_value=6))
+    def test_gram_count_property(self, text, n):
+        """Number of n-grams is max(len - n + 1, 0 or 1) over the normalized text."""
+        grams = char_ngrams(text, n=n)
+        normalized = normalize(text)
+        if not normalized:
+            assert grams == []
+        elif len(normalized) < n:
+            assert grams == [normalized]
+        else:
+            assert len(grams) == len(normalized) - n + 1
+
+
+class TestWordNgrams:
+    def test_bigrams(self):
+        assert word_ngrams("nike air max", n=2) == ["nike air", "air max"]
+
+    def test_short_input(self):
+        assert word_ngrams("nike", n=2) == ["nike"]
+        assert word_ngrams("", n=2) == []
+
+    def test_invalid_n_raises(self):
+        with pytest.raises(ValueError):
+            word_ngrams("abc", n=0)
+
+
+class TestProfiles:
+    def test_ngram_profile_counts(self):
+        profile = ngram_profile(["abcd", "bcde"], n=4)
+        assert profile["abcd"] == 1
+        assert profile["bcde"] == 1
+
+    def test_shared_ngrams_symmetric(self):
+        left, right = "nike air max", "nike air force"
+        assert shared_ngrams(left, right) == shared_ngrams(right, left)
+        assert "nike" in {g for g in shared_ngrams(left, right)} or len(shared_ngrams(left, right)) > 0

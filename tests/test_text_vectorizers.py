@@ -1,0 +1,103 @@
+"""Tests for the hashing and TF-IDF vectorizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.text.vectorizers import (
+    HashingVectorizer,
+    HashingVectorizerConfig,
+    TfidfVectorizer,
+)
+
+
+class TestHashingVectorizer:
+    def test_deterministic(self):
+        vectorizer = HashingVectorizer()
+        first = vectorizer.transform_one("nike air max 2016")
+        second = vectorizer.transform_one("nike air max 2016")
+        assert np.array_equal(first, second)
+
+    def test_output_shape_and_norm(self):
+        config = HashingVectorizerConfig(n_features=64)
+        vectorizer = HashingVectorizer(config)
+        matrix = vectorizer.transform(["nike air", "adidas boost"])
+        assert matrix.shape == (2, 64)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_empty_text_gives_zero_vector(self):
+        vector = HashingVectorizer().transform_one("")
+        assert np.allclose(vector, 0.0)
+
+    def test_empty_corpus(self):
+        assert HashingVectorizer().transform([]).shape[0] == 0
+
+    def test_salt_changes_projection(self):
+        base = HashingVectorizer(HashingVectorizerConfig(n_features=64))
+        salted = HashingVectorizer(HashingVectorizerConfig(n_features=64, salt="x"))
+        text = "nike air max"
+        assert not np.array_equal(base.transform_one(text), salted.transform_one(text))
+
+    def test_similar_texts_are_closer_than_dissimilar(self):
+        vectorizer = HashingVectorizer()
+        anchor = vectorizer.transform_one("nike men air max running shoe")
+        near = vectorizer.transform_one("nike men air max running shoes")
+        far = vectorizer.transform_one("instant pot duo crisp pressure cooker")
+        assert anchor @ near > anchor @ far
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashingVectorizerConfig(n_features=0)
+        with pytest.raises(ConfigurationError):
+            HashingVectorizerConfig(char_ngram_sizes=(), use_word_tokens=False)
+
+    @given(st.text(alphabet="abcdef ", max_size=30))
+    @settings(max_examples=40)
+    def test_norm_bounded_property(self, text):
+        vector = HashingVectorizer().transform_one(text)
+        assert np.linalg.norm(vector) <= 1.0 + 1e-9
+
+
+class TestTfidfVectorizer:
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform(["nike"])
+
+    def test_fit_transform_shapes(self):
+        corpus = ["nike air max", "adidas ultraboost", "nike court vision"]
+        matrix = TfidfVectorizer().fit_transform(corpus)
+        assert matrix.shape[0] == 3
+        assert matrix.shape[1] > 0
+
+    def test_rows_are_l2_normalized(self):
+        corpus = ["nike air max", "adidas ultraboost shoes"]
+        matrix = TfidfVectorizer().fit_transform(corpus)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_min_df_filters_rare_tokens(self):
+        corpus = ["nike air", "nike force", "nike zoom"]
+        vectorizer = TfidfVectorizer(min_df=2).fit(corpus)
+        assert set(vectorizer.vocabulary_) == {"nike"}
+
+    def test_max_features_caps_vocabulary(self):
+        corpus = ["a b c d e", "a b c", "a b"]
+        vectorizer = TfidfVectorizer(max_features=2).fit(corpus)
+        assert len(vectorizer.vocabulary_) == 2
+
+    def test_rare_token_gets_higher_idf(self):
+        corpus = ["nike air", "nike force", "nike zoom pegasus"]
+        vectorizer = TfidfVectorizer().fit(corpus)
+        idf = vectorizer.idf_
+        vocab = vectorizer.vocabulary_
+        assert idf[vocab["pegasus"]] > idf[vocab["nike"]]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TfidfVectorizer(min_df=0)
+        with pytest.raises(ConfigurationError):
+            TfidfVectorizer(max_features=0)
