@@ -27,7 +27,7 @@ PAPER_TABLE5_MI_F = {
 
 @pytest.mark.benchmark(group="table5-mier")
 @pytest.mark.parametrize("dataset", DATASET_NAMES)
-def test_table5_mier(benchmark, store, dataset):
+def test_table5_mier(benchmark, store, settings, dataset):
     """Regenerate the Table 5 rows for one benchmark dataset."""
     # Baselines (cached across tables).
     evaluations = {}
@@ -66,7 +66,9 @@ def test_table5_mier(benchmark, store, dataset):
     )
     publish(f"table5_{dataset}", table)
 
-    # Result-shape assertions from the paper.
-    assert evaluations["naive"].mi_recall < evaluations["in_parallel"].mi_recall
-    assert evaluations["naive"].mi_f1 < evaluations["flexer"].mi_f1
-    assert evaluations["flexer"].mi_f1 >= evaluations["in_parallel"].mi_f1 - 0.05
+    # Result-shape assertions from the paper (one-epoch smoke models are
+    # not expected to reproduce the ranking).
+    if not settings.smoke:
+        assert evaluations["naive"].mi_recall < evaluations["in_parallel"].mi_recall
+        assert evaluations["naive"].mi_f1 < evaluations["flexer"].mi_f1
+        assert evaluations["flexer"].mi_f1 >= evaluations["in_parallel"].mi_f1 - 0.05

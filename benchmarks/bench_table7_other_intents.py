@@ -39,7 +39,7 @@ PAPER_TABLE7_FLEXER_F1 = {
 
 @pytest.mark.benchmark(group="table7-other-intents")
 @pytest.mark.parametrize("dataset", DATASET_NAMES)
-def test_table7_other_intents(benchmark, store, dataset):
+def test_table7_other_intents(benchmark, store, settings, dataset):
     """Regenerate the Table 7 rows for one benchmark dataset."""
     _, in_parallel = store.baseline(dataset, "in_parallel")
     _, multi_label = store.baseline(dataset, "multi_label")
@@ -94,4 +94,5 @@ def test_table7_other_intents(benchmark, store, dataset):
     # below the per-intent matcher there.
     mean_flexer = sum(flexer.per_intent[i].f1 for i in other_intents) / len(other_intents)
     mean_baseline = sum(in_parallel.per_intent[i].f1 for i in other_intents) / len(other_intents)
-    assert mean_flexer >= mean_baseline - 0.15
+    if not settings.smoke:
+        assert mean_flexer >= mean_baseline - 0.15

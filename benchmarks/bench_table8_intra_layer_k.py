@@ -5,8 +5,10 @@ The paper sweeps the number of intra-layer nearest-neighbour edges
 intent F1 at k = 0 and the average over the positive k values.  Adding
 intra-layer edges consistently helps (Table 8 reports +0.4% to +0.65%).
 
-The harness reruns the graph construction and equivalence-intent GNN for
-each k on AmazonMI (matchers are reused), reporting the same two columns.
+The sweep runs through the staged pipeline's :class:`BatchRunner`: the
+``k`` parameter only affects the graph-build stage, so every scenario
+after the first reuses the cached matcher-fit and representation
+artifacts and recomputes only the graph and the equivalence GNN.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.evaluation import evaluate_binary, format_table
+from repro.pipeline import BatchRunner, k_sweep
 
 from _harness import publish
 
@@ -32,21 +35,32 @@ DATASET = "amazon_mi"
 EQUIVALENCE = "equivalence"
 
 
-def _equivalence_f1(store, k: int) -> float:
-    result = store.flexer_result(
-        DATASET, target_intents=(EQUIVALENCE,), k_neighbors=k
-    )
-    labels = store.benchmark(DATASET).split.test.labels(EQUIVALENCE)
-    return evaluate_binary(result.solution.prediction(EQUIVALENCE), labels).f1
-
-
 @pytest.mark.benchmark(group="table8-intra-layer")
-def test_table8_intra_layer_edges(benchmark, store):
-    """Sweep k and compare k=0 against the average over k>0 (Table 8)."""
-    # Time one representative graph + GNN run (k=6, the AmazonMI optimum in the paper).
-    benchmark.pedantic(_equivalence_f1, args=(store, 6), rounds=1, iterations=1)
+def test_table8_intra_layer_edges(benchmark, store, settings):
+    """Sweep k through the BatchRunner and compare k=0 against k>0 (Table 8)."""
+    bench = store.benchmark(DATASET)
+    labels = bench.split.test.labels(EQUIVALENCE)
+    runner = BatchRunner(store.runner())
 
-    f1_by_k = {k: _equivalence_f1(store, k) for k in K_VALUES}
+    def sweep(k_values):
+        scenarios = k_sweep(
+            settings.flexer_config(), k_values, target_intents=(EQUIVALENCE,)
+        )
+        return runner.run(bench.split, bench.intents, scenarios, dataset=DATASET)
+
+    # Time one representative scenario (k=6, the AmazonMI optimum in the
+    # paper); it also warms the matcher-fit and representation caches.
+    benchmark.pedantic(sweep, args=((6,),), rounds=1, iterations=1)
+
+    runs = sweep(K_VALUES)
+    # The swept parameter only touches graph-build: every sweep scenario
+    # must reuse the cached matcher and representation artifacts.
+    assert all(run.skipped_expensive_stages for run in runs)
+
+    f1_by_k = {
+        k: evaluate_binary(run.result.solution.prediction(EQUIVALENCE), labels).f1
+        for k, run in zip(K_VALUES, runs)
+    }
     k0 = f1_by_k[0]
     k_positive_mean = float(np.mean([f1_by_k[k] for k in K_VALUES if k > 0]))
 
@@ -58,14 +72,24 @@ def test_table8_intra_layer_edges(benchmark, store):
         PAPER_TABLE8[DATASET]["k0"],
         PAPER_TABLE8[DATASET]["k_positive"],
     ]]
-    detail_rows = [[f"k={k}", value] for k, value in f1_by_k.items()]
+    detail_rows = [
+        [f"k={k}", value, "yes" if run.skipped_expensive_stages else "no"]
+        for (k, value), run in zip(f1_by_k.items(), runs)
+    ]
     table = format_table(
         ["Dataset", "F1 (k=0)", "F1 (k>0 avg)", "delta %", "paper k=0", "paper k>0"],
         rows,
         title="Table 8 — intra-layer edge analysis (equivalence F1)",
     )
-    detail = format_table(["k", "F1"], detail_rows, title="Per-k equivalence F1")
+    detail = format_table(
+        ["k", "F1", "matcher+repr cached"],
+        detail_rows,
+        title="Per-k equivalence F1 (staged-pipeline sweep)",
+    )
     publish("table8_intra_layer_k", table + "\n\n" + detail)
 
-    # Shape check: intra-layer edges do not hurt (paper: they help slightly).
-    assert k_positive_mean >= k0 - 0.05
+    # Shape check: intra-layer edges do not hurt (paper: they help
+    # slightly).  One-epoch smoke models are noise-level, so the quality
+    # comparison is skipped there (the cache assertions above still run).
+    if not settings.smoke:
+        assert k_positive_mean >= k0 - 0.05

@@ -37,9 +37,14 @@ EQUIVALENCE = "equivalence"
 @pytest.mark.benchmark(group="table9-runtime")
 @pytest.mark.parametrize("dataset", DATASET_NAMES)
 def test_table9_runtime(benchmark, store, settings, dataset):
-    """Measure the phases of a FlexER run (Table 9)."""
+    """Measure the phases of a FlexER run (Table 9).
+
+    The run executes through the staged pipeline; its timings report the
+    original compute time of each stage even when the artifact cache
+    served it, so the phase breakdown matches a cold run.
+    """
     result = store.flexer_result(dataset)
-    flexer = store.fitted_flexer(dataset)
+    config = settings.flexer_config()
     graph = result.graph
 
     # Dedicated measurement of the kNN search over one intent layer
@@ -48,7 +53,7 @@ def test_table9_runtime(benchmark, store, settings, dataset):
     index = ExactNearestNeighbors().fit(layer_features)
     benchmark.pedantic(
         index.search,
-        args=(layer_features, flexer.config.graph.k_neighbors),
+        args=(layer_features, config.graph.k_neighbors),
         kwargs={"exclude_self": True},
         rounds=1,
         iterations=1,
@@ -60,16 +65,16 @@ def test_table9_runtime(benchmark, store, settings, dataset):
     labels = split.train.labels(EQUIVALENCE)
     gnn_times = {}
     for num_layers in (2, 3):
-        config = GNNConfig(
+        gnn_config = GNNConfig(
             num_layers=num_layers,
-            hidden_dim=flexer.config.gnn.hidden_dim,
-            epochs=flexer.config.gnn.epochs,
-            seed=flexer.config.gnn.seed,
+            hidden_dim=config.gnn.hidden_dim,
+            epochs=config.gnn.epochs,
+            seed=config.gnn.seed,
         )
         import time
 
         start = time.perf_counter()
-        IntentNodeClassifier(config).fit_predict(graph, EQUIVALENCE, train_index, labels)
+        IntentNodeClassifier(gnn_config).fit_predict(graph, EQUIVALENCE, train_index, labels)
         gnn_times[num_layers] = time.perf_counter() - start
 
     timings = result.timings

@@ -2,15 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from _harness import RESULTS_DIR, BenchSettings, ExperimentStore
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run the harness at smoke scale (tiny datasets, 1 epoch) for CI",
+    )
+
+
 @pytest.fixture(scope="session")
-def settings() -> BenchSettings:
-    """Harness scale settings (environment-variable overridable)."""
-    return BenchSettings()
+def settings(request: pytest.FixtureRequest) -> BenchSettings:
+    """Harness scale settings (``--smoke`` / environment overridable)."""
+    smoke = request.config.getoption("--smoke") or os.environ.get("REPRO_BENCH_SMOKE")
+    return BenchSettings.make_smoke() if smoke else BenchSettings()
 
 
 @pytest.fixture(scope="session")

@@ -19,7 +19,7 @@ Quickstart
 True
 """
 
-from .config import FlexERConfig, MatcherConfig, GraphConfig, GNNConfig
+from .config import FlexERConfig, MatcherConfig, GraphConfig, GNNConfig, CacheConfig
 from .data import (
     Record,
     Dataset,
@@ -64,6 +64,7 @@ from .evaluation import (
     multi_intent_error_reduction,
     preventable_error,
 )
+from .pipeline import ArtifactCache, BatchRunner, PipelineRunner, Scenario
 from . import exceptions
 
 __version__ = "1.0.0"
@@ -73,6 +74,7 @@ __all__ = [
     "MatcherConfig",
     "GraphConfig",
     "GNNConfig",
+    "CacheConfig",
     "Record",
     "Dataset",
     "RecordPair",
@@ -111,6 +113,10 @@ __all__ = [
     "residual_error_reduction",
     "multi_intent_error_reduction",
     "preventable_error",
+    "ArtifactCache",
+    "BatchRunner",
+    "PipelineRunner",
+    "Scenario",
     "exceptions",
     "__version__",
 ]

@@ -27,6 +27,10 @@ class NeighborResult:
         """Neighbour indices of query ``row`` in increasing distance order."""
         return self.indices[row].tolist()
 
+    def neighbor_lists(self) -> list[list[int]]:
+        """All neighbour index lists at once (one ``tolist`` conversion)."""
+        return self.indices.tolist()
+
 
 class ExactNearestNeighbors:
     """Brute-force exact kNN index.
@@ -112,31 +116,42 @@ class ExactNearestNeighbors:
             raise ConfigurationError("queries must match the indexed dimensionality")
 
         n_indexed = self.num_indexed
+        num_queries = queries.shape[0]
         effective_k = min(k, n_indexed - (1 if exclude_self else 0))
         effective_k = max(effective_k, 0)
-        all_indices = np.zeros((queries.shape[0], effective_k), dtype=np.int64)
-        all_distances = np.zeros((queries.shape[0], effective_k), dtype=np.float64)
+        if effective_k == 0 or num_queries == 0:
+            return NeighborResult(
+                indices=np.zeros((num_queries, effective_k), dtype=np.int64),
+                distances=np.zeros((num_queries, effective_k), dtype=np.float64),
+            )
 
-        for start in range(0, queries.shape[0], self.chunk_size):
-            stop = min(start + self.chunk_size, queries.shape[0])
-            block = queries[start:stop]
-            distances = self._distances(block)
+        index_blocks: list[np.ndarray] = []
+        distance_blocks: list[np.ndarray] = []
+        for start in range(0, num_queries, self.chunk_size):
+            stop = min(start + self.chunk_size, num_queries)
+            distances = self._distances(queries[start:stop])
             if exclude_self:
-                for row in range(start, stop):
-                    self_index = query_offset + row
-                    if 0 <= self_index < n_indexed:
-                        distances[row - start, self_index] = np.inf
-            if effective_k == 0:
-                continue
+                rows = np.arange(start, stop, dtype=np.int64)
+                self_indices = query_offset + rows
+                in_range = (self_indices >= 0) & (self_indices < n_indexed)
+                distances[rows[in_range] - start, self_indices[in_range]] = np.inf
             order = np.argsort(distances, axis=1, kind="stable")[:, :effective_k]
-            all_indices[start:stop] = order
-            all_distances[start:stop] = np.take_along_axis(distances, order, axis=1)
+            index_blocks.append(order)
+            distance_blocks.append(np.take_along_axis(distances, order, axis=1))
 
-        return NeighborResult(indices=all_indices, distances=all_distances)
+        # A single chunk (the common case when chunk_size >= the query
+        # count) is returned as-is instead of being copied into a freshly
+        # allocated full result matrix.
+        if len(index_blocks) == 1:
+            return NeighborResult(indices=index_blocks[0], distances=distance_blocks[0])
+        return NeighborResult(
+            indices=np.concatenate(index_blocks, axis=0),
+            distances=np.concatenate(distance_blocks, axis=0),
+        )
 
     def kneighbors_graph(self, k: int) -> list[list[int]]:
         """Adjacency list of the kNN graph of the indexed data (self excluded)."""
         if self._data is None:
             raise ConfigurationError("the index must be fitted before searching")
         result = self.search(self._data, k, exclude_self=True)
-        return [result.neighbors_of(row) for row in range(self.num_indexed)]
+        return result.neighbor_lists()

@@ -133,6 +133,35 @@ class GNNConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Configuration of the pipeline's content-addressed artifact cache.
+
+    The cache is deliberately *not* part of :class:`FlexERConfig`: it has
+    no effect on results, so it never participates in stage fingerprints.
+
+    Attributes
+    ----------
+    directory:
+        Root directory of the on-disk store.  ``None`` keeps artifacts in
+        memory only (the default for tests and one-shot runs).
+    enabled:
+        When false every lookup misses and nothing is stored, which turns
+        the staged runner into a plain cold-path executor.
+    keep_in_memory:
+        Whether artifacts are also retained in an in-process map so
+        repeated lookups skip disk entirely.
+    """
+
+    directory: str | None = None
+    enabled: bool = True
+    keep_in_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.directory is not None and not str(self.directory):
+            raise ConfigurationError("cache directory must be a non-empty path or None")
+
+
+@dataclass(frozen=True)
 class FlexERConfig:
     """End-to-end configuration of the FlexER pipeline."""
 

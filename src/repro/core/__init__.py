@@ -3,7 +3,14 @@
 from .intents import Intent, IntentSet, IntentRelationships
 from .resolution import Resolution
 from .mier import MIERProblem, MIERSolution
-from .flexer import FlexER, FlexERConfig, FlexERResult, FlexERTimings
+from .flexer import (
+    FlexER,
+    FlexERConfig,
+    FlexERResult,
+    FlexERTimings,
+    combine_candidate_sets,
+    compute_representations,
+)
 
 __all__ = [
     "Intent",
@@ -16,4 +23,6 @@ __all__ = [
     "FlexERConfig",
     "FlexERResult",
     "FlexERTimings",
+    "combine_candidate_sets",
+    "compute_representations",
 ]

@@ -14,6 +14,12 @@ FlexER solves MIER in three phases:
    pairs of that intent's layer (validation pairs select the best epoch)
    and scores every pair of the layer; test-pair predictions form the
    intent's resolution.
+
+The phase boundaries are exposed as module-level functions
+(:func:`combine_candidate_sets`, :func:`compute_representations`) so the
+staged runner in :mod:`repro.pipeline` can execute — and cache — each
+phase as an addressable stage while :class:`FlexER` keeps the original
+one-shot API.
 """
 
 from __future__ import annotations
@@ -33,6 +39,54 @@ from ..graph.multiplex import MultiplexGraph
 from ..graph.sage import IntentNodeClassifier
 from ..matching.solvers import InParallelSolver, MultiLabelSolver
 from .mier import MIERSolution
+
+
+def combine_candidate_sets(
+    parts: Sequence[CandidateSet],
+) -> tuple[CandidateSet, list[np.ndarray]]:
+    """Concatenate candidate sets sharing a dataset; return index ranges.
+
+    This is the pipeline's canonical ordering contract: representations,
+    graph nodes, and GNN supervision indices all refer to positions in
+    the combined candidate set returned here.
+    """
+    non_empty = [part for part in parts if len(part) > 0]
+    if not non_empty:
+        raise MatchingError("cannot combine empty candidate sets")
+    dataset = non_empty[0].dataset
+    intents = non_empty[0].intents
+    combined = CandidateSet(dataset, intents=intents)
+    ranges: list[np.ndarray] = []
+    cursor = 0
+    for part in parts:
+        indices = np.arange(cursor, cursor + len(part), dtype=np.int64)
+        ranges.append(indices)
+        for labeled in part:
+            combined.add(labeled)
+        cursor += len(part)
+    return combined, ranges
+
+
+def compute_representations(
+    solver,
+    candidates: CandidateSet,
+    augment_with_scores: bool = True,
+) -> dict[str, np.ndarray]:
+    """Per-intent representations of ``candidates`` from a fitted solver.
+
+    When ``augment_with_scores`` is true each intent's latent matrix is
+    concatenated with the matcher's likelihood score for that intent, so
+    message propagation starts from the matcher's decision (Section
+    4.1.1).
+    """
+    representations = solver.representations(candidates)
+    if augment_with_scores:
+        probabilities = solver.predict_proba(candidates)
+        representations = {
+            intent: np.hstack([matrix, probabilities[intent][:, np.newaxis]])
+            for intent, matrix in representations.items()
+        }
+    return representations
 
 
 @dataclass
@@ -126,25 +180,6 @@ class FlexER:
             raise NotFittedError("FlexER must be fitted before predicting")
         return self._train
 
-    @staticmethod
-    def _combine(parts: list[CandidateSet]) -> tuple[CandidateSet, list[np.ndarray]]:
-        """Concatenate candidate sets sharing a dataset; return index ranges."""
-        non_empty = [part for part in parts if len(part) > 0]
-        if not non_empty:
-            raise MatchingError("cannot combine empty candidate sets")
-        dataset = non_empty[0].dataset
-        intents = non_empty[0].intents
-        combined = CandidateSet(dataset, intents=intents)
-        ranges: list[np.ndarray] = []
-        cursor = 0
-        for part in parts:
-            indices = np.arange(cursor, cursor + len(part), dtype=np.int64)
-            ranges.append(indices)
-            for labeled in part:
-                combined.add(labeled)
-            cursor += len(part)
-        return combined, ranges
-
     def _resolve_layer_intents(self, intent_subset: Sequence[str] | None) -> tuple[str, ...]:
         if intent_subset is None:
             return self.intents
@@ -163,13 +198,9 @@ class FlexER:
         """Compute representations and build the multiplex graph over ``candidates``."""
         layer_intents = self._resolve_layer_intents(intent_subset)
         start = time.perf_counter()
-        representations = self.solver.representations(candidates)
-        if self.augment_with_scores:
-            probabilities = self.solver.predict_proba(candidates)
-            representations = {
-                intent: np.hstack([matrix, probabilities[intent][:, np.newaxis]])
-                for intent, matrix in representations.items()
-            }
+        representations = compute_representations(
+            self.solver, candidates, self.augment_with_scores
+        )
         self.timings.representation_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -211,7 +242,7 @@ class FlexER:
         if valid is not None and len(valid) > 0:
             parts.append(valid)
         parts.append(test)
-        combined, ranges = self._combine(parts)
+        combined, ranges = combine_candidate_sets(parts)
         train_index = ranges[0]
         valid_index = ranges[1] if valid is not None and len(valid) > 0 else None
         test_index = ranges[-1]

@@ -8,6 +8,8 @@ from .serialization import (
     serialize_record,
     serialize_pair,
     serialize_candidates,
+    write_artifact,
+    read_artifact,
     CLS_TOKEN,
     SEP_TOKEN,
 )
@@ -25,6 +27,8 @@ __all__ = [
     "serialize_record",
     "serialize_pair",
     "serialize_candidates",
+    "write_artifact",
+    "read_artifact",
     "CLS_TOKEN",
     "SEP_TOKEN",
 ]

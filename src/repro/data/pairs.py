@@ -9,7 +9,7 @@ container used throughout the library.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np

@@ -1,4 +1,4 @@
-"""DITTO-style serialization of records and record pairs.
+"""DITTO-style serialization of records, pairs, and pipeline artifacts.
 
 DITTO (Example 2.2 of the paper) serializes a record pair into a single
 token sequence of the form::
@@ -7,14 +7,29 @@ token sequence of the form::
 
 and feeds it to a transformer.  Our matcher consumes the same serialized
 text through a hashed n-gram encoder, so the serialization format is the
-shared contract between the data layer and the matching layer.
+shared contract between the data layer and the matching layer.  The same
+serialized text doubles as the canonical byte representation used to
+fingerprint candidate data for the pipeline's content-addressed artifact
+cache (:mod:`repro.pipeline`).
+
+The module also provides the on-disk artifact format of that cache:
+:func:`write_artifact` / :func:`read_artifact` persist a mapping of numpy
+arrays plus a JSON metadata document as a single ``.npz`` file, written
+atomically and loaded with ``allow_pickle=False``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass
-from collections.abc import Iterable, Sequence
+from pathlib import Path
+from collections.abc import Iterable, Mapping, Sequence
 
+import numpy as np
+
+from ..exceptions import DataError
 from .pairs import RecordPair
 from .records import Dataset, Record
 
@@ -95,3 +110,88 @@ def serialize_candidates(
         right = dataset[pair.right_id]
         serialized.append(serialize_pair(left, right, config))
     return serialized
+
+
+# --------------------------------------------------------------- artifacts
+
+#: Reserved ``.npz`` entry holding the JSON metadata of an artifact.
+METADATA_KEY = "__artifact_metadata__"
+
+#: Namespace prefix applied to array keys inside the ``.npz`` container,
+#: so user-chosen keys can be arbitrary strings (``file`` would otherwise
+#: collide with ``np.savez``'s positional parameter).
+_ARRAY_PREFIX = "array::"
+
+#: File extension of persisted artifacts.
+ARTIFACT_SUFFIX = ".npz"
+
+
+def write_artifact(
+    path: str | Path,
+    arrays: Mapping[str, np.ndarray],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Persist named arrays plus JSON metadata as one ``.npz`` artifact.
+
+    The file is written atomically (temp file + rename) so concurrent
+    readers — e.g. parallel benchmark runs sharing a cache directory —
+    never observe a partially written artifact.
+
+    Parameters
+    ----------
+    path:
+        Target file path; the ``.npz`` suffix is appended when missing.
+    arrays:
+        Arrays to store.  Keys may be arbitrary strings except the
+        reserved :data:`METADATA_KEY`.
+    metadata:
+        JSON-serializable metadata stored alongside the arrays.
+    """
+    path = Path(path)
+    if path.suffix != ARTIFACT_SUFFIX:
+        path = path.with_name(path.name + ARTIFACT_SUFFIX)
+    if METADATA_KEY in arrays:
+        raise DataError(f"array key {METADATA_KEY!r} is reserved for metadata")
+    document = json.dumps(dict(metadata or {}), sort_keys=True).encode("utf-8")
+    payload: dict[str, np.ndarray] = {
+        f"{_ARRAY_PREFIX}{key}": np.ascontiguousarray(value)
+        for key, value in arrays.items()
+    }
+    payload[METADATA_KEY] = np.frombuffer(document, dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=ARTIFACT_SUFFIX
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(temp_name, path)
+    except BaseException:
+        if os.path.exists(temp_name):
+            os.unlink(temp_name)
+        raise
+    return path
+
+
+def read_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+    """Load an artifact written by :func:`write_artifact`.
+
+    Returns the ``(arrays, metadata)`` pair.  Raises :class:`DataError`
+    when the file is not a valid artifact.
+    """
+    path = Path(path)
+    if path.suffix != ARTIFACT_SUFFIX:
+        path = path.with_name(path.name + ARTIFACT_SUFFIX)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if METADATA_KEY not in data.files:
+                raise DataError(f"{path} is not a pipeline artifact (missing metadata)")
+            metadata = json.loads(bytes(data[METADATA_KEY].tobytes()).decode("utf-8"))
+            arrays = {
+                key[len(_ARRAY_PREFIX):]: data[key]
+                for key in data.files
+                if key.startswith(_ARRAY_PREFIX)
+            }
+    except (OSError, ValueError) as error:
+        raise DataError(f"cannot read artifact {path}: {error}") from error
+    return arrays, metadata

@@ -107,9 +107,10 @@ class IntentGraphBuilder:
                 continue
             index = ExactNearestNeighbors(metric=self.config.metric).fit(matrix)
             result = index.search(matrix, k, exclude_self=True)
+            neighbor_rows = result.neighbor_lists()
             for pair_index in range(graph.num_pairs):
                 target = graph.node_index(layer, pair_index)
-                for neighbor_pair in result.neighbors_of(pair_index):
+                for neighbor_pair in neighbor_rows[pair_index]:
                     source = graph.node_index(layer, int(neighbor_pair))
                     graph.add_edge(source, target)
                     count += 1

@@ -9,6 +9,8 @@ FlexER can also be built on top of this matcher.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 import numpy as np
 
 from ..config import MatcherConfig
@@ -163,6 +165,26 @@ class MultiLabelMatcher:
             losses.append(epoch_loss / max(batches, 1))
         self._model = model
         self.history = TrainingHistory(losses=losses)
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Parameter arrays of the fitted network (for artifact caching)."""
+        return self._require_model().state_dict()
+
+    def load_state_dict(
+        self, state: Mapping[str, np.ndarray], in_features: int
+    ) -> "MultiLabelMatcher":
+        """Rebuild the fitted network from :meth:`state_dict` arrays."""
+        model = _MultiHeadNetwork(
+            in_features=in_features,
+            hidden_dims=self.config.hidden_dims,
+            num_intents=len(self.intents),
+            rng=np.random.default_rng(self.config.seed),
+        )
+        model.load_state_dict(dict(state))
+        model.eval()
+        self._model = model
+        self.history = None
         return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:

@@ -10,6 +10,7 @@ multiplex intent graph (Section 4.1.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -107,6 +108,32 @@ class PairMatcher:
             losses.append(epoch_loss / max(batches, 1))
         self._model = model
         self.history = TrainingHistory(losses=losses)
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Parameter arrays of the fitted model (for artifact caching)."""
+        return self._require_model().state_dict()
+
+    def load_state_dict(
+        self, state: Mapping[str, np.ndarray], in_features: int
+    ) -> "PairMatcher":
+        """Rebuild the fitted model from :meth:`state_dict` arrays.
+
+        Restoring skips training entirely: the architecture is derived
+        from the matcher configuration plus ``in_features`` and the
+        parameters are loaded verbatim, so a restored matcher produces
+        byte-identical predictions and representations.
+        """
+        model = MLP(
+            in_features=in_features,
+            hidden_dims=self.config.hidden_dims,
+            out_features=2,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        model.load_state_dict(dict(state))
+        model.eval()
+        self._model = model
+        self.history = None
         return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:

@@ -17,6 +17,8 @@ per-intent latent representations for graph construction.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 import numpy as np
 
 from ..config import MatcherConfig
@@ -25,6 +27,23 @@ from ..exceptions import MatchingError, NotFittedError
 from .features import PairFeatureConfig, PairFeatureEncoder
 from .multilabel import MultiLabelMatcher
 from .pair_matcher import PairMatcher
+
+
+#: Separator between intent name and parameter name in solver state dicts.
+STATE_KEY_SEPARATOR = "::"
+
+
+def _group_solver_state(
+    state: Mapping[str, np.ndarray],
+) -> dict[str, dict[str, np.ndarray]]:
+    """Split ``intent::parameter`` keys into per-intent state dicts."""
+    grouped: dict[str, dict[str, np.ndarray]] = {}
+    for key, array in state.items():
+        intent, separator, name = key.partition(STATE_KEY_SEPARATOR)
+        if not separator or not name:
+            raise MatchingError(f"malformed solver state key: {key!r}")
+        grouped.setdefault(intent, {})[name] = array
+    return grouped
 
 
 class BaseSolver:
@@ -115,26 +134,54 @@ class InParallelSolver(BaseSolver):
         super().__init__(intents, matcher_config, feature_config)
         self.matchers: dict[str, PairMatcher] = {}
 
+    def _intent_config(self, index: int) -> MatcherConfig:
+        """Per-intent matcher configuration.
+
+        The seed varies per intent so the independently trained matchers
+        land in different latent spaces, as in the paper.
+        """
+        return MatcherConfig(
+            hidden_dims=self.matcher_config.hidden_dims,
+            n_features=self.matcher_config.n_features,
+            epochs=self.matcher_config.epochs,
+            batch_size=self.matcher_config.batch_size,
+            learning_rate=self.matcher_config.learning_rate,
+            weight_decay=self.matcher_config.weight_decay,
+            l2_similarity_features=self.matcher_config.l2_similarity_features,
+            seed=self.matcher_config.seed + index,
+        )
+
     def fit(self, train: CandidateSet) -> "InParallelSolver":
         """Train one matcher per intent on the same candidate pairs."""
         self._check_intents(train)
         features = self.encode(train)
         self.matchers = {}
         for index, intent in enumerate(self.intents):
-            # Vary the seed per intent so the independently trained
-            # matchers land in different latent spaces, as in the paper.
-            config = MatcherConfig(
-                hidden_dims=self.matcher_config.hidden_dims,
-                n_features=self.matcher_config.n_features,
-                epochs=self.matcher_config.epochs,
-                batch_size=self.matcher_config.batch_size,
-                learning_rate=self.matcher_config.learning_rate,
-                weight_decay=self.matcher_config.weight_decay,
-                l2_similarity_features=self.matcher_config.l2_similarity_features,
-                seed=self.matcher_config.seed + index,
-            )
-            matcher = PairMatcher(config)
+            matcher = PairMatcher(self._intent_config(index))
             matcher.fit(features, train.labels(intent))
+            self.matchers[intent] = matcher
+        self._fitted = True
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """All per-intent matcher parameters, keyed ``intent::parameter``."""
+        self._require_fitted()
+        state: dict[str, np.ndarray] = {}
+        for intent, matcher in self.matchers.items():
+            for name, array in matcher.state_dict().items():
+                state[f"{intent}{STATE_KEY_SEPARATOR}{name}"] = array
+        return state
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> "InParallelSolver":
+        """Restore every per-intent matcher from :meth:`state_dict` arrays."""
+        grouped = _group_solver_state(state)
+        missing = set(self.intents) - set(grouped)
+        if missing:
+            raise MatchingError(f"solver state is missing intents: {sorted(missing)}")
+        self.matchers = {}
+        for index, intent in enumerate(self.intents):
+            matcher = PairMatcher(self._intent_config(index))
+            matcher.load_state_dict(grouped[intent], self.encoder.dimension)
             self.matchers[intent] = matcher
         self._fitted = True
         return self
@@ -184,6 +231,17 @@ class MultiLabelSolver(BaseSolver):
         self._check_intents(train)
         features = self.encode(train)
         self.matcher.fit(features, train.label_matrix(self.intents))
+        self._fitted = True
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Parameters of the joint network (for artifact caching)."""
+        self._require_fitted()
+        return self.matcher.state_dict()
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> "MultiLabelSolver":
+        """Restore the joint network from :meth:`state_dict` arrays."""
+        self.matcher.load_state_dict(state, self.encoder.dimension)
         self._fitted = True
         return self
 

@@ -1,0 +1,239 @@
+"""Command-line entry point of the staged FlexER pipeline.
+
+Usage (module form)::
+
+    PYTHONPATH=src python -m repro.pipeline.cli run --dataset amazon_mi
+    PYTHONPATH=src python -m repro.pipeline.cli sweep-k --k-values 0,2,4,6
+    PYTHONPATH=src python -m repro.pipeline.cli cache --cache-dir .repro-cache
+
+``run`` executes the four pipeline stages once over a synthetic
+benchmark; ``sweep-k`` executes a Table-8-style grid through the
+:class:`~repro.pipeline.batch.BatchRunner`; ``cache`` inspects (or
+clears) an on-disk artifact cache.  With ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable) artifacts persist across
+invocations, so repeating a command — or sweeping around a previous run —
+skips matcher training and representation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections.abc import Sequence
+
+from ..config import CacheConfig, FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from ..datasets import benchmark_names, load_benchmark
+from ..evaluation import evaluate_binary, format_table
+from .batch import BatchRunner, k_sweep
+from .cache import ArtifactCache
+from .runner import PipelineResult, PipelineRunner
+
+#: Environment variable providing the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="amazon_mi",
+        choices=benchmark_names(),
+        help="synthetic benchmark to run on",
+    )
+    parser.add_argument("--num-pairs", type=int, default=240, help="candidate pairs")
+    parser.add_argument("--products", type=int, default=20, help="products per domain")
+    parser.add_argument("--seed", type=int, default=42, help="generator + model seed")
+    parser.add_argument("--matcher-epochs", type=int, default=10, help="matcher epochs")
+    parser.add_argument("--gnn-epochs", type=int, default=40, help="GraphSAGE epochs")
+    parser.add_argument(
+        "--representation-source",
+        default="in_parallel",
+        choices=("in_parallel", "multi_label"),
+        help="intent-based representation source (Section 5.2.2)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get(CACHE_DIR_ENV),
+        help=f"artifact cache directory (default: ${CACHE_DIR_ENV} or in-memory)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable artifact caching entirely"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the pipeline CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro.pipeline",
+        description="Staged FlexER pipeline with content-addressed artifact caching",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run the staged pipeline once")
+    _add_common_options(run)
+    run.add_argument("--k", type=int, default=6, help="intra-layer kNN neighbours")
+    run.add_argument(
+        "--intent-subset",
+        default=None,
+        help="comma-separated graph layers (default: all intents)",
+    )
+    run.add_argument(
+        "--target-intents",
+        default=None,
+        help="comma-separated intents to predict (default: the graph layers)",
+    )
+
+    sweep = commands.add_parser(
+        "sweep-k", help="sweep intra-layer k through the BatchRunner (Table 8)"
+    )
+    _add_common_options(sweep)
+    sweep.add_argument(
+        "--k-values",
+        default="0,2,4,6,8,10",
+        help="comma-separated k values to sweep",
+    )
+
+    cache = commands.add_parser("cache", help="inspect or clear an artifact cache")
+    cache.add_argument(
+        "--cache-dir",
+        default=os.environ.get(CACHE_DIR_ENV),
+        help=f"artifact cache directory (default: ${CACHE_DIR_ENV})",
+    )
+    cache.add_argument("--clear", action="store_true", help="delete every artifact")
+    return parser
+
+
+def _make_cache(args: argparse.Namespace) -> ArtifactCache:
+    if getattr(args, "no_cache", False):
+        return ArtifactCache(CacheConfig(enabled=False))
+    return ArtifactCache(CacheConfig(directory=args.cache_dir))
+
+
+def _make_config(args: argparse.Namespace, k_neighbors: int) -> FlexERConfig:
+    return FlexERConfig(
+        matcher=MatcherConfig(
+            hidden_dims=(64, 32),
+            n_features=256,
+            epochs=args.matcher_epochs,
+            seed=args.seed,
+        ),
+        graph=GraphConfig(k_neighbors=k_neighbors),
+        gnn=GNNConfig(hidden_dim=48, epochs=args.gnn_epochs, seed=args.seed),
+    )
+
+
+def _split_names(value: str | None) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    names = tuple(name.strip() for name in value.split(",") if name.strip())
+    return names or None
+
+
+def _print_stage_table(result: PipelineResult) -> None:
+    rows = [
+        [event.stage, event.status, event.elapsed_seconds]
+        for event in result.events
+    ]
+    print(format_table(["Stage", "Status", "Compute s"], rows, title="Pipeline stages"))
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    benchmark = load_benchmark(
+        args.dataset,
+        num_pairs=args.num_pairs,
+        products_per_domain=args.products,
+        seed=args.seed,
+    )
+    runner = PipelineRunner(
+        cache=_make_cache(args), representation_source=args.representation_source
+    )
+    result = runner.run(
+        benchmark.split,
+        benchmark.intents,
+        config=_make_config(args, k_neighbors=args.k),
+        intent_subset=_split_names(args.intent_subset),
+        target_intents=_split_names(args.target_intents),
+    )
+    rows = []
+    for intent in result.solution.intents:
+        labels = benchmark.split.test.labels(intent)
+        evaluation = evaluate_binary(result.solution.prediction(intent), labels)
+        rows.append([intent, evaluation.precision, evaluation.recall, evaluation.f1])
+    print(
+        format_table(
+            ["Intent", "P", "R", "F1"],
+            rows,
+            title=f"FlexER pipeline on {args.dataset} (test split)",
+        )
+    )
+    _print_stage_table(result)
+    print(f"cache: {runner.cache.stats.as_dict()}")
+    return 0
+
+
+def _command_sweep_k(args: argparse.Namespace) -> int:
+    benchmark = load_benchmark(
+        args.dataset,
+        num_pairs=args.num_pairs,
+        products_per_domain=args.products,
+        seed=args.seed,
+    )
+    k_values = [int(value) for value in args.k_values.split(",") if value.strip()]
+    target = benchmark.intents[0]
+    runner = PipelineRunner(
+        cache=_make_cache(args), representation_source=args.representation_source
+    )
+    scenarios = k_sweep(
+        _make_config(args, k_neighbors=6), k_values, target_intents=(target,)
+    )
+    runs = BatchRunner(runner).run(
+        benchmark.split, benchmark.intents, scenarios, dataset=args.dataset
+    )
+    labels = benchmark.split.test.labels(target)
+    rows = []
+    for run in runs:
+        evaluation = evaluate_binary(run.result.solution.prediction(target), labels)
+        rows.append(
+            [
+                run.scenario.name,
+                evaluation.f1,
+                "yes" if run.skipped_expensive_stages else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["Scenario", f"{target} F1", "matcher+repr cached"],
+            rows,
+            title=f"Intra-layer k sweep on {args.dataset} (Table 8 style)",
+        )
+    )
+    print(f"cache: {runner.cache.stats.as_dict()}")
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    if not args.cache_dir:
+        print("no cache directory given (use --cache-dir or $REPRO_CACHE_DIR)")
+        return 2
+    cache = ArtifactCache(CacheConfig(directory=args.cache_dir))
+    if args.clear:
+        cache.clear()
+        print(f"cleared artifact cache at {args.cache_dir}")
+        return 0
+    for key, value in cache.describe().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the pipeline CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "sweep-k":
+        return _command_sweep_k(args)
+    return _command_cache(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

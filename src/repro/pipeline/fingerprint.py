@@ -1,0 +1,109 @@
+"""Content fingerprints for pipeline stages.
+
+Every stage artifact is addressed by a SHA-256 digest of (a) the
+configuration that produced it and (b) the fingerprints of its inputs.
+Configurations are canonicalized through JSON with sorted keys; candidate
+data is fingerprinted through its DITTO serialization (the shared
+contract of :mod:`repro.data.serialization`) plus the label matrix, so
+two candidate sets with identical serialized pairs and labels hash the
+same regardless of how they were constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from dataclasses import asdict, is_dataclass
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..data.pairs import CandidateSet
+from ..data.serialization import serialize_candidates
+
+#: Length of the hexadecimal digests produced by this module.
+DIGEST_LENGTH = 64
+
+
+def fingerprint_array(array: np.ndarray) -> str:
+    """SHA-256 digest of an array's dtype, shape, and raw bytes."""
+    array = np.ascontiguousarray(array)
+    sha = hashlib.sha256()
+    sha.update(str(array.dtype).encode("utf-8"))
+    sha.update(str(array.shape).encode("utf-8"))
+    sha.update(array.tobytes())
+    return sha.hexdigest()
+
+
+def _jsonable(value: object) -> object:
+    """Coerce a value into something :func:`json.dumps` can canonicalize."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__, "fields": _jsonable(asdict(value))}
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": fingerprint_array(value)}
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def digest(*parts: object) -> str:
+    """SHA-256 digest of the canonical JSON encoding of ``parts``."""
+    sha = hashlib.sha256()
+    sha.update(canonical_json(list(parts)).encode("utf-8"))
+    return sha.hexdigest()
+
+
+#: Memoized fingerprints, weakly keyed by candidate-set identity.  The
+#: stored pair length guards against mutation: ``CandidateSet.add`` is
+#: the only mutator and strictly grows the set, so an unchanged length
+#: means unchanged content.
+_candidate_fingerprints: "weakref.WeakKeyDictionary[CandidateSet, tuple[int, str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def fingerprint_candidates(candidates: CandidateSet | None) -> str:
+    """Content fingerprint of a labeled candidate set.
+
+    The digest covers the DITTO-serialized text of every pair (in
+    candidate order), the intent names, and the full label matrix — the
+    exact inputs the matching and supervision stages consume.  ``None``
+    and empty candidate sets fingerprint to a distinct constant digest.
+    Fingerprints are memoized per candidate-set instance so batch grids
+    over one split do not re-serialize the data per scenario.
+    """
+    if candidates is None or len(candidates) == 0:
+        return digest("empty-candidate-set")
+    cached = _candidate_fingerprints.get(candidates)
+    if cached is not None and cached[0] == len(candidates):
+        return cached[1]
+    texts = serialize_candidates(candidates.dataset, candidates.pairs)
+    labels = candidates.label_matrix()
+    result = digest(
+        "candidate-set",
+        candidates.dataset.name,
+        list(candidates.intents),
+        texts,
+        fingerprint_array(labels),
+    )
+    _candidate_fingerprints[candidates] = (len(candidates), result)
+    return result
+
+
+def fingerprint_split(parts: Sequence[CandidateSet | None]) -> str:
+    """Fingerprint of an ordered sequence of candidate subsets."""
+    return digest("candidate-split", [fingerprint_candidates(part) for part in parts])

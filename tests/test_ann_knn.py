@@ -55,6 +55,27 @@ class TestExactNearestNeighbors:
         chunked = ExactNearestNeighbors(chunk_size=7).fit(data).search(data, k=3)
         whole = ExactNearestNeighbors(chunk_size=1024).fit(data).search(data, k=3)
         assert np.array_equal(chunked.indices, whole.indices)
+        # Distances agree up to BLAS rounding (block sizes differ per chunk).
+        assert np.allclose(chunked.distances, whole.distances)
+
+    def test_chunked_self_exclusion_matches_unchunked(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(23, 5))
+        chunked = ExactNearestNeighbors(chunk_size=4).fit(data).search(
+            data, k=4, exclude_self=True
+        )
+        whole = ExactNearestNeighbors(chunk_size=64).fit(data).search(
+            data, k=4, exclude_self=True
+        )
+        assert np.array_equal(chunked.indices, whole.indices)
+        assert all(row not in neighbors for row, neighbors in enumerate(chunked.neighbor_lists()))
+
+    def test_neighbor_lists_matches_neighbors_of(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(12, 3))
+        result = ExactNearestNeighbors().fit(data).search(data, k=2, exclude_self=True)
+        lists = result.neighbor_lists()
+        assert lists == [result.neighbors_of(row) for row in range(len(lists))]
 
     def test_kneighbors_graph_shape(self):
         rng = np.random.default_rng(1)

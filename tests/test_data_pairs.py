@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.data.pairs import CandidateSet, LabeledPair, RecordPair
-from repro.data.records import Dataset, Record
+from repro.data.records import Record
 from repro.exceptions import DataError, LabelingError
 
 record_ids = st.text(alphabet="abcdefgh", min_size=1, max_size=4)

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.data.splits import DatasetSplit, SplitRatio, split_candidates
+from repro.data.splits import SplitRatio, split_candidates
 from repro.exceptions import ConfigurationError
 
 

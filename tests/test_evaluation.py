@@ -8,7 +8,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.mier import MIERSolution
 from repro.core.resolution import Resolution
-from repro.data.pairs import RecordPair
 from repro.evaluation import (
     comparison_summary,
     evaluate_binary,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
 from repro.core import FlexER, MIERSolution
 from repro.evaluation import evaluate_solution
 from repro.exceptions import IntentError, MatchingError, NotFittedError
