@@ -30,7 +30,7 @@ Formatted result tables are printed and also written to
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
@@ -113,7 +113,7 @@ class ExperimentStore:
     def __init__(self, settings: BenchSettings) -> None:
         self.settings = settings
         self.cache = ArtifactCache()
-        self._runners: dict[str, PipelineRunner] = {}
+        self._runner: PipelineRunner | None = None
         self._benchmarks: dict[str, MIERBenchmark] = {}
         self._baselines: dict[tuple[str, str], tuple[MIERSolution, MultiIntentEvaluation]] = {}
         self._flexer_results: dict[tuple, FlexERResult] = {}
@@ -167,13 +167,17 @@ class ExperimentStore:
 
     # ----------------------------------------------------------------- flexer
 
-    def runner(self, representation_source: str = "in_parallel") -> PipelineRunner:
-        """The shared staged runner for a representation source."""
-        if representation_source not in self._runners:
-            self._runners[representation_source] = PipelineRunner(
-                cache=self.cache, representation_source=representation_source
-            )
-        return self._runners[representation_source]
+    @property
+    def runner(self) -> PipelineRunner:
+        """The one staged runner shared by every table (one cache).
+
+        The solver is no longer a runner property: it is a registry spec
+        on each run's config (``FlexERConfig.solver``), so one runner
+        serves every representation-source variant.
+        """
+        if self._runner is None:
+            self._runner = PipelineRunner(cache=self.cache)
+        return self._runner
 
     def pipeline_result(
         self,
@@ -181,14 +185,17 @@ class ExperimentStore:
         config: FlexERConfig | None = None,
         intent_subset: tuple[str, ...] | None = None,
         target_intents: tuple[str, ...] | None = None,
-        representation_source: str = "in_parallel",
+        solver: str = "in_parallel",
     ) -> PipelineResult:
         """Run the staged pipeline on ``dataset`` (artifact-cached)."""
         benchmark = self.benchmark(dataset)
-        return self.runner(representation_source).run(
+        config = config or self.settings.flexer_config()
+        if solver != "in_parallel":
+            config = replace(config, solver=solver)
+        return self.runner.run(
             benchmark.split,
             benchmark.intents,
-            config=config or self.settings.flexer_config(),
+            config=config,
             intent_subset=intent_subset,
             target_intents=target_intents,
         )

@@ -65,7 +65,7 @@ def test_ablation_representation_source(benchmark, store, settings):
     independent = evaluate_solution(store.flexer_result(DATASET).solution)
 
     def run_multi_task():
-        return store.pipeline_result(DATASET, representation_source="multi_label")
+        return store.pipeline_result(DATASET, solver="multi_label")
 
     multi_task_result = benchmark.pedantic(run_multi_task, rounds=1, iterations=1)
     multi_task = evaluate_solution(multi_task_result.solution)

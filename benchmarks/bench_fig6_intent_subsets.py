@@ -55,7 +55,7 @@ def test_fig6_intent_subsets(benchmark, store, settings):
     intents = bench.intents
     labels = bench.split.test.labels(EQUIVALENCE)
     subsets = _subsets_containing_equivalence(intents)
-    runner = BatchRunner(store.runner())
+    runner = BatchRunner(store.runner)
 
     def sweep(subset_list):
         scenarios = intent_subset_grid(

@@ -40,7 +40,7 @@ def test_table8_intra_layer_edges(benchmark, store, settings):
     """Sweep k through the BatchRunner and compare k=0 against k>0 (Table 8)."""
     bench = store.benchmark(DATASET)
     labels = bench.split.test.labels(EQUIVALENCE)
-    runner = BatchRunner(store.runner())
+    runner = BatchRunner(store.runner)
 
     def sweep(k_values):
         scenarios = k_sweep(

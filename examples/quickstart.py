@@ -6,6 +6,10 @@ title only, five resolution intents), runs the FlexER pipeline
 per intent), evaluates it with the paper's measures, and prints one clean
 dataset view per intent.
 
+To start from *raw records* instead of a pre-built candidate split —
+blocking, label attachment, and splitting included — see
+``examples/end_to_end_resolve.py`` and :func:`repro.resolve`.
+
 Run with::
 
     python examples/quickstart.py

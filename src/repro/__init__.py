@@ -8,12 +8,17 @@ propagation, the MIER baselines (Naïve, In-parallel, Multi-label), and
 the evaluation measures of the paper (MI-P/R/F, MI-Acc, residual-error
 reduction, preventable error).
 
+The public API is composable: every pluggable component (solver,
+blocker, graph builder, intent classifier) is named by a registry spec
+in :class:`FlexERConfig` and built through :mod:`repro.registry`, and
+:func:`repro.resolve` runs the whole stack — blocking, labeling,
+splitting, staged FlexER — from raw records.
+
 Quickstart
 ----------
->>> from repro import load_benchmark, FlexER, FlexERConfig, evaluate_solution
+>>> from repro import load_benchmark, FlexERConfig, evaluate_solution, resolve
 >>> benchmark = load_benchmark("amazon_mi", num_pairs=200, products_per_domain=20)
->>> flexer = FlexER(benchmark.intents, FlexERConfig.fast())
->>> result = flexer.run_split(benchmark.split)
+>>> result = resolve(benchmark.split, config=FlexERConfig.fast())
 >>> evaluation = evaluate_solution(result.solution)
 >>> 0.0 <= evaluation.mi_f1 <= 1.0
 True
@@ -38,7 +43,7 @@ from .datasets import (
     make_walmart_amazon,
     make_wdc,
 )
-from .blocking import QGramBlocker, TokenBlocker
+from .blocking import Blocker, FullBlocker, QGramBlocker, TokenBlocker
 from .matching import (
     PairFeatureEncoder,
     PairMatcher,
@@ -58,14 +63,18 @@ from .core import (
     FlexERResult,
 )
 from .evaluation import (
+    BlockingQuality,
     evaluate_binary,
+    evaluate_blocking,
     evaluate_solution,
     residual_error_reduction,
     multi_intent_error_reduction,
     preventable_error,
 )
 from .pipeline import ArtifactCache, BatchRunner, PipelineRunner, Scenario
+from .resolver import Resolver, ResolverResult, resolve
 from . import exceptions
+from . import registry
 
 __version__ = "1.0.0"
 
@@ -89,6 +98,8 @@ __all__ = [
     "make_amazon_mi",
     "make_walmart_amazon",
     "make_wdc",
+    "Blocker",
+    "FullBlocker",
     "QGramBlocker",
     "TokenBlocker",
     "PairFeatureEncoder",
@@ -108,7 +119,9 @@ __all__ = [
     "MIERSolution",
     "FlexER",
     "FlexERResult",
+    "BlockingQuality",
     "evaluate_binary",
+    "evaluate_blocking",
     "evaluate_solution",
     "residual_error_reduction",
     "multi_intent_error_reduction",
@@ -117,6 +130,10 @@ __all__ = [
     "BatchRunner",
     "PipelineRunner",
     "Scenario",
+    "Resolver",
+    "ResolverResult",
+    "resolve",
     "exceptions",
+    "registry",
     "__version__",
 ]

@@ -1,0 +1,68 @@
+"""Component-spec normalization (shared leaf module).
+
+Both :mod:`repro.config` (which stores component specs) and
+:mod:`repro.registry` (which builds components from them) need the same
+canonicalization, and the two sit on opposite sides of the import graph
+— so the normalizer lives here, importing nothing but the exception
+hierarchy.  See :mod:`repro.registry.core` for the spec contract.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .exceptions import RegistryError
+
+#: Canonical spec keys.
+SPEC_TYPE_KEY = "type"
+SPEC_PARAMS_KEY = "params"
+
+
+def plain_value(value: object, context: str) -> object:
+    """Recursively coerce a spec parameter into JSON-plain form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): plain_value(item, context) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(plain_value(item, context) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [plain_value(item, context) for item in value]
+    raise RegistryError(
+        f"{context}: spec parameters must be JSON-plain "
+        f"(str/int/float/bool/None/list/dict), got {type(value).__name__}"
+    )
+
+
+def normalize_spec(spec: object, context: str = "component spec") -> dict[str, object]:
+    """Normalize a spec to the canonical ``{"type": ..., "params": {...}}`` form.
+
+    Accepts a bare string key, a flat mapping (``{"type": "qgram",
+    "q": 3}``), or the canonical nested form.  The result contains only
+    JSON-plain values, making it deterministic under
+    :func:`repro.pipeline.canonical_json` fingerprinting.
+    """
+    if isinstance(spec, str):
+        if not spec:
+            raise RegistryError(f"{context}: component key must be a non-empty string")
+        return {SPEC_TYPE_KEY: spec, SPEC_PARAMS_KEY: {}}
+    if isinstance(spec, Mapping):
+        mapping = dict(spec)
+        key = mapping.pop(SPEC_TYPE_KEY, None)
+        if not isinstance(key, str) or not key:
+            raise RegistryError(f"{context}: spec mapping requires a non-empty 'type' string")
+        params = mapping.pop(SPEC_PARAMS_KEY, None)
+        if params is None:
+            params = mapping
+        elif mapping:
+            extra = ", ".join(sorted(mapping))
+            raise RegistryError(
+                f"{context}: spec mixes a 'params' mapping with flat parameters ({extra})"
+            )
+        if not isinstance(params, Mapping):
+            raise RegistryError(f"{context}: spec 'params' must be a mapping")
+        plain = {str(name): plain_value(value, context) for name, value in params.items()}
+        return {SPEC_TYPE_KEY: key, SPEC_PARAMS_KEY: plain}
+    raise RegistryError(
+        f"{context}: spec must be a string key or a mapping, got {type(spec).__name__}"
+    )

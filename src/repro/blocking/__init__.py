@@ -1,12 +1,14 @@
 """Blocking phase: candidate pair generation."""
 
 from .base import Blocker, BlockingReport
+from .full import FullBlocker
 from .qgram import QGramBlocker
 from .token import TokenBlocker, DEFAULT_STOPWORDS
 
 __all__ = [
     "Blocker",
     "BlockingReport",
+    "FullBlocker",
     "QGramBlocker",
     "TokenBlocker",
     "DEFAULT_STOPWORDS",

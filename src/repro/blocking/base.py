@@ -10,13 +10,24 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from collections.abc import Mapping
 
 from ..data.pairs import RecordPair
 from ..data.records import Dataset
 
 
 class Blocker(abc.ABC):
-    """Base class for blocking strategies."""
+    """Base class for blocking strategies.
+
+    Every concrete blocker is registered in
+    :data:`repro.registry.BLOCKERS` under :attr:`spec_type` and
+    serializes to a plain-dict spec via :meth:`to_spec`, so blocking
+    configurations participate in pipeline fingerprints and round-trip
+    through ``registry.create``.
+    """
+
+    #: Registry key of the concrete blocker (set by subclasses).
+    spec_type: str = ""
 
     @abc.abstractmethod
     def block(self, dataset: Dataset) -> list[RecordPair]:
@@ -27,6 +38,15 @@ class Blocker(abc.ABC):
         (clean-clean resolution) — never pair two records of the same
         source.
         """
+
+    @abc.abstractmethod
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the blocker into a registry spec (plain dict)."""
+
+    @classmethod
+    def from_spec(cls, params: Mapping[str, object]) -> "Blocker":
+        """Construct the blocker from the parameters of a spec."""
+        return cls(**params)
 
     @staticmethod
     def allow_pair(dataset: Dataset, left_id: str, right_id: str, cross_source_only: bool) -> bool:

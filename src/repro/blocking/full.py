@@ -1,0 +1,68 @@
+"""Exhaustive cross-product blocking.
+
+The trivial blocker: every admissible record pair is a candidate.  It is
+the ``C = D × D`` baseline of Section 2.1 — the candidate space blocking
+is meant to reduce — and doubles as the golden-standard enumerator the
+blocking-quality metrics (pair completeness) are computed against on
+datasets small enough to label exhaustively.
+"""
+
+from __future__ import annotations
+
+from ..data.pairs import RecordPair
+from ..data.records import Dataset
+from ..exceptions import BlockingError
+from .base import Blocker
+
+
+class FullBlocker(Blocker):
+    """Emit every admissible pair of the dataset (quadratic — use with care).
+
+    Parameters
+    ----------
+    cross_source_only:
+        Restrict pairs to records from different sources (clean-clean).
+    max_records:
+        Guard rail: datasets larger than this raise instead of silently
+        materializing a quadratic candidate set; ``None`` disables it.
+    """
+
+    spec_type = "full"
+
+    def __init__(
+        self,
+        cross_source_only: bool = False,
+        max_records: int | None = 2000,
+    ) -> None:
+        if max_records is not None and max_records < 2:
+            raise BlockingError("max_records must be at least 2 when given")
+        self.cross_source_only = cross_source_only
+        self.max_records = max_records
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the blocker configuration into a registry spec."""
+        return {
+            "type": self.spec_type,
+            "params": {
+                "cross_source_only": self.cross_source_only,
+                "max_records": self.max_records,
+            },
+        }
+
+    def block(self, dataset: Dataset) -> list[RecordPair]:
+        """Return every admissible pair, in canonical sorted order."""
+        if self.max_records is not None and len(dataset) > self.max_records:
+            raise BlockingError(
+                f"FullBlocker refuses {len(dataset)} records "
+                f"(max_records={self.max_records}); raise the cap explicitly "
+                f"or use a reducing blocker"
+            )
+        record_ids = sorted(dataset.record_ids)
+        # Iterating the sorted ids with left < right already yields
+        # canonical (left_id, right_id) lexicographic order.
+        return [
+            RecordPair(left_id, right_id)
+            for i, left_id in enumerate(record_ids)
+            for right_id in record_ids[i + 1 :]
+            if self.allow_pair(dataset, left_id, right_id, self.cross_source_only)
+        ]

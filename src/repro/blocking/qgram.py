@@ -38,6 +38,8 @@ class QGramBlocker(Blocker):
         blow-up); ``None`` disables the cap.
     """
 
+    spec_type = "qgram"
+
     def __init__(
         self,
         q: int = 4,
@@ -57,6 +59,19 @@ class QGramBlocker(Blocker):
         self.attributes = tuple(attributes) if attributes is not None else None
         self.cross_source_only = cross_source_only
         self.max_block_size = max_block_size
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the blocker configuration into a registry spec."""
+        return {
+            "type": self.spec_type,
+            "params": {
+                "q": self.q,
+                "min_shared": self.min_shared,
+                "attributes": list(self.attributes) if self.attributes is not None else None,
+                "cross_source_only": self.cross_source_only,
+                "max_block_size": self.max_block_size,
+            },
+        }
 
     def block(self, dataset: Dataset) -> list[RecordPair]:
         """Return the candidate pairs sharing at least ``min_shared`` q-grams."""

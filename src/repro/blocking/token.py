@@ -39,8 +39,10 @@ class TokenBlocker(Blocker):
     max_block_size:
         Tokens indexing more than this many records are skipped.
     stopwords:
-        Tokens never used as blocking keys.
+        Tokens never used as blocking keys (any iterable of strings).
     """
+
+    spec_type = "token"
 
     def __init__(
         self,
@@ -49,7 +51,7 @@ class TokenBlocker(Blocker):
         attributes: Iterable[str] | None = None,
         cross_source_only: bool = False,
         max_block_size: int | None = 200,
-        stopwords: frozenset[str] = DEFAULT_STOPWORDS,
+        stopwords: Iterable[str] = DEFAULT_STOPWORDS,
     ) -> None:
         if min_shared <= 0:
             raise BlockingError("min_shared must be positive")
@@ -60,7 +62,21 @@ class TokenBlocker(Blocker):
         self.attributes = tuple(attributes) if attributes is not None else None
         self.cross_source_only = cross_source_only
         self.max_block_size = max_block_size
-        self.stopwords = stopwords
+        self.stopwords = frozenset(stopwords)
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the blocker configuration into a registry spec."""
+        return {
+            "type": self.spec_type,
+            "params": {
+                "min_shared": self.min_shared,
+                "min_token_length": self.min_token_length,
+                "attributes": list(self.attributes) if self.attributes is not None else None,
+                "cross_source_only": self.cross_source_only,
+                "max_block_size": self.max_block_size,
+                "stopwords": sorted(self.stopwords),
+            },
+        }
 
     def _keys(self, text: str) -> set[str]:
         return {

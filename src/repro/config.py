@@ -10,8 +10,10 @@ benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, asdict
+from collections.abc import Mapping
 from typing import Any
 
+from ._spec import normalize_spec
 from .exceptions import ConfigurationError
 
 
@@ -163,11 +165,42 @@ class CacheConfig:
 
 @dataclass(frozen=True)
 class FlexERConfig:
-    """End-to-end configuration of the FlexER pipeline."""
+    """End-to-end configuration of the FlexER pipeline.
+
+    Besides the hyper-parameter sections, the configuration names the
+    pluggable components of a run as *registry specs* — either a bare
+    string key or a ``{"type": ..., **params}`` mapping (see
+    :mod:`repro.registry`).  Specs are normalized to the canonical
+    ``{"type": ..., "params": {...}}`` form at construction, so two ways
+    of writing the same component fingerprint identically and warm
+    pipeline re-runs hit the artifact cache.
+
+    Attributes
+    ----------
+    solver:
+        The intent-representation solver (``"in_parallel"`` — the
+        paper's main configuration, ``"multi_label"``, or ``"naive"``).
+    blocker:
+        The blocking strategy used by :func:`repro.resolve` when
+        starting from raw records (``"qgram"``, ``"token"``, ``"full"``).
+    graph_builder:
+        The multiplex graph construction (``"intent_graph"``).
+    classifier:
+        The per-intent node classifier (``"graphsage"``).
+    """
 
     matcher: MatcherConfig = field(default_factory=MatcherConfig)
     graph: GraphConfig = field(default_factory=GraphConfig)
     gnn: GNNConfig = field(default_factory=GNNConfig)
+    solver: str | Mapping[str, Any] = "in_parallel"
+    blocker: str | Mapping[str, Any] = "qgram"
+    graph_builder: str | Mapping[str, Any] = "intent_graph"
+    classifier: str | Mapping[str, Any] = "graphsage"
+
+    def __post_init__(self) -> None:
+        for name in ("solver", "blocker", "graph_builder", "classifier"):
+            spec = normalize_spec(getattr(self, name), context=f"FlexERConfig.{name}")
+            object.__setattr__(self, name, spec)
 
     def to_dict(self) -> dict[str, Any]:
         """Return a plain-dict view suitable for logging or JSON dumps."""

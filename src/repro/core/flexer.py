@@ -25,6 +25,7 @@ one-shot API.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -34,11 +35,12 @@ from ..config import FlexERConfig
 from ..data.pairs import CandidateSet
 from ..data.splits import DatasetSplit
 from ..exceptions import IntentError, MatchingError, NotFittedError
-from ..graph.builder import IntentGraphBuilder
 from ..graph.multiplex import MultiplexGraph
-from ..graph.sage import IntentNodeClassifier
-from ..matching.solvers import InParallelSolver, MultiLabelSolver
+from ..registry import GRAPH_BUILDERS, INTENT_CLASSIFIERS, SOLVERS
 from .mier import MIERSolution
+
+#: Values the deprecated ``representation_source`` argument accepted.
+_LEGACY_REPRESENTATION_SOURCES = ("in_parallel", "multi_label")
 
 
 def combine_candidate_sets(
@@ -117,17 +119,22 @@ class FlexERResult:
 class FlexER:
     """End-to-end FlexER solver for the MIER problem.
 
+    Every pluggable component — the representation solver, the graph
+    builder, and the per-intent classifier — is constructed through
+    :mod:`repro.registry` from the specs in ``config``
+    (``config.solver``, ``config.graph_builder``, ``config.classifier``),
+    so swapping a backend is a config change, not a code change.
+
     Parameters
     ----------
     intents:
         Ordered intent names the solver is trained for.
     config:
-        Matcher, graph, and GNN hyper-parameters.
+        Matcher, graph, and GNN hyper-parameters plus component specs.
     representation_source:
-        ``"in_parallel"`` trains independent per-intent matchers
-        (Section 5.2.2, the configuration used for the main results);
-        ``"multi_label"`` uses the multi-task network's per-intent
-        representations instead.
+        Deprecated alias for ``config.solver`` (``"in_parallel"`` or
+        ``"multi_label"``); kept for backward compatibility and
+        overrides the config's spec when given.
     augment_with_scores:
         When true (default), each node's initial feature vector is the
         matcher's latent pair representation concatenated with its
@@ -140,27 +147,41 @@ class FlexER:
         self,
         intents: Sequence[str],
         config: FlexERConfig | None = None,
-        representation_source: str = "in_parallel",
+        representation_source: str | None = None,
         augment_with_scores: bool = True,
     ) -> None:
         if not intents:
             raise IntentError("FlexER requires at least one intent")
-        if representation_source not in ("in_parallel", "multi_label"):
-            raise MatchingError(
-                f"unknown representation source: {representation_source!r}"
-            )
         self.intents = tuple(intents)
         self.config = config or FlexERConfig()
-        self.representation_source = representation_source
+        solver_spec = self.config.solver
+        if representation_source is not None:
+            if representation_source not in _LEGACY_REPRESENTATION_SOURCES:
+                raise MatchingError(
+                    f"unknown representation source: {representation_source!r}"
+                )
+            warnings.warn(
+                "FlexER(representation_source=...) is deprecated; pass "
+                "FlexERConfig(solver=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            solver_spec = representation_source
         self.augment_with_scores = augment_with_scores
-        if representation_source == "in_parallel":
-            self.solver = InParallelSolver(self.intents, self.config.matcher)
-        else:
-            self.solver = MultiLabelSolver(self.intents, self.config.matcher)
-        self.graph_builder = IntentGraphBuilder(self.config.graph)
+        self.solver = SOLVERS.create(
+            solver_spec, intents=self.intents, matcher_config=self.config.matcher
+        )
+        self.graph_builder = GRAPH_BUILDERS.create(
+            self.config.graph_builder, config=self.config.graph
+        )
         self._train: CandidateSet | None = None
         self._valid: CandidateSet | None = None
         self.timings = FlexERTimings()
+
+    @property
+    def representation_source(self) -> str:
+        """Registry key of the active solver (back-compat accessor)."""
+        return self.solver.spec_type
 
     # ------------------------------------------------------------------ fit
 
@@ -168,7 +189,11 @@ class FlexER:
         """Train the per-intent matchers and remember the labeled splits."""
         start = time.perf_counter()
         self.solver.fit(train)
-        self.timings.matcher_training_seconds = time.perf_counter() - start
+        # A fresh timings object per fit: results of earlier runs keep
+        # their own timings instead of aliasing a shared mutable one.
+        self.timings = FlexERTimings(
+            matcher_training_seconds=time.perf_counter() - start
+        )
         self._train = train
         self._valid = valid
         return self
@@ -247,6 +272,13 @@ class FlexER:
         valid_index = ranges[1] if valid is not None and len(valid) > 0 else None
         test_index = ranges[-1]
 
+        # Each predict gets a fresh timings instance (matcher time carried
+        # over from fit) so repeated predictions neither accumulate GNN
+        # seconds nor alias one mutable timings object across results.
+        self.timings = FlexERTimings(
+            matcher_training_seconds=self.timings.matcher_training_seconds
+        )
+        timings = self.timings
         graph = self.build_graph(combined, intent_subset=layer_intents)
 
         predictions: dict[str, np.ndarray] = {}
@@ -254,7 +286,9 @@ class FlexER:
         validation_f1: dict[str, float] = {}
         for intent in targets:
             start = time.perf_counter()
-            classifier = IntentNodeClassifier(self.config.gnn)
+            classifier = INTENT_CLASSIFIERS.create(
+                self.config.classifier, config=self.config.gnn
+            )
             result = classifier.fit_predict(
                 graph,
                 target_intent=intent,
@@ -264,7 +298,7 @@ class FlexER:
                 valid_labels=valid.labels(intent) if valid_index is not None and valid is not None else None,
             )
             elapsed = time.perf_counter() - start
-            self.timings.gnn_seconds_per_intent[intent] = elapsed
+            timings.gnn_seconds_per_intent[intent] = elapsed
             test_probabilities = result.probabilities[test_index]
             probabilities[intent] = test_probabilities
             predictions[intent] = (test_probabilities >= 0.5).astype(np.int64)
@@ -279,7 +313,7 @@ class FlexER:
         return FlexERResult(
             solution=solution,
             graph=graph,
-            timings=self.timings,
+            timings=timings,
             validation_f1=validation_f1,
         )
 

@@ -28,6 +28,7 @@ from .walmart_amazon import make_walmart_amazon, WALMART_AMAZON_WEIGHTS, WALMART
 from .wdc import make_wdc, WDC_WEIGHTS, WDC_DOMAINS
 from .registry import (
     BENCHMARK_FACTORIES,
+    BENCHMARK_LABELERS,
     PAPER_TABLE3,
     PAPER_TABLE4_TEST_POSITIVE_RATES,
     benchmark_names,
@@ -68,6 +69,7 @@ __all__ = [
     "WDC_WEIGHTS",
     "WDC_DOMAINS",
     "BENCHMARK_FACTORIES",
+    "BENCHMARK_LABELERS",
     "PAPER_TABLE3",
     "PAPER_TABLE4_TEST_POSITIVE_RATES",
     "benchmark_names",

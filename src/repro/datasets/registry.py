@@ -13,6 +13,12 @@ from collections.abc import Callable
 from ..exceptions import ConfigurationError
 from .amazon_mi import make_amazon_mi
 from .benchmark import MIERBenchmark
+from .labeling import (
+    AMAZON_MI_LABELER,
+    WALMART_AMAZON_LABELER,
+    WDC_LABELER,
+    IntentLabeler,
+)
 from .walmart_amazon import make_walmart_amazon
 from .wdc import make_wdc
 
@@ -21,6 +27,14 @@ BENCHMARK_FACTORIES: dict[str, Callable[..., MIERBenchmark]] = {
     "amazon_mi": make_amazon_mi,
     "walmart_amazon": make_walmart_amazon,
     "wdc": make_wdc,
+}
+
+#: Ground-truth intent labelers per benchmark (Section 5.1 rules); used
+#: by raw-records workloads that re-label blocker-produced pairs.
+BENCHMARK_LABELERS: dict[str, IntentLabeler] = {
+    "amazon_mi": AMAZON_MI_LABELER,
+    "walmart_amazon": WALMART_AMAZON_LABELER,
+    "wdc": WDC_LABELER,
 }
 
 #: Paper-reported statistics (Table 3), kept for report comparison.

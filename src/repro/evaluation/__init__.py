@@ -1,5 +1,6 @@
-"""Evaluation measures (Eqs. 6-10) and report formatting."""
+"""Evaluation measures (Eqs. 6-10), blocking quality, and report formatting."""
 
+from .blocking import BlockingQuality, admissible_pair_count, evaluate_blocking
 from .metrics import (
     BinaryEvaluation,
     evaluate_binary,
@@ -15,6 +16,9 @@ from .multi_intent import (
 from .report import format_table, format_metric_rows, comparison_summary
 
 __all__ = [
+    "BlockingQuality",
+    "admissible_pair_count",
+    "evaluate_blocking",
     "BinaryEvaluation",
     "evaluate_binary",
     "evaluate_resolution",

@@ -1,0 +1,123 @@
+"""Blocking-quality measures: reduction ratio and pair completeness.
+
+Blocking trades recall for candidate-set size (Section 2.1 of the
+paper): a good blocker removes most of the quadratic pair space
+(*reduction ratio*) while keeping the truly matching pairs (*pair
+completeness*, the standard blocking-recall measure).  In the MIER
+setting both recall-side measures are per intent — a candidate set can
+retain every equivalent pair yet lose same-brand pairs.
+
+Definitions over a dataset ``D``, candidate set ``C``, and per-intent
+golden positives ``M*_i``:
+
+* ``reduction ratio  = 1 - |C| / |admissible pairs of D|``
+* ``pair completeness_i = |C ∩ M*_i| / |M*_i|``
+* ``pair quality_i      = |C ∩ M*_i| / |C|``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence, Set
+
+from ..data.pairs import RecordPair
+from ..data.records import Dataset
+from ..exceptions import EvaluationError
+
+
+def admissible_pair_count(dataset: Dataset, cross_source_only: bool = False) -> int:
+    """Number of admissible record pairs of ``dataset``.
+
+    With ``cross_source_only`` (clean-clean resolution) pairs of records
+    from the same named source are inadmissible; records without a
+    source tag remain pairable with every other record.
+    """
+    n = len(dataset)
+    total = n * (n - 1) // 2
+    if not cross_source_only:
+        return total
+    same_source = 0
+    for source in dataset.sources:
+        size = len(dataset.by_source(source))
+        same_source += size * (size - 1) // 2
+    return total - same_source
+
+
+@dataclass(frozen=True)
+class BlockingQuality:
+    """Quality profile of one blocking run.
+
+    ``pair_completeness`` / ``pair_quality`` are per-intent mappings and
+    are ``None`` when no golden standard was available (the recall side
+    of blocking cannot be measured without one).
+    """
+
+    num_records: int
+    num_candidate_pairs: int
+    num_admissible_pairs: int
+    reduction_ratio: float
+    pair_completeness: Mapping[str, float] | None = None
+    pair_quality: Mapping[str, float] | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view used by reports and the CLI."""
+        return {
+            "num_records": self.num_records,
+            "num_candidate_pairs": self.num_candidate_pairs,
+            "num_admissible_pairs": self.num_admissible_pairs,
+            "reduction_ratio": self.reduction_ratio,
+            "pair_completeness": (
+                dict(self.pair_completeness) if self.pair_completeness is not None else None
+            ),
+            "pair_quality": dict(self.pair_quality) if self.pair_quality is not None else None,
+        }
+
+
+def evaluate_blocking(
+    dataset: Dataset,
+    candidate_pairs: Sequence[RecordPair],
+    golden_positive: Mapping[str, Set[RecordPair]] | None = None,
+    cross_source_only: bool = False,
+) -> BlockingQuality:
+    """Evaluate a blocker's candidate pairs over ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The records the blocker ran over.
+    candidate_pairs:
+        The pairs that survived blocking.
+    golden_positive:
+        Per-intent golden-standard positive pairs (``M*_i``).  When
+        given, per-intent pair completeness and pair quality are
+        computed; intents with no golden positives report a completeness
+        of 1.0 (nothing to find).
+    cross_source_only:
+        Whether the admissible pair space excludes same-source pairs
+        (must match the blocker's own admissibility rule for the
+        reduction ratio to be meaningful).
+    """
+    candidates = set(candidate_pairs)
+    if len(candidates) != len(candidate_pairs):
+        raise EvaluationError("candidate pairs must be unique")
+    admissible = admissible_pair_count(dataset, cross_source_only)
+    reduction = 1.0 - (len(candidates) / admissible) if admissible else 0.0
+
+    completeness: dict[str, float] | None = None
+    quality: dict[str, float] | None = None
+    if golden_positive is not None:
+        completeness = {}
+        quality = {}
+        for intent, golden in golden_positive.items():
+            retained = len(candidates & set(golden))
+            completeness[intent] = retained / len(golden) if golden else 1.0
+            quality[intent] = retained / len(candidates) if candidates else 0.0
+
+    return BlockingQuality(
+        num_records=len(dataset),
+        num_candidate_pairs=len(candidates),
+        num_admissible_pairs=admissible,
+        reduction_ratio=reduction,
+        pair_completeness=completeness,
+        pair_quality=quality,
+    )

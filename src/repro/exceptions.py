@@ -48,6 +48,10 @@ class ConfigurationError(ReproError):
     """Raised when configuration values are out of their valid range."""
 
 
+class RegistryError(ConfigurationError):
+    """Raised for unknown component keys or malformed component specs."""
+
+
 class EvaluationError(ReproError):
     """Raised when evaluation inputs are inconsistent (e.g. length mismatch)."""
 

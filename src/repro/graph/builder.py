@@ -37,10 +37,31 @@ class GraphBuildReport:
 
 
 class IntentGraphBuilder:
-    """Build multiplex intent graphs from per-intent representations."""
+    """Build multiplex intent graphs from per-intent representations.
+
+    Registered in :data:`repro.registry.GRAPH_BUILDERS` under
+    ``"intent_graph"``.  The builder has no parameters beyond the shared
+    :class:`~repro.config.GraphConfig`, which is creation-time context
+    (``create(spec, config=...)``) rather than part of the spec — graph
+    hyper-parameters already participate in stage fingerprints through
+    ``FlexERConfig.graph``.
+    """
+
+    spec_type = "intent_graph"
 
     def __init__(self, config: GraphConfig | None = None) -> None:
         self.config = config or GraphConfig()
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the builder into a registry spec."""
+        return {"type": self.spec_type, "params": {}}
+
+    @classmethod
+    def from_spec(
+        cls, params: Mapping[str, object], *, config: GraphConfig | None = None
+    ) -> "IntentGraphBuilder":
+        """Construct the builder from a spec plus the shared graph config."""
+        return cls(config=config, **params)
 
     def build(
         self,

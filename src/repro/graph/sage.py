@@ -16,6 +16,7 @@ nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -170,10 +171,28 @@ class IntentNodeClassifier:
     to every pair of the layer.
     """
 
+    spec_type = "graphsage"
+
     def __init__(self, config: GNNConfig | None = None) -> None:
         self.config = config or GNNConfig()
         self._model: GraphSAGE | None = None
         self.result: GNNTrainingResult | None = None
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the classifier into a registry spec.
+
+        The GNN hyper-parameters live in the shared
+        :class:`~repro.config.GNNConfig` (creation-time context), so the
+        spec only names the classifier family.
+        """
+        return {"type": self.spec_type, "params": {}}
+
+    @classmethod
+    def from_spec(
+        cls, params: Mapping[str, object], *, config: GNNConfig | None = None
+    ) -> "IntentNodeClassifier":
+        """Construct the classifier from a spec plus the shared GNN config."""
+        return cls(config=config, **params)
 
     def fit_predict(
         self,

@@ -47,7 +47,18 @@ def _group_solver_state(
 
 
 class BaseSolver:
-    """Shared feature-encoding logic of the MIER solvers."""
+    """Shared feature-encoding logic of the MIER solvers.
+
+    Every concrete solver is registered in
+    :data:`repro.registry.SOLVERS` under :attr:`spec_type` and
+    serializes its solver-specific parameters via :meth:`to_spec`.
+    Creation-time context (intents, matcher and feature configs) is
+    deliberately not part of the spec — the registry passes it through
+    ``create(spec, intents=..., matcher_config=..., feature_config=...)``.
+    """
+
+    #: Registry key of the concrete solver (set by subclasses).
+    spec_type: str = ""
 
     def __init__(
         self,
@@ -61,6 +72,27 @@ class BaseSolver:
         self.matcher_config = matcher_config or MatcherConfig()
         self.encoder = PairFeatureEncoder(feature_config)
         self._fitted = False
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the solver-specific parameters into a registry spec."""
+        return {"type": self.spec_type, "params": {}}
+
+    @classmethod
+    def from_spec(
+        cls,
+        params: Mapping[str, object],
+        *,
+        intents,
+        matcher_config: MatcherConfig | None = None,
+        feature_config: PairFeatureConfig | None = None,
+    ) -> "BaseSolver":
+        """Construct the solver from spec parameters plus creation context."""
+        return cls(
+            tuple(intents),
+            matcher_config=matcher_config,
+            feature_config=feature_config,
+            **params,
+        )
 
     def encode(self, candidates: CandidateSet) -> np.ndarray:
         """Encode every candidate pair into the feature matrix."""
@@ -84,6 +116,8 @@ class BaseSolver:
 class NaiveSolver(BaseSolver):
     """One-size-fits-all baseline: the universal resolution serves every intent."""
 
+    spec_type = "naive"
+
     def __init__(
         self,
         intents: tuple[str, ...],
@@ -99,11 +133,29 @@ class NaiveSolver(BaseSolver):
             )
         self.matcher = PairMatcher(self.matcher_config)
 
+    def to_spec(self) -> dict[str, object]:
+        """Spec carrying the universal intent the matcher trains on."""
+        return {
+            "type": self.spec_type,
+            "params": {"equivalence_intent": self.equivalence_intent},
+        }
+
     def fit(self, train: CandidateSet) -> "NaiveSolver":
         """Train the single universal matcher on the equivalence intent."""
         self._check_intents(train)
         features = self.encode(train)
         self.matcher.fit(features, train.labels(self.equivalence_intent))
+        self._fitted = True
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Parameters of the single universal matcher (for artifact caching)."""
+        self._require_fitted()
+        return dict(self.matcher.state_dict())
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> "NaiveSolver":
+        """Restore the universal matcher from :meth:`state_dict` arrays."""
+        self.matcher.load_state_dict(dict(state), self.encoder.dimension)
         self._fitted = True
         return self
 
@@ -121,9 +173,23 @@ class NaiveSolver(BaseSolver):
         universal = self.matcher.predict_proba(features)
         return {intent: universal.copy() for intent in self.intents}
 
+    def representations(self, candidates: CandidateSet) -> dict[str, np.ndarray]:
+        """The universal latent representation, reused for every intent.
+
+        Lets the one-size-fits-all baseline serve as a FlexER
+        representation source (every graph layer starts from the same
+        universal matcher's latent space).
+        """
+        self._require_fitted()
+        features = self.encode(candidates)
+        universal = self.matcher.representations(features)
+        return {intent: universal.copy() for intent in self.intents}
+
 
 class InParallelSolver(BaseSolver):
     """One independently trained binary matcher per intent (Section 3.2)."""
+
+    spec_type = "in_parallel"
 
     def __init__(
         self,
@@ -215,6 +281,8 @@ class InParallelSolver(BaseSolver):
 
 class MultiLabelSolver(BaseSolver):
     """Jointly trained multi-label matcher (Section 3.3)."""
+
+    spec_type = "multi_label"
 
     def __init__(
         self,

@@ -37,7 +37,7 @@ from .runner import (
     PipelineRunner,
     StageEvent,
 )
-from .batch import BatchRunner, Scenario, ScenarioRun, intent_subset_grid, k_sweep
+from .batch import BatchRunner, Scenario, ScenarioRun, intent_subset_grid, k_sweep, solver_grid
 
 __all__ = [
     "Artifact",
@@ -63,4 +63,5 @@ __all__ = [
     "ScenarioRun",
     "intent_subset_grid",
     "k_sweep",
+    "solver_grid",
 ]

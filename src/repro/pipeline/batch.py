@@ -18,6 +18,7 @@ from collections.abc import Mapping, Sequence
 
 from ..config import FlexERConfig
 from ..data.splits import DatasetSplit
+from ..registry import SOLVERS
 from .runner import (
     STAGE_GRAPH_BUILD,
     STAGE_MATCHER_FIT,
@@ -69,6 +70,29 @@ def k_sweep(
         )
         for k in k_values
     ]
+
+
+def solver_grid(
+    base_config: FlexERConfig,
+    solver_specs: Sequence[object],
+    target_intents: Sequence[str] | None = None,
+) -> list[Scenario]:
+    """Scenarios varying the solver registry spec (representation ablation).
+
+    Each spec is validated against :data:`repro.registry.SOLVERS` up
+    front, so a typo fails before any scenario runs.
+    """
+    scenarios = []
+    for spec in solver_specs:
+        normalized = SOLVERS.normalize(spec)
+        scenarios.append(
+            Scenario(
+                name=f"solver={normalized['type']}",
+                config=replace(base_config, solver=normalized),
+                target_intents=tuple(target_intents) if target_intents is not None else None,
+            )
+        )
+    return scenarios
 
 
 def intent_subset_grid(

@@ -2,14 +2,19 @@
 
 Usage (module form)::
 
-    PYTHONPATH=src python -m repro.pipeline.cli run --dataset amazon_mi
-    PYTHONPATH=src python -m repro.pipeline.cli sweep-k --k-values 0,2,4,6
-    PYTHONPATH=src python -m repro.pipeline.cli cache --cache-dir .repro-cache
+    PYTHONPATH=src python -m repro.pipeline run --dataset amazon_mi
+    PYTHONPATH=src python -m repro.pipeline resolve --dataset amazon_mi --blocker token
+    PYTHONPATH=src python -m repro.pipeline sweep-k --k-values 0,2,4,6
+    PYTHONPATH=src python -m repro.pipeline cache --cache-dir .repro-cache
 
 ``run`` executes the four pipeline stages once over a synthetic
-benchmark; ``sweep-k`` executes a Table-8-style grid through the
-:class:`~repro.pipeline.batch.BatchRunner`; ``cache`` inspects (or
-clears) an on-disk artifact cache.  With ``--cache-dir`` (or the
+benchmark's pre-built split; ``resolve`` starts one step earlier, from
+the benchmark's *raw records* (blocking → labeling → staged FlexER,
+through :func:`repro.resolve`); ``sweep-k`` executes a Table-8-style
+grid through the :class:`~repro.pipeline.batch.BatchRunner`; ``cache``
+inspects (or clears) an on-disk artifact cache.  All components are
+named by registry keys (``--solver``, ``--blocker``) and constructed
+through :mod:`repro.registry`.  With ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) artifacts persist across
 invocations, so repeating a command — or sweeping around a previous run —
 skips matcher training and representation.
@@ -22,9 +27,11 @@ import os
 import sys
 from collections.abc import Sequence
 
+from .. import registry
 from ..config import CacheConfig, FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
-from ..datasets import benchmark_names, load_benchmark
+from ..datasets import BENCHMARK_LABELERS, benchmark_names, load_benchmark
 from ..evaluation import evaluate_binary, format_table
+from ..resolver import Resolver
 from .batch import BatchRunner, k_sweep
 from .cache import ArtifactCache
 from .runner import PipelineResult, PipelineRunner
@@ -46,10 +53,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--matcher-epochs", type=int, default=10, help="matcher epochs")
     parser.add_argument("--gnn-epochs", type=int, default=40, help="GraphSAGE epochs")
     parser.add_argument(
+        "--solver",
         "--representation-source",
+        dest="solver",
         default="in_parallel",
-        choices=("in_parallel", "multi_label"),
-        help="intent-based representation source (Section 5.2.2)",
+        choices=registry.available("solver"),
+        help="solver registry key (--representation-source is a deprecated alias)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -83,6 +92,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated intents to predict (default: the graph layers)",
     )
 
+    resolve = commands.add_parser(
+        "resolve",
+        help="end-to-end raw-records resolution: blocking → labeling → staged FlexER",
+    )
+    _add_common_options(resolve)
+    resolve.add_argument("--k", type=int, default=6, help="intra-layer kNN neighbours")
+    resolve.add_argument(
+        "--blocker",
+        default="qgram",
+        choices=registry.available("blocker"),
+        help="blocker registry key used for candidate generation",
+    )
+    resolve.add_argument(
+        "--min-shared",
+        type=int,
+        default=None,
+        help="q-grams/tokens two records must share (qgram/token blockers)",
+    )
+    resolve.add_argument(
+        "--target-intents",
+        default=None,
+        help="comma-separated intents to predict (default: all intents)",
+    )
+
     sweep = commands.add_parser(
         "sweep-k", help="sweep intra-layer k through the BatchRunner (Table 8)"
     )
@@ -109,7 +142,12 @@ def _make_cache(args: argparse.Namespace) -> ArtifactCache:
     return ArtifactCache(CacheConfig(directory=args.cache_dir))
 
 
-def _make_config(args: argparse.Namespace, k_neighbors: int) -> FlexERConfig:
+def _make_config(
+    args: argparse.Namespace,
+    k_neighbors: int,
+    blocker: object | None = None,
+) -> FlexERConfig:
+    kwargs = {"blocker": blocker} if blocker is not None else {}
     return FlexERConfig(
         matcher=MatcherConfig(
             hidden_dims=(64, 32),
@@ -119,6 +157,8 @@ def _make_config(args: argparse.Namespace, k_neighbors: int) -> FlexERConfig:
         ),
         graph=GraphConfig(k_neighbors=k_neighbors),
         gnn=GNNConfig(hidden_dim=48, epochs=args.gnn_epochs, seed=args.seed),
+        solver=args.solver,
+        **kwargs,
     )
 
 
@@ -144,9 +184,7 @@ def _command_run(args: argparse.Namespace) -> int:
         products_per_domain=args.products,
         seed=args.seed,
     )
-    runner = PipelineRunner(
-        cache=_make_cache(args), representation_source=args.representation_source
-    )
+    runner = PipelineRunner(cache=_make_cache(args))
     result = runner.run(
         benchmark.split,
         benchmark.intents,
@@ -180,9 +218,7 @@ def _command_sweep_k(args: argparse.Namespace) -> int:
     )
     k_values = [int(value) for value in args.k_values.split(",") if value.strip()]
     target = benchmark.intents[0]
-    runner = PipelineRunner(
-        cache=_make_cache(args), representation_source=args.representation_source
-    )
+    runner = PipelineRunner(cache=_make_cache(args))
     scenarios = k_sweep(
         _make_config(args, k_neighbors=6), k_values, target_intents=(target,)
     )
@@ -211,6 +247,76 @@ def _command_sweep_k(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_resolve(args: argparse.Namespace) -> int:
+    """Raw records → blocking → labeling → staged FlexER, via repro.resolve."""
+    benchmark = load_benchmark(
+        args.dataset,
+        num_pairs=args.num_pairs,
+        products_per_domain=args.products,
+        seed=args.seed,
+    )
+    labeler = BENCHMARK_LABELERS[args.dataset]
+    products = benchmark.record_products
+
+    def record_labeler(left, right):
+        return labeler.label_pair(products[left.record_id], products[right.record_id])
+
+    blocker_spec: dict[str, object] = {"type": args.blocker}
+    if args.min_shared is not None and args.blocker in ("qgram", "token"):
+        blocker_spec["min_shared"] = args.min_shared
+    if benchmark.dataset.sources:
+        blocker_spec["cross_source_only"] = True
+
+    resolver = Resolver(
+        config=_make_config(args, k_neighbors=args.k, blocker=blocker_spec),
+        cache=_make_cache(args),
+    )
+    result = resolver.resolve(
+        benchmark.dataset,
+        intents=labeler.intent_names,
+        labeler=record_labeler,
+        split_seed=args.seed,
+        target_intents=_split_names(args.target_intents),
+    )
+
+    quality = result.blocking
+    if quality is not None:
+        rows = [
+            [
+                intent,
+                quality.pair_completeness[intent] if quality.pair_completeness else "-",
+                quality.pair_quality[intent] if quality.pair_quality else "-",
+            ]
+            for intent in result.intents
+        ]
+        print(
+            format_table(
+                ["Intent", "Pair completeness", "Pair quality"],
+                rows,
+                title=(
+                    f"Blocking [{args.blocker}] on {args.dataset}: "
+                    f"{quality.num_candidate_pairs}/{quality.num_admissible_pairs} pairs, "
+                    f"reduction ratio {quality.reduction_ratio:.3f}"
+                ),
+            )
+        )
+    evaluations = result.intent_evaluations()
+    rows = []
+    for intent in result.solution.intents:
+        evaluation = evaluations[intent]
+        rows.append([intent, evaluation.precision, evaluation.recall, evaluation.f1])
+    print(
+        format_table(
+            ["Intent", "P", "R", "F1"],
+            rows,
+            title=f"repro.resolve on raw {args.dataset} records (test split)",
+        )
+    )
+    _print_stage_table(result.pipeline)
+    print(f"cache: {resolver.runner.cache.stats.as_dict()}")
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     if not args.cache_dir:
         print("no cache directory given (use --cache-dir or $REPRO_CACHE_DIR)")
@@ -230,6 +336,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "resolve":
+        return _command_resolve(args)
     if args.command == "sweep-k":
         return _command_sweep_k(args)
     return _command_cache(args)

@@ -24,6 +24,7 @@ run is byte-identical to the cold run that populated the cache.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from collections.abc import Sequence
 
@@ -40,11 +41,9 @@ from ..core.mier import MIERSolution
 from ..data.pairs import CandidateSet
 from ..data.splits import DatasetSplit
 from ..exceptions import IntentError, MatchingError
-from ..graph.builder import IntentGraphBuilder
 from ..graph.multiplex import MultiplexGraph
-from ..graph.sage import IntentNodeClassifier
 from ..matching.features import PairFeatureConfig
-from ..matching.solvers import InParallelSolver, MultiLabelSolver
+from ..registry import GRAPH_BUILDERS, INTENT_CLASSIFIERS, SOLVERS
 from .cache import Artifact, ArtifactCache, stage_artifact
 from .fingerprint import digest, fingerprint_candidates
 
@@ -127,12 +126,20 @@ class PipelineResult:
 class PipelineRunner:
     """Execute FlexER as cached, addressable stages.
 
+    All components are constructed through :mod:`repro.registry` from
+    the specs carried by the run's :class:`~repro.config.FlexERConfig`
+    (``config.solver``, ``config.graph_builder``, ``config.classifier``),
+    and the normalized specs participate in every stage fingerprint — so
+    two runs of the same registry-spec'd configuration address the same
+    artifacts and warm re-runs are byte-identical cache hits.
+
     Parameters
     ----------
     cache:
         Shared artifact cache; ``None`` creates a private in-memory one.
     representation_source:
-        ``"in_parallel"`` (paper main configuration) or ``"multi_label"``.
+        Deprecated alias for ``FlexERConfig(solver=...)``; when given it
+        overrides the solver spec of every run's config.
     augment_with_scores:
         Concatenate matcher likelihoods onto the latent representations
         (Section 4.1.1; on by default, as in :class:`~repro.core.FlexER`).
@@ -143,25 +150,42 @@ class PipelineRunner:
     def __init__(
         self,
         cache: ArtifactCache | None = None,
-        representation_source: str = "in_parallel",
+        representation_source: str | None = None,
         augment_with_scores: bool = True,
         feature_config: PairFeatureConfig | None = None,
     ) -> None:
-        if representation_source not in ("in_parallel", "multi_label"):
-            raise MatchingError(
-                f"unknown representation source: {representation_source!r}"
+        self.solver_override: dict[str, object] | None = None
+        if representation_source is not None:
+            if representation_source not in SOLVERS:
+                raise MatchingError(
+                    f"unknown representation source: {representation_source!r}"
+                )
+            warnings.warn(
+                "PipelineRunner(representation_source=...) is deprecated; pass "
+                "FlexERConfig(solver=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
+            self.solver_override = SOLVERS.normalize(representation_source)
         self.cache = cache or ArtifactCache()
-        self.representation_source = representation_source
         self.augment_with_scores = augment_with_scores
         self.feature_config = feature_config
 
     # -------------------------------------------------------------- factories
 
-    def _make_solver(self, intents: tuple[str, ...], config: FlexERConfig):
-        if self.representation_source == "in_parallel":
-            return InParallelSolver(intents, config.matcher, self.feature_config)
-        return MultiLabelSolver(intents, config.matcher, self.feature_config)
+    def _solver_spec(self, config: FlexERConfig) -> dict[str, object]:
+        """The normalized solver spec of a run (override-aware)."""
+        if self.solver_override is not None:
+            return self.solver_override
+        return SOLVERS.normalize(config.solver)
+
+    def _make_solver(self, solver_spec: dict[str, object], intents: tuple[str, ...], config: FlexERConfig):
+        return SOLVERS.create(
+            solver_spec,
+            intents=intents,
+            matcher_config=config.matcher,
+            feature_config=self.feature_config,
+        )
 
     def _feature_fingerprint(self) -> object:
         return asdict(self.feature_config or PairFeatureConfig())
@@ -199,6 +223,7 @@ class PipelineRunner:
         valid = split.valid if len(split.valid) > 0 else None
         test = split.test
         events: list[StageEvent] = []
+        solver_spec = self._solver_spec(config)
 
         fingerprint_train = fingerprint_candidates(train)
         fingerprint_valid = fingerprint_candidates(valid)
@@ -206,7 +231,7 @@ class PipelineRunner:
 
         # Stage 1 — matcher-fit.
         solver, matcher_event = self._run_matcher_fit(
-            train, intents, config, fingerprint_train
+            train, intents, config, fingerprint_train, solver_spec
         )
         events.append(matcher_event)
 
@@ -267,7 +292,7 @@ class PipelineRunner:
             candidates=test,
             predictions=predictions,
             probabilities=probabilities,
-            solver_name=f"FlexER[{self.representation_source}]",
+            solver_name=f"FlexER[{solver_spec['type']}]",
         )
         flexer = FlexERResult(
             solution=solution,
@@ -298,16 +323,17 @@ class PipelineRunner:
         intents: tuple[str, ...],
         config: FlexERConfig,
         fingerprint_train: str,
+        solver_spec: dict[str, object],
     ):
         key = digest(
             STAGE_MATCHER_FIT,
-            self.representation_source,
+            solver_spec,
             list(intents),
             config.matcher,
             self._feature_fingerprint(),
             fingerprint_train,
         )
-        solver = self._make_solver(intents, config)
+        solver = self._make_solver(solver_spec, intents, config)
         artifact = self.cache.get(STAGE_MATCHER_FIT, key)
         if artifact is not None:
             solver.load_state_dict(artifact.arrays)
@@ -324,7 +350,7 @@ class PipelineRunner:
             stage_artifact(
                 solver.state_dict(),
                 elapsed,
-                representation_source=self.representation_source,
+                solver=str(solver_spec["type"]),
                 num_train_pairs=len(train),
             ),
         )
@@ -377,8 +403,13 @@ class PipelineRunner:
         config: FlexERConfig,
         representation_key: str,
     ):
+        builder_spec = GRAPH_BUILDERS.normalize(config.graph_builder)
         key = digest(
-            STAGE_GRAPH_BUILD, representation_key, config.graph, list(layer_intents)
+            STAGE_GRAPH_BUILD,
+            builder_spec,
+            representation_key,
+            config.graph,
+            list(layer_intents),
         )
         artifact = self.cache.get(STAGE_GRAPH_BUILD, key)
         if artifact is not None:
@@ -388,9 +419,8 @@ class PipelineRunner:
             )
             return graph, event
         start = time.perf_counter()
-        graph = IntentGraphBuilder(config.graph).build(
-            representations, intents=layer_intents
-        )
+        builder = GRAPH_BUILDERS.create(builder_spec, config=config.graph)
+        graph = builder.build(representations, intents=layer_intents)
         elapsed = time.perf_counter() - start
         self.cache.put(STAGE_GRAPH_BUILD, key, _graph_to_artifact(graph, elapsed))
         return graph, StageEvent(STAGE_GRAPH_BUILD, key, STATUS_COMPUTED, elapsed)
@@ -407,11 +437,14 @@ class PipelineRunner:
         valid_index: np.ndarray | None,
     ):
         stage = f"{STAGE_GNN}:{intent}"
+        classifier_spec = INTENT_CLASSIFIERS.normalize(config.classifier)
         # The graph key already pins the representations, layer set, and
         # (through the data fingerprints) every label matrix; adding the
-        # GNN config and split sizes pins the supervision.
+        # classifier spec, GNN config, and split sizes pins the model and
+        # its supervision.
         key = digest(
             STAGE_GNN,
+            classifier_spec,
             graph_key,
             config.gnn,
             intent,
@@ -425,7 +458,7 @@ class PipelineRunner:
             event = StageEvent(stage, key, STATUS_HIT, artifact.elapsed_seconds)
             return layer_probabilities, best_f1, event
         start = time.perf_counter()
-        classifier = IntentNodeClassifier(config.gnn)
+        classifier = INTENT_CLASSIFIERS.create(classifier_spec, config=config.gnn)
         result = classifier.fit_predict(
             graph,
             target_intent=intent,

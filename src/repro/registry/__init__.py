@@ -1,0 +1,85 @@
+"""Component registries — the composable backbone of the public API.
+
+Every pluggable piece of the FlexER pipeline (solvers, blockers, graph
+builders, intent classifiers) lives in a string-keyed
+:class:`ComponentRegistry` and serializes to a plain-dict *spec* via
+``to_spec``/``from_spec``.  Specs are what :class:`repro.config.FlexERConfig`
+stores, what the staged pipeline fingerprints, and what the
+:class:`~repro.resolver.Resolver` uses to assemble an end-to-end run —
+so adding a backend is one ``register`` call plus a spec.
+
+>>> from repro import registry
+>>> registry.available("blocker")
+('qgram', 'token', 'full')
+>>> blocker = registry.create("blocker", {"type": "token", "min_shared": 1})
+>>> registry.spec("blocker", blocker)["type"]
+'token'
+"""
+
+from __future__ import annotations
+
+from ..exceptions import RegistryError
+from .core import ComponentRegistry, normalize_spec
+from .components import (
+    BLOCKERS,
+    FAMILIES,
+    GRAPH_BUILDERS,
+    INTENT_CLASSIFIERS,
+    SOLVERS,
+)
+
+
+def family(name: str) -> ComponentRegistry:
+    """The registry of component family ``name``."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        available_families = ", ".join(sorted(FAMILIES))
+        raise RegistryError(
+            f"unknown component family {name!r}; available: {available_families}"
+        ) from None
+
+
+def register(family_name: str, key: str, component: type | None = None):
+    """Register ``component`` under ``key`` in family ``family_name``.
+
+    Usable as a decorator::
+
+        @register("blocker", "sorted_neighborhood")
+        class SortedNeighborhoodBlocker(Blocker): ...
+    """
+    return family(family_name).register(key, component)
+
+
+def create(family_name: str, spec: object, **context) -> object:
+    """Build the component described by ``spec`` in family ``family_name``."""
+    return family(family_name).create(spec, **context)
+
+
+def spec(family_name: str, component: object) -> dict[str, object]:
+    """The canonical serialized spec of a component instance."""
+    return family(family_name).spec(component)
+
+
+def available(family_name: str | None = None):
+    """Registered keys of one family, or a dict over all families."""
+    if family_name is not None:
+        return family(family_name).keys()
+    return {name: reg.keys() for name, reg in FAMILIES.items()}
+
+
+__all__ = [
+    "ComponentRegistry",
+    "RegistryError",
+    "normalize_spec",
+    "SOLVERS",
+    "BLOCKERS",
+    "GRAPH_BUILDERS",
+    "INTENT_CLASSIFIERS",
+    "FAMILIES",
+    "family",
+    "register",
+    "create",
+    "spec",
+    "available",
+]

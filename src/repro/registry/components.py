@@ -1,0 +1,59 @@
+"""The four built-in component families and their registrations.
+
+The FlexER pipeline is modular by design (Sections 4–5 of the paper):
+matchers, graph constructions, and per-intent GNN heads are
+interchangeable.  This module declares one :class:`ComponentRegistry`
+per family and registers the library's built-in implementations, so
+adding a new backend is a single ``register`` call:
+
+>>> from repro.registry import BLOCKERS
+>>> blocker = BLOCKERS.create({"type": "qgram", "q": 3})
+>>> BLOCKERS.spec(blocker)["params"]["q"]
+3
+
+Families and creation context:
+
+``SOLVERS``
+    MIER solvers / representation sources.  Context: ``intents``,
+    ``matcher_config``, ``feature_config``.
+``BLOCKERS``
+    Candidate-pair generators over raw datasets.  No context.
+``GRAPH_BUILDERS``
+    Multiplex graph constructions.  Context: ``config`` (GraphConfig).
+``INTENT_CLASSIFIERS``
+    Per-intent node classifiers.  Context: ``config`` (GNNConfig).
+"""
+
+from __future__ import annotations
+
+from ..blocking.full import FullBlocker
+from ..blocking.qgram import QGramBlocker
+from ..blocking.token import TokenBlocker
+from ..graph.builder import IntentGraphBuilder
+from ..graph.sage import IntentNodeClassifier
+from ..matching.solvers import InParallelSolver, MultiLabelSolver, NaiveSolver
+from .core import ComponentRegistry
+
+SOLVERS = ComponentRegistry("solver")
+SOLVERS.register(InParallelSolver.spec_type, InParallelSolver)
+SOLVERS.register(MultiLabelSolver.spec_type, MultiLabelSolver)
+SOLVERS.register(NaiveSolver.spec_type, NaiveSolver)
+
+BLOCKERS = ComponentRegistry("blocker")
+BLOCKERS.register(QGramBlocker.spec_type, QGramBlocker)
+BLOCKERS.register(TokenBlocker.spec_type, TokenBlocker)
+BLOCKERS.register(FullBlocker.spec_type, FullBlocker)
+
+GRAPH_BUILDERS = ComponentRegistry("graph_builder")
+GRAPH_BUILDERS.register(IntentGraphBuilder.spec_type, IntentGraphBuilder)
+
+INTENT_CLASSIFIERS = ComponentRegistry("intent_classifier")
+INTENT_CLASSIFIERS.register(IntentNodeClassifier.spec_type, IntentNodeClassifier)
+
+#: All registries keyed by family name.
+FAMILIES: dict[str, ComponentRegistry] = {
+    SOLVERS.family: SOLVERS,
+    BLOCKERS.family: BLOCKERS,
+    GRAPH_BUILDERS.family: GRAPH_BUILDERS,
+    INTENT_CLASSIFIERS.family: INTENT_CLASSIFIERS,
+}

@@ -1,0 +1,145 @@
+"""The generic string-keyed component registry.
+
+A *component spec* is the serializable description of one pipeline
+component: either a bare string key (``"qgram"``) or a plain mapping with
+a ``type`` key and optional parameters (``{"type": "qgram", "q": 3}`` or,
+equivalently, ``{"type": "qgram", "params": {"q": 3}}``).  Specs are
+normalized to the canonical ``{"type": ..., "params": {...}}`` form built
+from JSON-plain values only, so a spec feeds directly into the pipeline's
+content fingerprints (:func:`repro.pipeline.digest`) and two ways of
+writing the same configuration always hash identically.
+
+Registered components implement two hooks:
+
+``from_spec(params, **context)``
+    Classmethod constructing the component from the spec's parameters
+    plus creation-time context the spec deliberately does not capture
+    (intent names, shared hyper-parameter config objects, ...).
+``to_spec()``
+    Return the component's spec as a plain dict, such that
+    ``registry.create(component.to_spec(), **context)`` rebuilds an
+    equivalent component.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .._spec import SPEC_PARAMS_KEY, SPEC_TYPE_KEY, normalize_spec
+from ..exceptions import RegistryError
+
+__all__ = ["ComponentRegistry", "normalize_spec", "SPEC_TYPE_KEY", "SPEC_PARAMS_KEY"]
+
+
+class ComponentRegistry:
+    """A string-keyed registry of one component family.
+
+    Parameters
+    ----------
+    family:
+        Human-readable family name (``"solver"``, ``"blocker"``, ...),
+        used in error messages and as the registry's identity in
+        :data:`repro.registry.FAMILIES`.
+    """
+
+    def __init__(self, family: str) -> None:
+        if not family:
+            raise RegistryError("registry family name must be non-empty")
+        self.family = family
+        self._components: dict[str, type] = {}
+
+    # ------------------------------------------------------------ registration
+
+    def register(self, key: str, component: type | None = None):
+        """Register ``component`` under ``key`` (usable as a decorator).
+
+        The component must provide ``from_spec``; re-registering an
+        existing key raises (delete first to replace deliberately).
+        """
+
+        def _register(target: type) -> type:
+            if not key or not isinstance(key, str):
+                raise RegistryError(f"{self.family} registry keys must be non-empty strings")
+            if key in self._components:
+                raise RegistryError(
+                    f"{self.family} component {key!r} is already registered "
+                    f"({self._components[key].__name__})"
+                )
+            if not callable(getattr(target, "from_spec", None)):
+                raise RegistryError(
+                    f"{self.family} component {target.__name__} must define from_spec()"
+                )
+            self._components[key] = target
+            return target
+
+        if component is None:
+            return _register
+        return _register(component)
+
+    def unregister(self, key: str) -> None:
+        """Remove a registration (primarily for tests and plugins)."""
+        self._components.pop(key, None)
+
+    # ----------------------------------------------------------------- lookup
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._components
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._components)
+
+    def keys(self) -> tuple[str, ...]:
+        """Registered keys, in registration order."""
+        return tuple(self._components)
+
+    def get(self, key: str) -> type:
+        """The component class registered under ``key``."""
+        try:
+            return self._components[key]
+        except KeyError:
+            available = ", ".join(sorted(self._components)) or "<none>"
+            raise RegistryError(
+                f"unknown {self.family} component {key!r}; available: {available}"
+            ) from None
+
+    # --------------------------------------------------------------- creation
+
+    def normalize(self, spec: object) -> dict[str, object]:
+        """Normalize ``spec`` and verify its key is registered."""
+        normalized = normalize_spec(spec, context=f"{self.family} spec")
+        self.get(str(normalized[SPEC_TYPE_KEY]))
+        return normalized
+
+    def create(self, spec: object, **context) -> object:
+        """Build the component described by ``spec``.
+
+        ``context`` carries creation-time inputs that are not part of the
+        serialized spec (e.g. ``intents`` and ``matcher_config`` for
+        solvers, ``config`` for graph builders and classifiers).
+        """
+        normalized = self.normalize(spec)
+        component = self.get(str(normalized[SPEC_TYPE_KEY]))
+        params = dict(normalized[SPEC_PARAMS_KEY])  # type: ignore[arg-type]
+        try:
+            return component.from_spec(params, **context)
+        except TypeError as error:
+            raise RegistryError(
+                f"cannot build {self.family} component "
+                f"{normalized[SPEC_TYPE_KEY]!r} from params {sorted(params)}: {error}"
+            ) from error
+
+    def spec(self, component: object) -> dict[str, object]:
+        """The canonical spec of a component instance (via ``to_spec``).
+
+        Raises when the component does not expose ``to_spec`` or reports
+        a type that is not registered in this family — catching drift
+        between an instance and the registry that is supposed to be able
+        to rebuild it.
+        """
+        to_spec = getattr(component, "to_spec", None)
+        if not callable(to_spec):
+            raise RegistryError(
+                f"{type(component).__name__} does not expose to_spec(); "
+                f"it cannot serialize as a {self.family} component"
+            )
+        return self.normalize(to_spec())

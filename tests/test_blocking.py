@@ -100,3 +100,34 @@ class TestBlockingReport:
         dataset = Dataset(records=[])
         report = BlockingReport.from_result(dataset, [])
         assert report.reduction_ratio == 0.0
+
+
+class TestFullBlocker:
+    def test_emits_every_admissible_pair(self, toy_dataset):
+        from repro.blocking import FullBlocker
+
+        pairs = FullBlocker().block(toy_dataset)
+        n = len(toy_dataset)
+        assert len(pairs) == n * (n - 1) // 2
+        assert len(pairs) == len(set(pairs))
+        assert pairs == sorted(pairs)
+
+    def test_cross_source_only_restricts_pairs(self):
+        from repro.blocking import FullBlocker
+
+        records = [
+            Record("w1", {"title": "x"}, source="walmart"),
+            Record("a1", {"title": "x"}, source="amazon"),
+            Record("a2", {"title": "y"}, source="amazon"),
+        ]
+        dataset = Dataset(records=records)
+        pairs = FullBlocker(cross_source_only=True).block(dataset)
+        assert set(pairs) == {RecordPair("a1", "w1"), RecordPair("a2", "w1")}
+
+    def test_max_records_guard(self, toy_dataset):
+        from repro.blocking import FullBlocker
+
+        with pytest.raises(BlockingError):
+            FullBlocker(max_records=3).block(toy_dataset)
+        with pytest.raises(BlockingError):
+            FullBlocker(max_records=1)

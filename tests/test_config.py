@@ -82,8 +82,28 @@ class TestFlexERConfig:
     def test_to_dict_round_trips_sections(self):
         config = FlexERConfig()
         as_dict = config.to_dict()
-        assert set(as_dict) == {"matcher", "graph", "gnn"}
+        assert set(as_dict) == {
+            "matcher",
+            "graph",
+            "gnn",
+            "solver",
+            "blocker",
+            "graph_builder",
+            "classifier",
+        }
         assert as_dict["graph"]["k_neighbors"] == config.graph.k_neighbors
+        assert as_dict["solver"] == {"type": "in_parallel", "params": {}}
+
+    def test_component_specs_normalize_to_canonical_form(self):
+        config = FlexERConfig(solver="multi_label", blocker={"type": "qgram", "q": 3})
+        assert config.solver == {"type": "multi_label", "params": {}}
+        assert config.blocker == {"type": "qgram", "params": {"q": 3}}
+
+    def test_malformed_component_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlexERConfig(solver={"params": {}})
+        with pytest.raises(ConfigurationError):
+            FlexERConfig(blocker=42)
 
     def test_fast_preset_is_smaller_than_default(self):
         fast = FlexERConfig.fast()

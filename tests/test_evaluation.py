@@ -160,3 +160,56 @@ class TestReports:
         summary = comparison_summary({"a": {"f1": 0.5}, "b": {"f1": 0.7}}, "f1")
         assert "b" in summary
         assert comparison_summary({}, "f1").startswith("no results")
+
+
+class TestBlockingQuality:
+    @pytest.fixture
+    def blocked_dataset(self):
+        from repro.data.records import Dataset, Record
+
+        records = [
+            Record(record_id=f"r{i}", values={"title": f"item {i}"}, source=source)
+            for i, source in enumerate(["a", "a", "b", "b", None])
+        ]
+        return Dataset(records=records, name="blocking-eval")
+
+    def test_reduction_ratio_and_admissible_pairs(self, blocked_dataset):
+        from repro.data.pairs import RecordPair
+        from repro.evaluation import evaluate_blocking
+
+        pairs = [RecordPair("r0", "r2"), RecordPair("r1", "r3")]
+        quality = evaluate_blocking(blocked_dataset, pairs)
+        assert quality.num_admissible_pairs == 10  # C(5, 2)
+        assert quality.reduction_ratio == pytest.approx(1.0 - 2 / 10)
+        assert quality.pair_completeness is None
+        assert quality.pair_quality is None
+
+    def test_cross_source_only_excludes_same_source_pairs(self, blocked_dataset):
+        from repro.evaluation import admissible_pair_count
+
+        # 10 total minus one a-a pair and one b-b pair; the source-less
+        # record stays pairable with everything.
+        assert admissible_pair_count(blocked_dataset, cross_source_only=True) == 8
+
+    def test_pair_completeness_and_quality_per_intent(self, blocked_dataset):
+        from repro.data.pairs import RecordPair
+        from repro.evaluation import evaluate_blocking
+
+        pairs = [RecordPair("r0", "r2"), RecordPair("r1", "r3")]
+        golden = {
+            "equivalence": {RecordPair("r0", "r2"), RecordPair("r0", "r4")},
+            "brand": set(),
+        }
+        quality = evaluate_blocking(blocked_dataset, pairs, golden_positive=golden)
+        assert quality.pair_completeness == {"equivalence": 0.5, "brand": 1.0}
+        assert quality.pair_quality == {"equivalence": 0.5, "brand": 0.0}
+        as_dict = quality.as_dict()
+        assert as_dict["pair_completeness"]["equivalence"] == 0.5
+
+    def test_duplicate_candidate_pairs_rejected(self, blocked_dataset):
+        from repro.data.pairs import RecordPair
+        from repro.evaluation import evaluate_blocking
+
+        pair = RecordPair("r0", "r2")
+        with pytest.raises(EvaluationError):
+            evaluate_blocking(blocked_dataset, [pair, pair])

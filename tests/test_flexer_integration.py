@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -96,12 +98,28 @@ class TestFlexERPipeline:
         with pytest.raises(IntentError):
             flexer.predict(tiny_benchmark.split.test, intent_subset=("nonexistent",))
 
-    def test_multi_label_representation_source_runs(self, tiny_benchmark, fast_config):
-        flexer = FlexER(
-            tiny_benchmark.intents, fast_config, representation_source="multi_label"
-        )
+    def test_multi_label_solver_spec_runs(self, tiny_benchmark, fast_config):
+        config = replace(fast_config, solver="multi_label")
+        flexer = FlexER(tiny_benchmark.intents, config)
+        assert flexer.representation_source == "multi_label"
         result = flexer.run_split(tiny_benchmark.split, target_intents=("equivalence",))
         assert set(result.solution.intents) == {"equivalence"}
+
+    def test_predict_timings_do_not_alias_or_accumulate(self, tiny_benchmark, fast_config):
+        flexer = FlexER(tiny_benchmark.intents, fast_config)
+        flexer.fit(tiny_benchmark.split.train, tiny_benchmark.split.valid)
+        first = flexer.predict(tiny_benchmark.split.test, target_intents=("equivalence",))
+        first_gnn = dict(first.timings.gnn_seconds_per_intent)
+        second = flexer.predict(tiny_benchmark.split.test)
+        # Each predict owns a fresh timings object; the second run must
+        # neither mutate the first result's timings nor accumulate them.
+        assert first.timings is not second.timings
+        assert first.timings.gnn_seconds_per_intent == first_gnn
+        assert set(first_gnn) == {"equivalence"}
+        assert set(second.timings.gnn_seconds_per_intent) == set(tiny_benchmark.intents)
+        assert first.timings.matcher_training_seconds == pytest.approx(
+            second.timings.matcher_training_seconds
+        )
 
 
 class TestExpectedResultShape:

@@ -1,0 +1,254 @@
+"""Tests for the Resolver facade and the end-to-end raw-records path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import FlexERConfig, MatcherConfig, GNNConfig, GraphConfig, Resolver
+from repro.core import MIERSolution
+from repro.data.pairs import RecordPair
+from repro.datasets import BENCHMARK_LABELERS
+from repro.exceptions import BlockingError, LabelingError
+from repro.pipeline import ArtifactCache
+
+
+@pytest.fixture(scope="module")
+def raw_benchmark():
+    """A tiny benchmark used as the raw-records source of truth."""
+    return repro.load_benchmark("amazon_mi", num_pairs=80, products_per_domain=8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def record_labeler(raw_benchmark):
+    """Ground-truth labeling function over records (via product metadata)."""
+    labeler = BENCHMARK_LABELERS["amazon_mi"]
+    products = raw_benchmark.record_products
+
+    def label(left, right):
+        return labeler.label_pair(products[left.record_id], products[right.record_id])
+
+    return label
+
+
+@pytest.fixture(scope="module")
+def resolve_config():
+    """A seconds-scale configuration with a token blocker."""
+    return FlexERConfig(
+        matcher=MatcherConfig(hidden_dims=(16, 8), n_features=64, epochs=2, seed=9),
+        graph=GraphConfig(k_neighbors=2),
+        gnn=GNNConfig(hidden_dim=8, epochs=4, seed=9),
+        blocker={"type": "token", "min_shared": 1},
+    )
+
+
+@pytest.fixture(scope="module")
+def raw_result(raw_benchmark, record_labeler, resolve_config):
+    """One shared end-to-end resolution from raw records."""
+    return repro.resolve(
+        raw_benchmark.dataset,
+        intents=raw_benchmark.intents,
+        labeler=record_labeler,
+        config=resolve_config,
+        target_intents=("equivalence", "brand"),
+    )
+
+
+class TestRawRecordsPath:
+    def test_produces_mier_solution_from_raw_records(self, raw_result, raw_benchmark):
+        assert isinstance(raw_result.solution, MIERSolution)
+        assert set(raw_result.solution.intents) == {"equivalence", "brand"}
+        assert raw_result.intents == raw_benchmark.intents
+        for intent in raw_result.solution.intents:
+            prediction = raw_result.solution.prediction(intent)
+            assert prediction.shape == (len(raw_result.split.test),)
+            assert set(np.unique(prediction)) <= {0, 1}
+
+    def test_candidates_come_from_blocking_not_the_benchmark(
+        self, raw_result, raw_benchmark
+    ):
+        assert raw_result.candidates is not None
+        assert len(raw_result.candidates) != len(raw_benchmark.candidates)
+        sizes = raw_result.split.sizes()
+        assert sum(sizes.values()) == len(raw_result.candidates)
+        assert sizes["train"] > sizes["test"] > 0
+
+    def test_blocking_quality_reported_with_exhaustive_golden(self, raw_result):
+        quality = raw_result.blocking
+        assert quality is not None
+        assert 0.0 < quality.reduction_ratio < 1.0
+        assert quality.num_candidate_pairs < quality.num_admissible_pairs
+        assert quality.pair_completeness is not None
+        assert set(quality.pair_completeness) == set(raw_result.intents)
+        for value in quality.pair_completeness.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_intent_evaluations_align_with_test_split(self, raw_result):
+        evaluations = raw_result.intent_evaluations()
+        assert set(evaluations) == {"equivalence", "brand"}
+        for evaluation in evaluations.values():
+            assert 0.0 <= evaluation.f1 <= 1.0
+
+    def test_every_stage_constructed_through_registry_specs(self, raw_result):
+        status = raw_result.pipeline.stage_status()
+        assert set(status) == {
+            "matcher-fit",
+            "representation",
+            "graph-build",
+            "gnn:equivalence",
+            "gnn:brand",
+        }
+
+
+class TestWarmCache:
+    def test_warm_rerun_hits_cache_byte_identically(
+        self, raw_benchmark, record_labeler, resolve_config
+    ):
+        cache = ArtifactCache()
+        kwargs = dict(
+            intents=raw_benchmark.intents,
+            labeler=record_labeler,
+            target_intents=("equivalence",),
+        )
+        cold = Resolver(config=resolve_config, cache=cache).resolve(
+            raw_benchmark.dataset, **kwargs
+        )
+        warm = Resolver(config=resolve_config, cache=cache).resolve(
+            raw_benchmark.dataset, **kwargs
+        )
+        assert cold.pipeline.cached_stages == ()
+        assert warm.pipeline.computed_stages == ()
+        for intent in cold.solution.intents:
+            assert (
+                warm.solution.probabilities[intent].tobytes()
+                == cold.solution.probabilities[intent].tobytes()
+            )
+
+
+class TestPreBuiltInputs:
+    def test_accepts_dataset_split(self, raw_benchmark, resolve_config):
+        result = repro.resolve(
+            raw_benchmark.split, config=resolve_config, target_intents=("equivalence",)
+        )
+        assert result.candidates is None
+        assert result.blocking is None
+        assert set(result.solution.intents) == {"equivalence"}
+        assert result.split is raw_benchmark.split
+
+    def test_accepts_candidate_set(self, raw_benchmark, resolve_config):
+        result = repro.resolve(
+            raw_benchmark.candidates,
+            config=resolve_config,
+            target_intents=("equivalence",),
+        )
+        assert result.candidates is raw_benchmark.candidates
+        sizes = result.split.sizes()
+        assert sum(sizes.values()) == len(raw_benchmark.candidates)
+
+
+class TestLabelsMapping:
+    def test_labels_mapping_with_default_for_unlisted_pairs(self, raw_benchmark):
+        dataset = raw_benchmark.dataset
+        golden = {
+            labeled.pair: dict(labeled.labels) for labeled in raw_benchmark.candidates
+        }
+        config = FlexERConfig(
+            matcher=MatcherConfig(hidden_dims=(16, 8), n_features=64, epochs=1, seed=9),
+            graph=GraphConfig(k_neighbors=2),
+            gnn=GNNConfig(hidden_dim=8, epochs=2, seed=9),
+            blocker={"type": "token", "min_shared": 1},
+        )
+        result = repro.resolve(
+            dataset,
+            labels=golden,
+            config=config,
+            target_intents=("equivalence",),
+        )
+        # Intents are inferred from the mapping's entries.
+        assert result.intents == raw_benchmark.intents
+        # Pairs the mapping does not list were labeled with the default 0.
+        assert result.candidates is not None
+        covered = sum(1 for pair in result.candidates.pairs if pair in golden)
+        assert 0 < covered < len(result.candidates)
+        # Golden positives for completeness come from the mapping itself.
+        assert result.blocking is not None
+        assert result.blocking.pair_completeness is not None
+
+    def test_same_source_golden_positives_excluded_for_cross_source_blockers(self):
+        from repro.data.records import Dataset, Record
+
+        records = [
+            Record("a1", {"title": "x"}, source="a"),
+            Record("a2", {"title": "x"}, source="a"),
+            Record("b1", {"title": "x"}, source="b"),
+        ]
+        dataset = Dataset(records=records, name="clean-clean")
+        resolver = Resolver(
+            config=FlexERConfig(blocker={"type": "full", "cross_source_only": True})
+        )
+        pairs = resolver.block(dataset)
+        # The same-source positive ("a1","a2") is inadmissible for this
+        # blocker, so it must not count against pair completeness.
+        labels = {
+            ("a1", "a2"): {"equivalence": 1},
+            ("a1", "b1"): {"equivalence": 1},
+        }
+        quality = resolver._blocking_quality(
+            dataset, pairs, ("equivalence",), labels, None, max_exhaustive_records=10
+        )
+        assert quality.pair_completeness == {"equivalence": 1.0}
+
+    def test_labels_mapping_matching_nothing_raises(self, raw_benchmark):
+        with pytest.raises(LabelingError, match="none of the"):
+            Resolver().label_candidates(
+                raw_benchmark.dataset,
+                raw_benchmark.candidates.pairs[:3],
+                intents=("equivalence",),
+                labels={("zz1", "zz2"): {"equivalence": 1}},
+            )
+
+    def test_tuple_keys_are_canonicalized(self, raw_benchmark):
+        resolver = Resolver()
+        pair = raw_benchmark.candidates.pairs[0]
+        labels = {(pair.right_id, pair.left_id): {"equivalence": 1}}
+        candidates = resolver.label_candidates(
+            raw_benchmark.dataset,
+            [pair],
+            intents=("equivalence",),
+            labels=labels,
+        )
+        assert candidates.labels("equivalence").tolist() == [1]
+
+
+class TestErrors:
+    def test_labels_and_labeler_together_rejected(self, raw_benchmark, record_labeler):
+        with pytest.raises(LabelingError):
+            Resolver().label_candidates(
+                raw_benchmark.dataset,
+                raw_benchmark.candidates.pairs[:2],
+                intents=("equivalence",),
+                labels={},
+                labeler=record_labeler,
+            )
+
+    def test_missing_ground_truth_rejected(self, raw_benchmark):
+        with pytest.raises(LabelingError):
+            repro.resolve(raw_benchmark.dataset)
+
+    def test_empty_blocking_result_raises(self, raw_benchmark, record_labeler):
+        config = FlexERConfig(blocker={"type": "token", "min_shared": 50})
+        with pytest.raises(BlockingError):
+            repro.resolve(
+                raw_benchmark.dataset, labeler=record_labeler, config=config
+            )
+
+    def test_unsupported_input_type_rejected(self):
+        with pytest.raises(TypeError):
+            repro.resolve([RecordPair("a", "b")])
+
+    def test_unknown_requested_intent_rejected(self, raw_benchmark, resolve_config):
+        with pytest.raises(LabelingError):
+            repro.resolve(
+                raw_benchmark.split, intents=("nonexistent",), config=resolve_config
+            )
