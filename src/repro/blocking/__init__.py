@@ -1,6 +1,12 @@
 """Blocking phase: candidate pair generation."""
 
-from .base import Blocker, BlockingReport
+from .base import (
+    Blocker,
+    BlockingReport,
+    BlockingStats,
+    OversizedBlockWarning,
+    join_blocks,
+)
 from .full import FullBlocker
 from .qgram import QGramBlocker
 from .token import TokenBlocker, DEFAULT_STOPWORDS
@@ -8,6 +14,9 @@ from .token import TokenBlocker, DEFAULT_STOPWORDS
 __all__ = [
     "Blocker",
     "BlockingReport",
+    "BlockingStats",
+    "OversizedBlockWarning",
+    "join_blocks",
     "FullBlocker",
     "QGramBlocker",
     "TokenBlocker",

@@ -15,8 +15,10 @@ from collections.abc import Iterable
 from ..data.pairs import RecordPair
 from ..data.records import Dataset
 from ..exceptions import BlockingError
-from ..text.ngrams import char_ngrams
-from .base import Blocker
+from ..perf.instrument import profiled
+from ..text.memo import TextMemo
+from . import base
+from .base import Blocker, BlockingStats, join_blocks
 
 
 class QGramBlocker(Blocker):
@@ -59,6 +61,8 @@ class QGramBlocker(Blocker):
         self.attributes = tuple(attributes) if attributes is not None else None
         self.cross_source_only = cross_source_only
         self.max_block_size = max_block_size
+        #: Statistics of the most recent :meth:`block` run.
+        self.last_stats = BlockingStats()
 
     def to_spec(self) -> dict[str, object]:
         """Serialize the blocker configuration into a registry spec."""
@@ -73,21 +77,50 @@ class QGramBlocker(Blocker):
             },
         }
 
-    def block(self, dataset: Dataset) -> list[RecordPair]:
-        """Return the candidate pairs sharing at least ``min_shared`` q-grams."""
+    def _index(self, dataset: Dataset) -> dict[str, list[str]]:
+        """Inverted index from q-grams to record ids (text memoized per record)."""
+        memo = TextMemo(dataset, self.attributes)
         index: dict[str, list[str]] = defaultdict(list)
         for record in dataset:
-            text = record.text(self.attributes)
-            for gram in set(char_ngrams(text, self.q)):
+            for gram in memo.ngram_set(record.record_id, self.q):
                 index[gram].append(record.record_id)
+        return index
 
+    @profiled("blocking", items_from=lambda self, dataset: len(dataset))
+    def block(self, dataset: Dataset) -> list[RecordPair]:
+        """Return the candidate pairs sharing at least ``min_shared`` q-grams.
+
+        The co-occurrence join runs vectorized (see
+        :func:`repro.blocking.base.join_blocks`); statistics of the run —
+        including blocks skipped by the ``max_block_size`` guard — are
+        kept in :attr:`last_stats`.
+        """
+        if not base.VECTORIZED:
+            return self.block_loop(dataset)
+        pairs, stats = join_blocks(
+            dataset,
+            self._index(dataset),
+            min_shared=self.min_shared,
+            cross_source_only=self.cross_source_only,
+            max_block_size=self.max_block_size,
+        )
+        self.last_stats: BlockingStats = stats
+        return pairs
+
+    def block_loop(self, dataset: Dataset) -> list[RecordPair]:
+        """Reference implementation materializing the shared-count pair dict."""
+        index = self._index(dataset)
         shared_counts: dict[tuple[str, str], int] = defaultdict(int)
-        for gram, record_ids in index.items():
+        num_oversized = 0
+        num_block_pairs = 0
+        for _, record_ids in index.items():
             if self.max_block_size is not None and len(record_ids) > self.max_block_size:
+                num_oversized += 1
                 continue
             record_ids = sorted(set(record_ids))
             for i, left_id in enumerate(record_ids):
                 for right_id in record_ids[i + 1 :]:
+                    num_block_pairs += 1
                     if not self.allow_pair(dataset, left_id, right_id, self.cross_source_only):
                         continue
                     shared_counts[(left_id, right_id)] += 1
@@ -98,4 +131,10 @@ class QGramBlocker(Blocker):
             if count >= self.min_shared
         ]
         pairs.sort()
+        self.last_stats = BlockingStats(
+            num_blocks=len(index),
+            num_oversized_blocks=num_oversized,
+            num_block_pairs=num_block_pairs,
+            num_candidate_pairs=len(pairs),
+        )
         return pairs

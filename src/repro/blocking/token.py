@@ -14,8 +14,10 @@ from collections.abc import Iterable
 from ..data.pairs import RecordPair
 from ..data.records import Dataset
 from ..exceptions import BlockingError
-from ..text.tokenize import word_tokens
-from .base import Blocker
+from ..perf.instrument import profiled
+from ..text.memo import TextMemo
+from . import base
+from .base import Blocker, BlockingStats, join_blocks
 
 #: Tokens too frequent to be discriminative for product titles.
 DEFAULT_STOPWORDS = frozenset(
@@ -63,6 +65,8 @@ class TokenBlocker(Blocker):
         self.cross_source_only = cross_source_only
         self.max_block_size = max_block_size
         self.stopwords = frozenset(stopwords)
+        #: Statistics of the most recent :meth:`block` run.
+        self.last_stats = BlockingStats()
 
     def to_spec(self) -> dict[str, object]:
         """Serialize the blocker configuration into a registry spec."""
@@ -78,27 +82,57 @@ class TokenBlocker(Blocker):
             },
         }
 
-    def _keys(self, text: str) -> set[str]:
+    def _keys(self, tokens: Iterable[str]) -> set[str]:
         return {
             token
-            for token in word_tokens(text)
+            for token in tokens
             if len(token) >= self.min_token_length and token not in self.stopwords
         }
 
-    def block(self, dataset: Dataset) -> list[RecordPair]:
-        """Return candidate pairs sharing at least ``min_shared`` tokens."""
+    def _index(self, dataset: Dataset) -> dict[str, list[str]]:
+        """Inverted index from tokens to record ids (tokenized once per record)."""
+        memo = TextMemo(dataset, self.attributes)
         index: dict[str, list[str]] = defaultdict(list)
         for record in dataset:
-            for key in self._keys(record.text(self.attributes)):
+            for key in self._keys(memo.token_set(record.record_id)):
                 index[key].append(record.record_id)
+        return index
 
+    @profiled("blocking", items_from=lambda self, dataset: len(dataset))
+    def block(self, dataset: Dataset) -> list[RecordPair]:
+        """Return candidate pairs sharing at least ``min_shared`` tokens.
+
+        The co-occurrence join runs vectorized (see
+        :func:`repro.blocking.base.join_blocks`); statistics of the run —
+        including blocks skipped by the ``max_block_size`` guard — are
+        kept in :attr:`last_stats`.
+        """
+        if not base.VECTORIZED:
+            return self.block_loop(dataset)
+        pairs, stats = join_blocks(
+            dataset,
+            self._index(dataset),
+            min_shared=self.min_shared,
+            cross_source_only=self.cross_source_only,
+            max_block_size=self.max_block_size,
+        )
+        self.last_stats = stats
+        return pairs
+
+    def block_loop(self, dataset: Dataset) -> list[RecordPair]:
+        """Reference implementation materializing the shared-count pair dict."""
+        index = self._index(dataset)
         shared_counts: dict[tuple[str, str], int] = defaultdict(int)
-        for key, record_ids in index.items():
+        num_oversized = 0
+        num_block_pairs = 0
+        for _, record_ids in index.items():
             if self.max_block_size is not None and len(record_ids) > self.max_block_size:
+                num_oversized += 1
                 continue
             record_ids = sorted(set(record_ids))
             for i, left_id in enumerate(record_ids):
                 for right_id in record_ids[i + 1 :]:
+                    num_block_pairs += 1
                     if not self.allow_pair(dataset, left_id, right_id, self.cross_source_only):
                         continue
                     shared_counts[(left_id, right_id)] += 1
@@ -109,4 +143,10 @@ class TokenBlocker(Blocker):
             if count >= self.min_shared
         ]
         pairs.sort()
+        self.last_stats = BlockingStats(
+            num_blocks=len(index),
+            num_oversized_blocks=num_oversized,
+            num_block_pairs=num_block_pairs,
+            num_candidate_pairs=len(pairs),
+        )
         return pairs

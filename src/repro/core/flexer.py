@@ -36,6 +36,8 @@ from ..data.pairs import CandidateSet
 from ..data.splits import DatasetSplit
 from ..exceptions import IntentError, MatchingError, NotFittedError
 from ..graph.multiplex import MultiplexGraph
+from ..matching import features as _features
+from ..perf.instrument import observe as perf_observe
 from ..registry import GRAPH_BUILDERS, INTENT_CLASSIFIERS, SOLVERS
 from .mier import MIERSolution
 
@@ -80,20 +82,34 @@ def compute_representations(
     concatenated with the matcher's likelihood score for that intent, so
     message propagation starts from the matcher's decision (Section
     4.1.1).
+
+    Solvers exposing ``intent_outputs`` produce both matrices from one
+    encode + forward pass (bit-identical to the two-call path); the
+    fused path is bypassed when the vectorized feature encoder is
+    disabled so reference timings reflect the original call graph.
     """
-    representations = solver.representations(candidates)
     if augment_with_scores:
-        probabilities = solver.predict_proba(candidates)
-        representations = {
+        if _features.VECTORIZED and hasattr(solver, "intent_outputs"):
+            representations, probabilities = solver.intent_outputs(candidates)
+        else:
+            representations = solver.representations(candidates)
+            probabilities = solver.predict_proba(candidates)
+        return {
             intent: np.hstack([matrix, probabilities[intent][:, np.newaxis]])
             for intent, matrix in representations.items()
         }
-    return representations
+    return solver.representations(candidates)
 
 
 @dataclass
 class FlexERTimings:
-    """Wall-clock timings of a FlexER run (the Table 9 analysis)."""
+    """Wall-clock timings of a FlexER run (the Table 9 analysis).
+
+    Every stage timing recorded here is also reported to the active
+    :class:`repro.perf.PerfSession` (when one is active) through
+    :meth:`record_stage`, so profiling a run needs no changes to the
+    pipeline code.
+    """
 
     matcher_training_seconds: float = 0.0
     representation_seconds: float = 0.0
@@ -104,6 +120,46 @@ class FlexERTimings:
     def gnn_total_seconds(self) -> float:
         """Total GNN training + testing time over all intents."""
         return float(sum(self.gnn_seconds_per_intent.values()))
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall time across all recorded stages."""
+        return (
+            self.matcher_training_seconds
+            + self.representation_seconds
+            + self.graph_build_seconds
+            + self.gnn_total_seconds
+        )
+
+    def record_stage(self, stage: str, seconds: float, intent: str | None = None) -> None:
+        """Record one stage timing and forward it to any active perf session.
+
+        ``stage`` is one of ``"matcher-fit"``, ``"representation"``,
+        ``"graph-build"``, or ``"gnn"`` (the latter with ``intent``).
+        """
+        if stage == "matcher-fit":
+            self.matcher_training_seconds = seconds
+        elif stage == "representation":
+            self.representation_seconds = seconds
+        elif stage == "graph-build":
+            self.graph_build_seconds = seconds
+        elif stage == "gnn":
+            self.gnn_seconds_per_intent[intent or ""] = seconds
+        else:
+            raise ValueError(f"unknown FlexER stage: {stage!r}")
+        name = f"{stage}:{intent}" if intent is not None else stage
+        perf_observe(f"flexer:{name}", seconds)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable stage breakdown (used by ``BENCH_perf.json``)."""
+        return {
+            "matcher_training_seconds": self.matcher_training_seconds,
+            "representation_seconds": self.representation_seconds,
+            "graph_build_seconds": self.graph_build_seconds,
+            "gnn_seconds_per_intent": dict(self.gnn_seconds_per_intent),
+            "gnn_total_seconds": self.gnn_total_seconds,
+            "total_seconds": self.total_seconds,
+        }
 
 
 @dataclass
@@ -191,9 +247,8 @@ class FlexER:
         self.solver.fit(train)
         # A fresh timings object per fit: results of earlier runs keep
         # their own timings instead of aliasing a shared mutable one.
-        self.timings = FlexERTimings(
-            matcher_training_seconds=time.perf_counter() - start
-        )
+        self.timings = FlexERTimings()
+        self.timings.record_stage("matcher-fit", time.perf_counter() - start)
         self._train = train
         self._valid = valid
         return self
@@ -226,11 +281,11 @@ class FlexER:
         representations = compute_representations(
             self.solver, candidates, self.augment_with_scores
         )
-        self.timings.representation_seconds = time.perf_counter() - start
+        self.timings.record_stage("representation", time.perf_counter() - start)
 
         start = time.perf_counter()
         graph = self.graph_builder.build(representations, intents=layer_intents)
-        self.timings.graph_build_seconds = time.perf_counter() - start
+        self.timings.record_stage("graph-build", time.perf_counter() - start)
         return graph
 
     def predict(
@@ -298,7 +353,7 @@ class FlexER:
                 valid_labels=valid.labels(intent) if valid_index is not None and valid is not None else None,
             )
             elapsed = time.perf_counter() - start
-            timings.gnn_seconds_per_intent[intent] = elapsed
+            timings.record_stage("gnn", elapsed, intent=intent)
             test_probabilities = result.probabilities[test_index]
             probabilities[intent] = test_probabilities
             predictions[intent] = (test_probabilities >= 0.5).astype(np.int64)

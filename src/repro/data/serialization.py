@@ -78,6 +78,28 @@ def serialize_record(
     return " ".join(parts)
 
 
+def serialize_pair_from_texts(
+    left_text: str,
+    right_text: str,
+    config: SerializationConfig | None = None,
+) -> str:
+    """Assemble the DITTO pair string from pre-serialized record texts.
+
+    Split out of :func:`serialize_pair` so batched encoders can memoize
+    :func:`serialize_record` per record and still produce byte-identical
+    pair serializations.
+    """
+    config = config or SerializationConfig()
+    serialized = f"{CLS_TOKEN} {left_text} {SEP_TOKEN} {right_text} {SEP_TOKEN}"
+    tokens = serialized.split()
+    if len(tokens) > config.max_tokens:
+        tokens = tokens[: config.max_tokens]
+        if tokens[-1] != SEP_TOKEN:
+            tokens.append(SEP_TOKEN)
+        serialized = " ".join(tokens)
+    return serialized
+
+
 def serialize_pair(
     left: Record,
     right: Record,
@@ -87,14 +109,7 @@ def serialize_pair(
     config = config or SerializationConfig()
     left_text = serialize_record(left, config.attributes, config.lowercase)
     right_text = serialize_record(right, config.attributes, config.lowercase)
-    serialized = f"{CLS_TOKEN} {left_text} {SEP_TOKEN} {right_text} {SEP_TOKEN}"
-    tokens = serialized.split()
-    if len(tokens) > config.max_tokens:
-        tokens = tokens[: config.max_tokens]
-        if tokens[-1] != SEP_TOKEN:
-            tokens.append(SEP_TOKEN)
-        serialized = " ".join(tokens)
-    return serialized
+    return serialize_pair_from_texts(left_text, right_text, config)
 
 
 def serialize_candidates(

@@ -23,7 +23,12 @@ import numpy as np
 from ..ann.knn import ExactNearestNeighbors
 from ..config import GraphConfig
 from ..exceptions import GraphConstructionError
+from ..perf.instrument import profiled
 from .multiplex import MultiplexGraph
+
+#: Module-level default for the edge-construction implementation; flipped
+#: by :func:`repro.perf.compat.use_reference_implementations`.
+VECTORIZED = True
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,7 @@ class IntentGraphBuilder:
         """Construct the builder from a spec plus the shared graph config."""
         return cls(config=config, **params)
 
+    @profiled("graph-build")
     def build(
         self,
         representations: Mapping[str, np.ndarray],
@@ -122,6 +128,35 @@ class IntentGraphBuilder:
         k = self.config.k_neighbors
         if k == 0:
             return 0
+        if not VECTORIZED:
+            return self._add_intra_layer_edges_loop(graph, matrices)
+        count = 0
+        num_pairs = graph.num_pairs
+        for layer, matrix in enumerate(matrices):
+            if num_pairs < 2:
+                continue
+            index = ExactNearestNeighbors(metric=self.config.metric).fit(matrix)
+            result = index.search(matrix, k, exclude_self=True)
+            neighbor_indices = np.asarray(result.indices, dtype=np.int64)
+            effective_k = neighbor_indices.shape[1]
+            if effective_k == 0:
+                continue
+            layer_start = layer * num_pairs
+            # Row-major ravel matches the loop order exactly: pair index
+            # outer, neighbour rank inner.
+            sources = layer_start + neighbor_indices.ravel()
+            targets = layer_start + np.repeat(
+                np.arange(num_pairs, dtype=np.int64), effective_k
+            )
+            graph.add_edges(sources, targets)
+            count += int(sources.size)
+        return count
+
+    def _add_intra_layer_edges_loop(
+        self, graph: MultiplexGraph, matrices: list[np.ndarray]
+    ) -> int:
+        """Reference (per-edge loop) implementation of the intra-layer pass."""
+        k = self.config.k_neighbors
         count = 0
         for layer, matrix in enumerate(matrices):
             if graph.num_pairs < 2:
@@ -139,10 +174,30 @@ class IntentGraphBuilder:
 
     def _add_inter_layer_edges(self, graph: MultiplexGraph) -> int:
         """Connect each node to its peers (same pair) in every other layer."""
-        count = 0
         num_layers = graph.num_intents
         if num_layers < 2:
             return 0
+        if not VECTORIZED:
+            return self._add_inter_layer_edges_loop(graph)
+        num_pairs = graph.num_pairs
+        layers = np.arange(num_layers, dtype=np.int64)
+        # Off-diagonal (target_layer, source_layer) combinations in the
+        # loop's row-major order: target outer, source inner.
+        target_layers = np.repeat(layers, num_layers)
+        source_layers = np.tile(layers, num_layers)
+        off_diagonal = target_layers != source_layers
+        target_layers = target_layers[off_diagonal]
+        source_layers = source_layers[off_diagonal]
+        pair_indices = np.arange(num_pairs, dtype=np.int64)[:, np.newaxis]
+        targets = (pair_indices + num_pairs * target_layers[np.newaxis, :]).ravel()
+        sources = (pair_indices + num_pairs * source_layers[np.newaxis, :]).ravel()
+        graph.add_edges(sources, targets)
+        return int(sources.size)
+
+    def _add_inter_layer_edges_loop(self, graph: MultiplexGraph) -> int:
+        """Reference (per-edge loop) implementation of the inter-layer pass."""
+        count = 0
+        num_layers = graph.num_intents
         for pair_index in range(graph.num_pairs):
             nodes = [graph.node_index(layer, pair_index) for layer in range(num_layers)]
             for target in nodes:

@@ -11,22 +11,30 @@ who sends messages to whom during GraphSAGE aggregation:
   same record pair in every other layer.
 
 Node indexing is row-major by layer: node ``layer * num_pairs + pair``.
+
+Edges are stored as an append-ordered edge log (two flat integer
+arrays), so bulk insertion (:meth:`MultiplexGraph.add_edges`) and the
+edge-list / CSR views (:meth:`MultiplexGraph.edge_arrays`,
+:meth:`MultiplexGraph.aggregation_operator`) are vectorized — no
+per-node Python loops.  The classic adjacency-list view
+(:attr:`MultiplexGraph.in_neighbors`) is materialized lazily for
+compatibility and reporting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
 
 import numpy as np
+from scipy import sparse as sp
 
 from ..exceptions import GraphConstructionError
 
 
-@dataclass
 class MultiplexGraph:
     """A multiplex intent graph over candidate record pairs.
 
-    Attributes
+    Parameters
     ----------
     intents:
         Ordered intent names; one graph layer per intent.
@@ -35,21 +43,27 @@ class MultiplexGraph:
     features:
         Node feature matrix of shape ``(num_intents * num_pairs, dim)``.
     in_neighbors:
-        For every node, the list of nodes it *receives* messages from
-        (sources of its incoming edges).
+        Optional initial adjacency: for every node, the list of nodes it
+        *receives* messages from (sources of its incoming edges).
     intra_edge_count, inter_edge_count:
         Edge statistics kept for reporting (``|C|·|P|·|k|`` and
         ``|C|·|P|·|P-1|`` in the paper).
     """
 
-    intents: tuple[str, ...]
-    num_pairs: int
-    features: np.ndarray
-    in_neighbors: list[list[int]] = field(default_factory=list)
-    intra_edge_count: int = 0
-    inter_edge_count: int = 0
-
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        intents: Sequence[str],
+        num_pairs: int,
+        features: np.ndarray,
+        in_neighbors: Sequence[Sequence[int]] | None = None,
+        intra_edge_count: int = 0,
+        inter_edge_count: int = 0,
+    ) -> None:
+        self.intents = tuple(intents)
+        self.num_pairs = int(num_pairs)
+        self.features = features
+        self.intra_edge_count = int(intra_edge_count)
+        self.inter_edge_count = int(inter_edge_count)
         if not self.intents:
             raise GraphConstructionError("the graph needs at least one intent layer")
         if self.num_pairs <= 0:
@@ -59,10 +73,18 @@ class MultiplexGraph:
             raise GraphConstructionError(
                 f"features has {self.features.shape[0]} rows, expected {expected_nodes}"
             )
-        if not self.in_neighbors:
-            self.in_neighbors = [[] for _ in range(expected_nodes)]
-        if len(self.in_neighbors) != expected_nodes:
-            raise GraphConstructionError("in_neighbors must have one entry per node")
+        # Append-ordered edge log; all derived views are computed from it.
+        self._edge_sources: list[int] = []
+        self._edge_targets: list[int] = []
+        self._neighbors_cache: list[tuple[int, ...]] | None = None
+        self._operator_cache: dict[str, sp.csr_matrix] = {}
+        self._edge_arrays_cache: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        if in_neighbors is not None:
+            if len(in_neighbors) != expected_nodes:
+                raise GraphConstructionError("in_neighbors must have one entry per node")
+            for target, sources in enumerate(in_neighbors):
+                for source in sources:
+                    self.add_edge(int(source), target)
 
     # --------------------------------------------------------------- indexing
 
@@ -113,16 +135,60 @@ class MultiplexGraph:
 
     # ------------------------------------------------------------------ edges
 
+    def _invalidate(self) -> None:
+        self._neighbors_cache = None
+        self._operator_cache.clear()
+        self._edge_arrays_cache.clear()
+
     def add_edge(self, source: int, target: int) -> None:
         """Add a directed edge ``source -> target`` (message flows to target)."""
         if not 0 <= source < self.num_nodes or not 0 <= target < self.num_nodes:
             raise GraphConstructionError("edge endpoints out of range")
-        self.in_neighbors[target].append(source)
+        self._edge_sources.append(int(source))
+        self._edge_targets.append(int(target))
+        self._invalidate()
+
+    def add_edges(self, sources: np.ndarray | Iterable[int], targets: np.ndarray | Iterable[int]) -> None:
+        """Bulk-append directed edges (vectorized validation, one extend)."""
+        source_array = np.asarray(sources, dtype=np.int64).ravel()
+        target_array = np.asarray(targets, dtype=np.int64).ravel()
+        if source_array.shape != target_array.shape:
+            raise GraphConstructionError("sources and targets must have equal length")
+        if source_array.size == 0:
+            return
+        bounds = (
+            source_array.min(),
+            source_array.max(),
+            target_array.min(),
+            target_array.max(),
+        )
+        if bounds[0] < 0 or bounds[1] >= self.num_nodes or bounds[2] < 0 or bounds[3] >= self.num_nodes:
+            raise GraphConstructionError("edge endpoints out of range")
+        self._edge_sources.extend(source_array.tolist())
+        self._edge_targets.extend(target_array.tolist())
+        self._invalidate()
 
     @property
     def num_edges(self) -> int:
         """Total number of directed edges."""
-        return sum(len(neighbors) for neighbors in self.in_neighbors)
+        return len(self._edge_sources)
+
+    @property
+    def in_neighbors(self) -> list[tuple[int, ...]]:
+        """Per-node incoming-source adjacency (lazily materialized view).
+
+        A read-only view of the edge log: the inner sequences are tuples,
+        so the historical mutation pattern
+        (``graph.in_neighbors[target].append(source)``) fails loudly
+        instead of silently diverging from the edge log.  Mutate the
+        graph through :meth:`add_edge` / :meth:`add_edges`.
+        """
+        if self._neighbors_cache is None:
+            lists: list[list[int]] = [[] for _ in range(self.num_nodes)]
+            for source, target in zip(self._edge_sources, self._edge_targets):
+                lists[target].append(source)
+            self._neighbors_cache = [tuple(sources) for sources in lists]
+        return self._neighbors_cache
 
     def neighbors_of(self, node: int) -> list[int]:
         """Incoming-message neighbours of ``node``."""
@@ -134,45 +200,69 @@ class MultiplexGraph:
         With ``mode="mean"`` each target's incoming weights sum to one,
         so scatter-aggregation over these arrays computes the GraphSAGE
         mean aggregation; with ``mode="sum"`` all weights are one.
+
+        Edges are returned grouped by target in ascending order with the
+        per-target insertion order preserved (a stable sort of the edge
+        log), matching the historical adjacency-list iteration exactly.
+        The arrays are cached per mode (callers treat them as read-only)
+        so the per-intent GNN trainings over one graph sort only once.
         """
         if mode not in ("mean", "sum"):
             raise GraphConstructionError(f"unsupported aggregation mode: {mode!r}")
-        sources: list[int] = []
-        targets: list[int] = []
-        weights: list[float] = []
-        for target, incoming in enumerate(self.in_neighbors):
-            if not incoming:
-                continue
-            weight = 1.0 / len(incoming) if mode == "mean" else 1.0
-            for source in incoming:
-                sources.append(source)
-                targets.append(target)
-                weights.append(weight)
-        return (
-            np.asarray(sources, dtype=np.int64),
-            np.asarray(targets, dtype=np.int64),
-            np.asarray(weights, dtype=np.float64),
-        )
+        cached = self._edge_arrays_cache.get(mode)
+        if cached is not None:
+            return cached
+        sources = np.asarray(self._edge_sources, dtype=np.int64)
+        targets = np.asarray(self._edge_targets, dtype=np.int64)
+        order = np.argsort(targets, kind="stable")
+        sources = sources[order]
+        targets = targets[order]
+        if mode == "mean" and targets.size:
+            indegree = np.bincount(targets, minlength=self.num_nodes)
+            weights = 1.0 / indegree[targets]
+        else:
+            weights = np.ones(targets.size, dtype=np.float64)
+        result = (sources, targets, weights)
+        self._edge_arrays_cache[mode] = result
+        return result
+
+    def aggregation_operator(self, mode: str = "mean") -> sp.csr_matrix:
+        """CSR aggregation operator ``A`` with ``(A H)[v] = AGG(h_u, u ∈ N(v))``.
+
+        Built once per mode and cached until the edge set changes, so the
+        per-intent GNN trainings over one graph share the same operator
+        instead of re-deriving it.
+        """
+        cached = self._operator_cache.get(mode)
+        if cached is None:
+            sources, targets, weights = self.edge_arrays(mode)
+            cached = sp.csr_matrix(
+                (weights, (targets, sources)), shape=(self.num_nodes, self.num_nodes)
+            )
+            self._operator_cache[mode] = cached
+        return cached
+
+    def layer_adjacency(self, intent: str | int, mode: str = "mean") -> sp.csr_matrix:
+        """CSR adjacency of one layer's block of the aggregation operator.
+
+        Rows/columns are the layer's pairs; entries cover only the
+        intra-layer edges of that layer (inter-layer edges live in
+        off-diagonal blocks of the full operator).
+        """
+        layer = intent if isinstance(intent, int) else self.intent_index(intent)
+        if not 0 <= layer < self.num_intents:
+            raise GraphConstructionError(f"layer index out of range: {layer}")
+        start = layer * self.num_pairs
+        stop = start + self.num_pairs
+        return self.aggregation_operator(mode)[start:stop, start:stop].tocsr()
 
     def aggregation_matrix(self, mode: str = "mean") -> np.ndarray:
-        """Dense aggregation operator ``A`` with ``(A H)[v] = AGG(h_u, u ∈ N(v))``.
+        """Dense aggregation operator (see :meth:`aggregation_operator`).
 
-        Parameters
-        ----------
-        mode:
-            ``"mean"`` (row-normalized, the GraphSAGE default) or
-            ``"sum"``.
+        Kept for analyses and tests on small graphs; large graphs should
+        use the CSR operator.
         """
-        if mode not in ("mean", "sum"):
-            raise GraphConstructionError(f"unsupported aggregation mode: {mode!r}")
-        matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
-        for target, sources in enumerate(self.in_neighbors):
-            if not sources:
-                continue
-            weight = 1.0 / len(sources) if mode == "mean" else 1.0
-            for source in sources:
-                matrix[target, source] += weight
-        return matrix
+        return self.aggregation_operator(mode).toarray()
 
     def describe(self) -> dict[str, object]:
         """Graph statistics used by reports and run-time benchmarks."""

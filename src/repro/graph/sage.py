@@ -38,6 +38,7 @@ class GraphAggregation:
         targets: np.ndarray,
         num_nodes: int,
         weights: np.ndarray,
+        operator: sp.csr_matrix | None = None,
     ) -> None:
         self.sources = np.asarray(sources, dtype=np.int64)
         self.targets = np.asarray(targets, dtype=np.int64)
@@ -46,17 +47,31 @@ class GraphAggregation:
         if self.sources.shape != self.targets.shape or self.sources.shape != self.weights.shape:
             raise GraphConstructionError("edge arrays must have equal length")
         # The aggregation operator is constant across epochs, so the CSR
-        # matrix is built once and reused by every forward/backward pass.
-        self._operator = sp.csr_matrix(
-            (self.weights, (self.targets, self.sources)),
-            shape=(self.num_nodes, self.num_nodes),
-        )
+        # matrix is built once and reused by every forward/backward pass
+        # (or shared outright when the graph has already built it).
+        if operator is None:
+            operator = sp.csr_matrix(
+                (self.weights, (self.targets, self.sources)),
+                shape=(self.num_nodes, self.num_nodes),
+            )
+        self._operator = operator
 
     @classmethod
     def from_graph(cls, graph: MultiplexGraph, mode: str = "mean") -> "GraphAggregation":
-        """Build the aggregation operator of a multiplex graph."""
+        """Build the aggregation operator of a multiplex graph.
+
+        The CSR operator comes from the graph's cache
+        (:meth:`~repro.graph.multiplex.MultiplexGraph.aggregation_operator`),
+        so the per-intent GNN trainings over one graph share one matrix.
+        """
         sources, targets, weights = graph.edge_arrays(mode)
-        return cls(sources, targets, graph.num_nodes, weights)
+        return cls(
+            sources,
+            targets,
+            graph.num_nodes,
+            weights,
+            operator=graph.aggregation_operator(mode),
+        )
 
     @classmethod
     def self_loops(cls, num_nodes: int) -> "GraphAggregation":

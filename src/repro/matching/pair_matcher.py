@@ -157,6 +157,22 @@ class PairMatcher:
         )
         return hidden.numpy().copy()
 
+    def outputs(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Latent representations and likelihoods from one shared forward pass.
+
+        Identical values to calling :meth:`representations` and
+        :meth:`predict_proba` separately — the likelihood head runs on
+        the same hidden activations — at half the forward cost.
+        """
+        model = self._require_model()
+        model.eval()
+        hidden = model.hidden_representation(
+            Tensor(np.asarray(features, dtype=np.float64))
+        )
+        logits = model.head(hidden)
+        probabilities = logits.softmax(axis=1).numpy()[:, 1]
+        return hidden.numpy().copy(), probabilities
+
     @property
     def representation_dim(self) -> int:
         """Dimension of the latent pair representation."""

@@ -185,6 +185,18 @@ class NaiveSolver(BaseSolver):
         universal = self.matcher.representations(features)
         return {intent: universal.copy() for intent in self.intents}
 
+    def intent_outputs(
+        self, candidates: CandidateSet
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Representations and likelihoods from one encode + forward pass."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        universal_repr, universal_proba = self.matcher.outputs(features)
+        return (
+            {intent: universal_repr.copy() for intent in self.intents},
+            {intent: universal_proba.copy() for intent in self.intents},
+        )
+
 
 class InParallelSolver(BaseSolver):
     """One independently trained binary matcher per intent (Section 3.2)."""
@@ -277,6 +289,18 @@ class InParallelSolver(BaseSolver):
             intent: matcher.representations(features)
             for intent, matcher in self.matchers.items()
         }
+
+    def intent_outputs(
+        self, candidates: CandidateSet
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Representations and likelihoods from one encode + forward per intent."""
+        self._require_fitted()
+        features = self.encode(candidates)
+        representations: dict[str, np.ndarray] = {}
+        probabilities: dict[str, np.ndarray] = {}
+        for intent, matcher in self.matchers.items():
+            representations[intent], probabilities[intent] = matcher.outputs(features)
+        return representations, probabilities
 
 
 class MultiLabelSolver(BaseSolver):

@@ -21,13 +21,16 @@ def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``gradient`` over broadcast dimensions so it matches ``shape``."""
     if gradient.shape == shape:
         return gradient
-    # Remove leading broadcast dimensions.
-    while gradient.ndim > len(shape):
-        gradient = gradient.sum(axis=0)
-    # Sum over dimensions that were expanded from size 1.
-    for axis, size in enumerate(shape):
-        if size == 1 and gradient.shape[axis] != 1:
-            gradient = gradient.sum(axis=axis, keepdims=True)
+    # One reduction pass instead of one ``sum`` per broadcast axis:
+    # leading extra dimensions plus every dimension expanded from size 1.
+    extra = gradient.ndim - len(shape)
+    axes = tuple(range(extra)) + tuple(
+        extra + axis
+        for axis, size in enumerate(shape)
+        if size == 1 and gradient.shape[extra + axis] != 1
+    )
+    if axes:
+        gradient = gradient.sum(axis=axes, keepdims=True)
     return gradient.reshape(shape)
 
 
@@ -85,7 +88,11 @@ class Tensor:
             return
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
-        self.grad = self.grad + gradient
+        # The gradient buffer is privately owned (allocated above or by a
+        # copy in ``backward``), so accumulation is in-place — one fused
+        # add instead of an allocation per contribution.  ``gradient``
+        # may be any view broadcastable to the buffer's shape.
+        self.grad += gradient
 
     @staticmethod
     def _lift(value: "Tensor" | ArrayLike) -> "Tensor":
@@ -209,11 +216,20 @@ class Tensor:
         index_array = np.asarray(indices, dtype=np.int64)
         out = Tensor(self.data[index_array], self.requires_grad)
         out._parents = (self,)
+        # Distinct indices (the common case: supervision rows) scatter
+        # with direct assignment; ``np.add.at`` — an order of magnitude
+        # slower — is only needed when rows repeat.
+        has_duplicates = (
+            index_array.size > 1 and np.unique(index_array).size < index_array.size
+        )
 
         def _backward() -> None:
             assert out.grad is not None
             gradient = np.zeros_like(self.data)
-            np.add.at(gradient, index_array, out.grad)
+            if has_duplicates:
+                np.add.at(gradient, index_array, out.grad)
+            else:
+                gradient[index_array] = out.grad
             self._accumulate(gradient)
 
         out._backward = _backward
@@ -231,7 +247,9 @@ class Tensor:
             gradient = out.grad
             if axis is not None and not keepdims:
                 gradient = np.expand_dims(gradient, axis=axis)
-            self._accumulate(np.broadcast_to(gradient, self.shape).copy())
+            # Broadcasting happens inside the in-place accumulation; no
+            # materialized copy of the expanded gradient is needed.
+            self._accumulate(np.broadcast_to(gradient, self.shape))
 
         out._backward = _backward
         return out
@@ -379,7 +397,9 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without a gradient requires a scalar tensor")
             gradient = np.ones_like(self.data)
-        self.grad = np.asarray(gradient, dtype=np.float64).reshape(self.data.shape)
+        # Copy the seed: gradient buffers are accumulated in-place, so the
+        # caller's array must never be aliased.
+        self.grad = np.array(gradient, dtype=np.float64).reshape(self.data.shape)
 
         ordered: list[Tensor] = []
         visited: set[int] = set()

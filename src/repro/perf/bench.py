@@ -1,0 +1,390 @@
+"""The pinned performance workload matrix and the ``BENCH_perf.json`` report.
+
+Every entry point here is deterministic and pinned: a
+:class:`PerfWorkload` fixes the dataset, its scale, and every training
+hyper-parameter, so two runs of the same repository state measure the
+same computation.  The suite runs each workload end-to-end — blocking
+plus the staged :class:`~repro.pipeline.PipelineRunner` on a cold
+artifact cache, then a warm re-run — twice: once with the vectorized hot
+paths and once with the retained loop reference implementations
+(:mod:`repro.perf.compat`), and reports the per-stage breakdown plus the
+end-to-end speedup.  Kernel-level micro-benchmarks (feature encoding,
+block joins, graph edge construction, batched Levenshtein) accompany the
+end-to-end numbers so a regression can be localized.
+
+The JSON report is schema-versioned (:data:`SCHEMA_VERSION`);
+:func:`check_regression` compares a fresh run against a committed
+baseline and flags end-to-end wall-time regressions beyond a threshold.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..blocking import QGramBlocker
+from ..config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from ..graph.builder import IntentGraphBuilder
+from ..matching.features import PairFeatureConfig, PairFeatureEncoder
+from ..pipeline import ArtifactCache, PipelineRunner
+from ..text.similarity import levenshtein_similarities_batch, levenshtein_similarity
+from .compat import use_reference_implementations, vectorization_enabled
+from .instrument import PerfSession, rss_bytes
+
+#: Version of the ``BENCH_perf.json`` document layout.
+SCHEMA_VERSION = 1
+
+#: Document kind marker (guards against comparing unrelated JSON files).
+REPORT_KIND = "repro-perf"
+
+
+@dataclass(frozen=True)
+class PerfWorkload:
+    """One pinned benchmark configuration.
+
+    The smoke workload mirrors the ``bench_table9_runtime`` smoke scale
+    (:meth:`BenchSettings.make_smoke` in ``benchmarks/_harness.py``) so
+    the CI perf job and the Table 9 harness measure the same computation.
+    """
+
+    name: str
+    dataset: str
+    num_pairs: int
+    products_per_domain: int
+    matcher_epochs: int
+    gnn_epochs: int
+    k_neighbors: int = 6
+    seed: int = 42
+
+    def flexer_config(self) -> FlexERConfig:
+        """The FlexER configuration of this workload (harness-compatible)."""
+        return FlexERConfig(
+            matcher=MatcherConfig(
+                hidden_dims=(64, 32),
+                n_features=256,
+                epochs=self.matcher_epochs,
+                seed=self.seed,
+            ),
+            graph=GraphConfig(k_neighbors=self.k_neighbors),
+            gnn=GNNConfig(hidden_dim=48, epochs=self.gnn_epochs, seed=self.seed),
+        )
+
+
+#: The Table 9 smoke workload: tiny sizes, single training epochs.
+SMOKE_WORKLOADS = (
+    PerfWorkload(
+        name="table9_smoke_amazon_mi",
+        dataset="amazon_mi",
+        num_pairs=120,
+        products_per_domain=10,
+        matcher_epochs=1,
+        gnn_epochs=1,
+    ),
+)
+
+#: The default matrix: every paper dataset at moderate harness scale.
+FULL_WORKLOADS = (
+    PerfWorkload(
+        name="table9_amazon_mi",
+        dataset="amazon_mi",
+        num_pairs=240,
+        products_per_domain=20,
+        matcher_epochs=5,
+        gnn_epochs=20,
+    ),
+    PerfWorkload(
+        name="table9_walmart_amazon",
+        dataset="walmart_amazon",
+        num_pairs=240,
+        products_per_domain=20,
+        matcher_epochs=5,
+        gnn_epochs=20,
+    ),
+    PerfWorkload(
+        name="table9_wdc",
+        dataset="wdc",
+        num_pairs=240,
+        products_per_domain=20,
+        matcher_epochs=5,
+        gnn_epochs=20,
+    ),
+)
+
+
+def _load_benchmark(workload: PerfWorkload):
+    # Imported lazily: the dataset generators pull in the full data layer.
+    from ..datasets import load_benchmark
+
+    return load_benchmark(
+        workload.dataset,
+        num_pairs=workload.num_pairs,
+        products_per_domain=workload.products_per_domain,
+        seed=workload.seed,
+    )
+
+
+def run_workload(workload: PerfWorkload, reference: bool = False) -> dict[str, object]:
+    """Run one workload end-to-end on a cold cache, then a warm re-run.
+
+    Returns the JSON-serializable measurement: per-stage records from the
+    profiling session, the FlexER stage breakdown, end-to-end wall time,
+    candidate-pair throughput, and peak RSS.
+    """
+    benchmark = _load_benchmark(workload)
+    config = workload.flexer_config()
+    blocker = QGramBlocker(q=4)
+
+    session = PerfSession()
+    cache = ArtifactCache()
+    runner = PipelineRunner(cache=cache)
+    with use_reference_implementations() if reference else _null_context():
+        with session.activate():
+            start = time.perf_counter()
+            with session.stage("blocking-end-to-end", items=len(benchmark.dataset)):
+                candidate_pairs = blocker.block(benchmark.dataset)
+            with session.stage("pipeline-cold", items=len(benchmark.candidates)):
+                result = runner.run(benchmark.split, benchmark.intents, config=config)
+            end_to_end = time.perf_counter() - start
+            with session.stage("pipeline-warm", items=len(benchmark.candidates)):
+                warm = runner.run(benchmark.split, benchmark.intents, config=config)
+
+    num_pairs = len(benchmark.candidates)
+    return {
+        "implementation": "reference-loops" if reference else "vectorized",
+        "end_to_end_wall_seconds": end_to_end,
+        "throughput_pairs_per_second": (num_pairs / end_to_end) if end_to_end > 0 else None,
+        "num_candidate_pairs": num_pairs,
+        "num_blocking_pairs": len(candidate_pairs),
+        "rss_peak_bytes": rss_bytes(),
+        "stages": session.as_dicts(),
+        "flexer_timings": result.timings.as_dict(),
+        "warm_cached_stages": list(warm.cached_stages),
+        "warm_wall_seconds": session.total_seconds("pipeline-warm"),
+    }
+
+
+def kernel_benchmarks(workload: PerfWorkload) -> list[dict[str, object]]:
+    """Vectorized-vs-loop micro-benchmarks of the four swept kernels."""
+    benchmark = _load_benchmark(workload)
+    dataset = benchmark.dataset
+    pairs = list(benchmark.candidates.pairs)
+    results: list[dict[str, object]] = []
+
+    def measure(name: str, items: int, loop_fn, vectorized_fn) -> None:
+        start = time.perf_counter()
+        loop_value = loop_fn()
+        loop_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        vectorized_value = vectorized_fn()
+        vectorized_seconds = time.perf_counter() - start
+        equivalent = _results_match(loop_value, vectorized_value)
+        results.append(
+            {
+                "name": name,
+                "items": items,
+                "loop_seconds": loop_seconds,
+                "vectorized_seconds": vectorized_seconds,
+                "speedup": (loop_seconds / vectorized_seconds)
+                if vectorized_seconds > 0
+                else None,
+                "equivalent": equivalent,
+            }
+        )
+
+    # 1. Pair feature encoding (fresh encoders so both start cache-cold).
+    feature_config = PairFeatureConfig(n_features=256)
+    measure(
+        "pair-feature-encode",
+        len(pairs),
+        lambda: PairFeatureEncoder(feature_config).encode_loop(dataset, pairs),
+        lambda: PairFeatureEncoder(feature_config).encode_batch(dataset, pairs),
+    )
+
+    # 2. Blocking join.
+    measure(
+        "qgram-block-join",
+        len(dataset),
+        lambda: QGramBlocker(q=4).block_loop(dataset),
+        lambda: QGramBlocker(q=4).block(dataset),
+    )
+
+    # 3. Multiplex graph edge construction over synthetic representations.
+    rng = np.random.default_rng(workload.seed)
+    representations = {
+        intent: rng.normal(size=(len(pairs), 16)) for intent in benchmark.intents
+    }
+    builder = IntentGraphBuilder(GraphConfig(k_neighbors=workload.k_neighbors))
+
+    def build_graph_edges(use_vectorized: bool):
+        if use_vectorized:
+            graph = builder.build(representations)
+        else:
+            with use_reference_implementations():
+                graph = builder.build(representations)
+        return graph.edge_arrays("mean")
+
+    measure(
+        "graph-edge-construction",
+        len(pairs) * len(benchmark.intents),
+        lambda: build_graph_edges(False),
+        lambda: build_graph_edges(True),
+    )
+
+    # 4. Batched Levenshtein over the candidate pair texts.
+    lefts = [dataset[pair.left_id].text() for pair in pairs]
+    rights = [dataset[pair.right_id].text() for pair in pairs]
+    measure(
+        "levenshtein-batch",
+        len(pairs),
+        lambda: np.array(
+            [levenshtein_similarity(a, b) for a, b in zip(lefts, rights)]
+        ),
+        lambda: levenshtein_similarities_batch(lefts, rights),
+    )
+    return results
+
+
+def _results_match(loop_value, vectorized_value) -> bool:
+    """Equivalence verdict for a kernel pair (arrays, edge tuples, pair lists)."""
+    if isinstance(loop_value, np.ndarray):
+        return bool(np.array_equal(loop_value, np.asarray(vectorized_value)))
+    if isinstance(loop_value, tuple):
+        return all(_results_match(a, b) for a, b in zip(loop_value, vectorized_value))
+    return bool(loop_value == vectorized_value)
+
+
+def run_perf_suite(
+    smoke: bool = False,
+    compare_reference: bool = True,
+    workloads: tuple[PerfWorkload, ...] | None = None,
+) -> dict[str, object]:
+    """Run the workload matrix and assemble the ``BENCH_perf.json`` document."""
+    selected = workloads if workloads is not None else (SMOKE_WORKLOADS if smoke else FULL_WORKLOADS)
+    entries: list[dict[str, object]] = []
+    for workload in selected:
+        entry: dict[str, object] = {
+            "workload": asdict(workload),
+            "vectorized": run_workload(workload, reference=False),
+            "kernels": kernel_benchmarks(workload),
+        }
+        if compare_reference:
+            entry["reference"] = run_workload(workload, reference=True)
+            vectorized_wall = entry["vectorized"]["end_to_end_wall_seconds"]
+            reference_wall = entry["reference"]["end_to_end_wall_seconds"]
+            entry["end_to_end_speedup"] = (
+                reference_wall / vectorized_wall if vectorized_wall > 0 else None
+            )
+        entries.append(entry)
+
+    total_wall = float(
+        sum(entry["vectorized"]["end_to_end_wall_seconds"] for entry in entries)
+    )
+    speedups = [
+        entry["end_to_end_speedup"]
+        for entry in entries
+        if entry.get("end_to_end_speedup") is not None
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "created_at": _datetime.datetime.now(_datetime.timezone.utc).isoformat(),
+        "smoke": smoke,
+        "environment": _environment(),
+        "vectorization": vectorization_enabled(),
+        "workloads": entries,
+        "summary": {
+            "num_workloads": len(entries),
+            "end_to_end_wall_seconds": total_wall,
+            "end_to_end_speedup_min": min(speedups) if speedups else None,
+            "end_to_end_speedup_max": max(speedups) if speedups else None,
+        },
+    }
+
+
+def _environment() -> dict[str, str]:
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def write_report(report: dict[str, object], path: str | Path) -> Path:
+    """Write the report as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_report(path: str | Path) -> dict[str, object]:
+    """Load a ``BENCH_perf.json`` document, validating kind and schema."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("kind") != REPORT_KIND:
+        raise ValueError(f"{path} is not a {REPORT_KIND} report")
+    return document
+
+
+def check_regression(
+    current: dict[str, object],
+    baseline: dict[str, object],
+    max_regression: float = 0.5,
+) -> list[str]:
+    """Compare a fresh report against a baseline; return regression messages.
+
+    Workloads are matched by name and compared on end-to-end wall time:
+    the current wall may exceed the baseline wall by at most
+    ``max_regression`` (fractional, e.g. 0.5 allows +50%).  Workloads
+    present in only one report are ignored, so a smoke run checks
+    cleanly against a baseline that contains the smoke workload.
+    """
+    problems: list[str] = []
+    if current.get("schema_version") != baseline.get("schema_version"):
+        problems.append(
+            "schema version changed "
+            f"({baseline.get('schema_version')} -> {current.get('schema_version')}); "
+            "re-record the baseline"
+        )
+        return problems
+
+    def walls(report: dict[str, object]) -> dict[str, float]:
+        return {
+            entry["workload"]["name"]: float(
+                entry["vectorized"]["end_to_end_wall_seconds"]
+            )
+            for entry in report["workloads"]
+        }
+
+    current_walls = walls(current)
+    baseline_walls = walls(baseline)
+    shared = sorted(set(current_walls) & set(baseline_walls))
+    if not shared:
+        problems.append(
+            "no workloads in common with the baseline "
+            f"(current: {sorted(current_walls)}, baseline: {sorted(baseline_walls)})"
+        )
+        return problems
+    for name in shared:
+        limit = baseline_walls[name] * (1.0 + max_regression)
+        if current_walls[name] > limit:
+            problems.append(
+                f"[{name}] end-to-end wall time regressed: "
+                f"{current_walls[name]:.3f}s vs baseline {baseline_walls[name]:.3f}s "
+                f"(limit {limit:.3f}s at +{max_regression:.0%})"
+            )
+    return problems
+
+
+def _null_context():
+    from contextlib import nullcontext
+
+    return nullcontext()

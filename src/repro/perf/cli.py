@@ -1,0 +1,133 @@
+"""``python -m repro.perf`` — run the performance suite and track the trajectory.
+
+Examples
+--------
+Run the smoke matrix and write the report::
+
+    python -m repro.perf --smoke --output BENCH_perf.json
+
+Check a fresh smoke run against the committed baseline (exit code 2 on a
+regression beyond the threshold)::
+
+    python -m repro.perf --smoke --check-against BENCH_perf.json
+
+Skip the loop-reference comparison (halves the runtime)::
+
+    python -m repro.perf --smoke --no-reference
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .bench import (
+    SCHEMA_VERSION,
+    check_regression,
+    load_report,
+    run_perf_suite,
+    write_report,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Run the pinned performance workload matrix and emit BENCH_perf.json",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the tiny Table 9 smoke workload instead of the full matrix",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_perf.json",
+        help="path of the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the loop-reference comparison run",
+    )
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE",
+        default=None,
+        help="compare against a committed BENCH_perf.json; exit 2 on regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.5,
+        help="allowed fractional end-to-end wall-time regression (default: %(default)s)",
+    )
+    return parser
+
+
+def _print_summary(report: dict[str, object]) -> None:
+    summary = report["summary"]
+    print(f"repro.perf report (schema v{SCHEMA_VERSION})")
+    print(f"  workloads:            {summary['num_workloads']}")
+    print(f"  end-to-end wall:      {summary['end_to_end_wall_seconds']:.3f}s")
+    if summary.get("end_to_end_speedup_min") is not None:
+        print(
+            "  vectorized speedup:   "
+            f"{summary['end_to_end_speedup_min']:.2f}x - "
+            f"{summary['end_to_end_speedup_max']:.2f}x vs loop reference"
+        )
+    for entry in report["workloads"]:
+        workload = entry["workload"]
+        vectorized = entry["vectorized"]
+        line = (
+            f"  [{workload['name']}] {vectorized['end_to_end_wall_seconds']:.3f}s, "
+            f"{vectorized['num_candidate_pairs']} pairs"
+        )
+        if entry.get("end_to_end_speedup") is not None:
+            line += f", {entry['end_to_end_speedup']:.2f}x vs loops"
+        print(line)
+        for kernel in entry["kernels"]:
+            speedup = kernel["speedup"]
+            speedup_text = f"{speedup:.2f}x" if speedup is not None else "n/a"
+            marker = "" if kernel["equivalent"] else "  [NOT EQUIVALENT]"
+            print(
+                f"      kernel {kernel['name']}: {speedup_text} "
+                f"({kernel['loop_seconds']:.4f}s -> {kernel['vectorized_seconds']:.4f}s)"
+                f"{marker}"
+            )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = run_perf_suite(smoke=args.smoke, compare_reference=not args.no_reference)
+    path = write_report(report, args.output)
+    _print_summary(report)
+    print(f"report written to {path}")
+
+    kernels_broken = [
+        kernel["name"]
+        for entry in report["workloads"]
+        for kernel in entry["kernels"]
+        if not kernel["equivalent"]
+    ]
+    if kernels_broken:
+        print(f"ERROR: kernels diverged from the loop reference: {kernels_broken}")
+        return 3
+
+    if args.check_against:
+        baseline = load_report(args.check_against)
+        problems = check_regression(report, baseline, max_regression=args.max_regression)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 2
+        print(
+            f"no regression vs {args.check_against} "
+            f"(threshold +{args.max_regression:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Switch the library between vectorized and reference implementations.
+
+The vectorization sweep kept every pre-existing loop implementation as a
+reference oracle (``encode_loop``, ``block_loop``, the builder's
+per-edge passes).  :func:`use_reference_implementations` re-routes the
+default entry points onto those loops for the duration of a ``with``
+block, so the perf CLI can measure the same end-to-end workload under
+both implementations and report the speedup honestly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+from ..blocking import base as blocking_base
+from ..graph import builder as graph_builder
+from ..matching import features as matching_features
+from ..text import vectorizers as text_vectorizers
+
+#: (module, attribute) pairs flipped by the context manager.
+_FLAGS = (
+    (matching_features, "VECTORIZED"),
+    (blocking_base, "VECTORIZED"),
+    (graph_builder, "VECTORIZED"),
+    (text_vectorizers, "CACHE_BUCKETS"),
+)
+
+
+def vectorization_enabled() -> dict[str, bool]:
+    """Current state of every implementation flag (for reports)."""
+    return {
+        f"{module.__name__}.{attribute}": bool(getattr(module, attribute))
+        for module, attribute in _FLAGS
+    }
+
+
+@contextmanager
+def use_reference_implementations() -> Iterator[None]:
+    """Run the enclosed block with the scalar/loop reference paths."""
+    saved = [(module, attribute, getattr(module, attribute)) for module, attribute in _FLAGS]
+    try:
+        for module, attribute in _FLAGS:
+            setattr(module, attribute, False)
+        yield
+    finally:
+        for module, attribute, value in saved:
+            setattr(module, attribute, value)

@@ -10,6 +10,9 @@ property-based tests.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
+
+import numpy as np
 
 from .ngrams import char_ngrams
 from .tokenize import token_set, word_tokens
@@ -35,6 +38,99 @@ def levenshtein_distance(left: str, right: str) -> int:
             current.append(min(insert_cost, delete_cost, substitute_cost))
         previous = current
     return previous[-1]
+
+
+def levenshtein_distances_batch(
+    lefts: Sequence[str], rights: Sequence[str]
+) -> np.ndarray:
+    """Edit distances of ``N`` string pairs computed with a batched DP.
+
+    The classic row-by-row dynamic program is evaluated for all pairs
+    simultaneously: each DP row update is a handful of numpy operations
+    over an ``(N, max_len + 1)`` integer matrix instead of a Python inner
+    loop per cell.  The row recurrence
+
+    ``current[j] = min(current[j - 1] + 1, previous[j] + 1,
+    previous[j - 1] + substitution_cost)``
+
+    carries a prefix dependency through ``current[j - 1] + 1``; it is
+    resolved in closed form as ``current[j] = j + cummin(t - j)`` where
+    ``t[j] = min(previous[j] + 1, previous[j - 1] + substitution_cost)``
+    (and ``t[0]`` is the first column's boundary value), so every row is
+    fully vectorized.  All arithmetic is exact int64, therefore the
+    result is identical to :func:`levenshtein_distance` on every pair.
+    """
+    if len(lefts) != len(rights):
+        raise ValueError("lefts and rights must have the same length")
+    n = len(lefts)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    # Mirror the scalar implementation: the longer string drives the
+    # outer loop so the DP rows span the shorter one.
+    longs: list[str] = []
+    shorts: list[str] = []
+    for left, right in zip(lefts, rights):
+        if len(left) < len(right):
+            left, right = right, left
+        longs.append(left)
+        shorts.append(right)
+
+    long_lengths = np.fromiter((len(s) for s in longs), dtype=np.int64, count=n)
+    short_lengths = np.fromiter((len(s) for s in shorts), dtype=np.int64, count=n)
+    max_long = int(long_lengths.max(initial=0))
+    max_short = int(short_lengths.max(initial=0))
+    if max_short == 0:
+        # Every shorter string is empty: the distance is the longer length.
+        return long_lengths
+
+    # Code-point matrices padded with sentinels that never match.
+    long_codes = np.full((n, max_long), -1, dtype=np.int64)
+    short_codes = np.full((n, max_short), -2, dtype=np.int64)
+    for row, text in enumerate(longs):
+        if text:
+            long_codes[row, : len(text)] = np.frombuffer(
+                text.encode("utf-32-le"), dtype=np.uint32
+            ).astype(np.int64)
+    for row, text in enumerate(shorts):
+        if text:
+            short_codes[row, : len(text)] = np.frombuffer(
+                text.encode("utf-32-le"), dtype=np.uint32
+            ).astype(np.int64)
+
+    column = np.arange(max_short + 1, dtype=np.int64)
+    previous = np.broadcast_to(column, (n, max_short + 1)).copy()
+    t = np.empty_like(previous)
+    for i in range(1, max_long + 1):
+        np.minimum(
+            previous[:, 1:] + 1,
+            previous[:, :-1] + (long_codes[:, i - 1 : i] != short_codes),
+            out=t[:, 1:],
+        )
+        t[:, 0] = i
+        current = np.minimum.accumulate(t - column, axis=1) + column
+        active = long_lengths >= i
+        previous[active] = current[active]
+
+    return previous[np.arange(n), short_lengths]
+
+
+def levenshtein_similarities_batch(
+    lefts: Sequence[str], rights: Sequence[str]
+) -> np.ndarray:
+    """Normalized Levenshtein similarities of ``N`` string pairs.
+
+    Matches :func:`levenshtein_similarity` exactly: the same integer
+    distances divided by the same maximum lengths (two empty strings
+    score 1.0).
+    """
+    distances = levenshtein_distances_batch(lefts, rights)
+    max_lengths = np.maximum(
+        np.fromiter((len(s) for s in lefts), dtype=np.int64, count=len(lefts)),
+        np.fromiter((len(s) for s in rights), dtype=np.int64, count=len(rights)),
+    )
+    safe = np.maximum(max_lengths, 1)
+    return np.where(max_lengths == 0, 1.0, 1.0 - distances / safe)
 
 
 def levenshtein_similarity(left: str, right: str) -> float:
@@ -86,9 +182,82 @@ def jaro_similarity(left: str, right: str) -> float:
     ) / 3.0
 
 
+def _jaro_similarity_fast(left: str, right: str) -> float:
+    """Jaro similarity via per-character position lists (exact fast path).
+
+    The classic greedy matcher scans the right-hand window for every left
+    character — ``O(|left| · window)``.  This implementation indexes the
+    positions of every character of ``right`` once and walks each list
+    with a monotone pointer, which is safe because the window start only
+    moves forward: a position skipped for being past the window *end*
+    stays available for later (larger) windows, so pointers only advance
+    past positions that are matched or permanently behind the window.
+    Greedy choices — and therefore matches, transpositions, and the final
+    float value — are identical to :func:`jaro_similarity`.
+    """
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    match_window = max(len(left), len(right)) // 2 - 1
+    match_window = max(match_window, 0)
+
+    positions: dict[str, list[int]] = {}
+    for j, char in enumerate(right):
+        positions.setdefault(char, []).append(j)
+    pointers = dict.fromkeys(positions, 0)
+
+    left_matches: list[int] = []
+    right_matched_positions: list[int] = []
+    for i, left_char in enumerate(left):
+        candidate_positions = positions.get(left_char)
+        if candidate_positions is None:
+            continue
+        pointer = pointers[left_char]
+        start = i - match_window
+        end = i + match_window + 1
+        while pointer < len(candidate_positions) and candidate_positions[pointer] < start:
+            pointer += 1
+        pointers[left_char] = pointer
+        if pointer < len(candidate_positions) and candidate_positions[pointer] < end:
+            left_matches.append(i)
+            right_matched_positions.append(candidate_positions[pointer])
+            pointers[left_char] = pointer + 1
+    matches = len(left_matches)
+    if matches == 0:
+        return 0.0
+
+    # Transpositions compare the matched characters in left order against
+    # the matched right positions in increasing order, as in the classic
+    # two-pointer sweep.
+    transpositions = 0
+    for i, j in zip(left_matches, sorted(right_matched_positions)):
+        if left[i] != right[j]:
+            transpositions += 1
+    transpositions //= 2
+    return (
+        matches / len(left)
+        + matches / len(right)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
 def jaro_winkler_similarity(left: str, right: str, prefix_weight: float = 0.1) -> float:
     """Jaro-Winkler similarity boosting common prefixes (Jaro 1995)."""
     jaro = jaro_similarity(left, right)
+    prefix_length = 0
+    for left_char, right_char in zip(left, right):
+        if left_char != right_char or prefix_length == 4:
+            break
+        prefix_length += 1
+    return jaro + prefix_length * prefix_weight * (1.0 - jaro)
+
+
+def jaro_winkler_similarity_fast(
+    left: str, right: str, prefix_weight: float = 0.1
+) -> float:
+    """Jaro-Winkler via the fast exact Jaro (identical to the reference)."""
+    jaro = _jaro_similarity_fast(left, right)
     prefix_length = 0
     for left_char, right_char in zip(left, right):
         if left_char != right_char or prefix_length == 4:

@@ -17,13 +17,20 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError
 from .ngrams import char_ngrams
-from .tokenize import word_tokens
+from .tokenize import normalize, word_tokens
 
 
 def _stable_hash(token: str, salt: str = "") -> int:
     """Deterministic 64-bit hash of a token (stable across processes)."""
     digest = hashlib.blake2b(f"{salt}:{token}".encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "little")
+
+
+#: When false, bucket lookups recompute the digest on every occurrence —
+#: the pre-optimization behaviour, restored by
+#: :func:`repro.perf.compat.use_reference_implementations` so reference
+#: timings do not silently benefit from the cache.
+CACHE_BUCKETS = True
 
 
 @dataclass(frozen=True)
@@ -56,8 +63,24 @@ class HashingVectorizer:
     required, so the vectorizer can encode unseen text deterministically.
     """
 
+    #: Entry caps of the memoization caches; each cache is cleared when
+    #: it exceeds its bound (unbounded growth would leak on streams of
+    #: unique texts).  Cleared entries are recomputed deterministically.
+    TEXT_CACHE_MAX_ENTRIES = 65536
+    BUCKET_CACHE_MAX_ENTRIES = 1 << 20
+
     def __init__(self, config: HashingVectorizerConfig | None = None) -> None:
         self.config = config or HashingVectorizerConfig()
+        # token -> (bucket index, sign); blake2b digests are the dominant
+        # cost of hashing, and real corpora reuse tokens heavily across
+        # records and pairs, so each distinct token is digested once per
+        # vectorizer lifetime.
+        self._bucket_cache: dict[str, tuple[int, float]] = {}
+        # text -> (bucket indices, signs) arrays; texts recur across
+        # batches (record texts in every encode, train-pair texts in the
+        # representation pass), and a cached text skips tokenization and
+        # the per-token loop entirely.
+        self._text_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     def _tokens(self, text: str) -> list[str]:
         tokens: list[str] = []
@@ -67,16 +90,30 @@ class HashingVectorizer:
             tokens.extend(f"w:{token}" for token in word_tokens(text))
         return tokens
 
+    def _bucket(self, token: str) -> tuple[int, float]:
+        """Bucket index and sign of ``token`` (memoized)."""
+        if not CACHE_BUCKETS:
+            return self._bucket_uncached(token)
+        cached = self._bucket_cache.get(token)
+        if cached is None:
+            cached = self._bucket_uncached(token)
+            self._bucket_cache[token] = cached
+        return cached
+
+    def _bucket_uncached(self, token: str) -> tuple[int, float]:
+        hashed = _stable_hash(token, self.config.salt)
+        index = hashed % self.config.n_features
+        if self.config.signed:
+            sign = 1.0 if (hashed >> 32) % 2 == 0 else -1.0
+        else:
+            sign = 1.0
+        return (index, sign)
+
     def transform_one(self, text: str) -> np.ndarray:
         """Encode a single string into a dense feature vector."""
         vector = np.zeros(self.config.n_features, dtype=np.float64)
         for token in self._tokens(text):
-            hashed = _stable_hash(token, self.config.salt)
-            index = hashed % self.config.n_features
-            if self.config.signed:
-                sign = 1.0 if (hashed >> 32) % 2 == 0 else -1.0
-            else:
-                sign = 1.0
+            index, sign = self._bucket(token)
             vector[index] += sign
         if self.config.normalize:
             norm = np.linalg.norm(vector)
@@ -85,11 +122,85 @@ class HashingVectorizer:
         return vector
 
     def transform(self, texts: Iterable[str]) -> np.ndarray:
-        """Encode a sequence of strings into a ``(n, n_features)`` matrix."""
-        rows = [self.transform_one(text) for text in texts]
-        if not rows:
+        """Encode a sequence of strings into a ``(n, n_features)`` matrix.
+
+        The batch is encoded through a CSR-style intermediate — a flat
+        ``(bucket, sign)`` stream plus per-text offsets — and a single
+        scatter-add, so per-text Python work is limited to tokenization.
+        Each row is bit-identical to :meth:`transform_one` of the same
+        text: bucket contributions are ±1 integers whose float64 sums are
+        exact in any order.
+        """
+        texts = list(texts)
+        if not texts:
             return np.zeros((0, self.config.n_features), dtype=np.float64)
-        return np.stack(rows, axis=0)
+        caching = CACHE_BUCKETS
+        if caching and len(self._text_cache) > self.TEXT_CACHE_MAX_ENTRIES:
+            self._text_cache.clear()
+        if caching and len(self._bucket_cache) > self.BUCKET_CACHE_MAX_ENTRIES:
+            self._bucket_cache.clear()
+        index_blocks: list[np.ndarray] = []
+        sign_blocks: list[np.ndarray] = []
+        lengths = np.zeros(len(texts), dtype=np.int64)
+        for row, text in enumerate(texts):
+            cached = self._text_cache.get(text) if caching else None
+            if cached is None:
+                cached = self._text_buckets(text)
+                if caching:
+                    self._text_cache[text] = cached
+            lengths[row] = cached[0].size
+            index_blocks.append(cached[0])
+            sign_blocks.append(cached[1])
+        matrix = np.zeros((len(texts), self.config.n_features), dtype=np.float64)
+        if int(lengths.sum()):
+            rows = np.repeat(np.arange(len(texts), dtype=np.int64), lengths)
+            np.add.at(
+                matrix,
+                (rows, np.concatenate(index_blocks)),
+                np.concatenate(sign_blocks),
+            )
+        if self.config.normalize:
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            np.divide(matrix, norms, out=matrix, where=norms > 0)
+        return matrix
+
+    def _text_buckets(self, text: str) -> tuple[np.ndarray, np.ndarray]:
+        """Bucket index and sign arrays of one text's token stream.
+
+        Equivalent to bucketing :meth:`_tokens` one by one, but the text
+        is normalized once for all n-gram sizes and cache keys are
+        ``(prefix, gram)`` tuples, so the prefixed token string is only
+        materialized on a cache miss (for the digest).
+        """
+        config = self.config
+        cache = self._bucket_cache
+        caching = CACHE_BUCKETS
+        normalized = normalize(text) if config.char_ngram_sizes else ""
+        keys: list[tuple[str, str]] = []
+        for size in config.char_ngram_sizes:
+            prefix = f"c{size}:"
+            if len(normalized) < size:
+                if normalized:
+                    keys.append((prefix, normalized))
+                continue
+            keys.extend(
+                (prefix, normalized[i : i + size])
+                for i in range(len(normalized) - size + 1)
+            )
+        if config.use_word_tokens:
+            keys.extend(("w:", token) for token in word_tokens(text))
+
+        indices = np.empty(len(keys), dtype=np.int64)
+        signs = np.empty(len(keys), dtype=np.float64)
+        for position, key in enumerate(keys):
+            cached = cache.get(key) if caching else None
+            if cached is None:
+                cached = self._bucket_uncached(key[0] + key[1])
+                if caching:
+                    cache[key] = cached
+            indices[position] = cached[0]
+            signs[position] = cached[1]
+        return indices, signs
 
 
 class TfidfVectorizer:
