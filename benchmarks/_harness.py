@@ -133,7 +133,9 @@ class ExperimentStore:
 
     # --------------------------------------------------------------- baselines
 
-    def baseline(self, dataset: str, solver_name: str) -> tuple[MIERSolution, MultiIntentEvaluation]:
+    def baseline(
+        self, dataset: str, solver_name: str
+    ) -> tuple[MIERSolution, MultiIntentEvaluation]:
         """Fit + predict a baseline solver on ``dataset`` (cached)."""
         key = (dataset, solver_name)
         if key not in self._baselines:

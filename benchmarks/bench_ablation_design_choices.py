@@ -89,7 +89,9 @@ def test_ablation_inter_layer_edges(benchmark, store, settings):
     labels = bench.split.test.labels(EQUIVALENCE)
 
     with_inter = evaluate_binary(
-        store.flexer_result(DATASET, target_intents=(EQUIVALENCE,)).solution.prediction(EQUIVALENCE),
+        store.flexer_result(DATASET, target_intents=(EQUIVALENCE,)).solution.prediction(
+            EQUIVALENCE
+        ),
         labels,
     ).f1
 

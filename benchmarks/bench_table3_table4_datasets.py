@@ -34,7 +34,15 @@ def test_dataset_profile(benchmark, store, dataset):
         PAPER_TABLE3[dataset]["intents"],
     ]]
     table3 = format_table(
-        ["Dataset", "#Records", "#Pairs", "#Intents", "paper #Records", "paper #Pairs", "paper #Intents"],
+        [
+            "Dataset",
+            "#Records",
+            "#Pairs",
+            "#Intents",
+            "paper #Records",
+            "paper #Pairs",
+            "paper #Intents",
+        ],
         table3_rows,
         title=f"Table 3 (scaled) — {dataset}",
     )

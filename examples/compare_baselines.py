@@ -34,7 +34,9 @@ def main(dataset_name: str = "amazon_mi") -> None:
     }
     for name, solver in solvers.items():
         solver.fit(split.train)
-        solution = MIERSolution.from_mapping(split.test, solver.predict(split.test), solver_name=name)
+        solution = MIERSolution.from_mapping(
+            split.test, solver.predict(split.test), solver_name=name
+        )
         evaluations[name] = evaluate_solution(solution)
 
     flexer = FlexER(benchmark.intents, config)

@@ -74,6 +74,7 @@ from .evaluation import (
 from .pipeline import ArtifactCache, BatchRunner, PipelineRunner, Scenario
 from .resolver import Resolver, ResolverResult, resolve
 from . import exceptions
+from . import exec
 from . import registry
 
 __version__ = "1.0.0"
@@ -134,6 +135,7 @@ __all__ = [
     "ResolverResult",
     "resolve",
     "exceptions",
+    "exec",
     "registry",
     "__version__",
 ]

@@ -9,6 +9,7 @@ objects; labeling happens downstream from intent definitions.
 from __future__ import annotations
 
 import abc
+import time
 import warnings
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
@@ -17,6 +18,8 @@ import numpy as np
 
 from ..data.pairs import RecordPair
 from ..data.records import Dataset
+from ..exec.plan import ShardPlan
+from ..exec.stages import _observe_merge
 
 #: Module-level default for the block-join implementation; flipped by
 #: :func:`repro.perf.compat.use_reference_implementations` to time the
@@ -98,23 +101,116 @@ class OversizedBlockWarning(UserWarning):
     """A blocking key indexed more records than ``max_block_size`` allows."""
 
 
+def block_pair_arrays(
+    flat_ranks: np.ndarray, sizes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Expand CSR-style block postings into canonical pair-rank arrays.
+
+    This is the *map* side of the block join: given the concatenated
+    member ranks of a set of blocks (``flat_ranks``) and the per-block
+    sizes, it generates each block's pair list with one
+    ``np.triu_indices`` per *block size* rather than per block — all
+    blocks of equal size are stacked into one matrix and expanded
+    together.  Pairs are canonically oriented (smaller rank left).
+
+    The output depends only on the blocks it receives, so any partition
+    of an inverted index can be expanded shard by shard and the
+    concatenated outputs fed to :func:`reduce_block_pairs`.
+    """
+    offsets = np.zeros(len(sizes), dtype=np.int64)
+    np.cumsum(sizes[:-1], out=offsets[1:])
+    lefts: list[np.ndarray] = []
+    rights: list[np.ndarray] = []
+    num_block_pairs = 0
+    for size in np.unique(sizes).tolist():
+        block_rows = np.nonzero(sizes == size)[0]
+        gather = offsets[block_rows][:, np.newaxis] + np.arange(size, dtype=np.int64)
+        stacked = flat_ranks[gather]
+        left_index, right_index = np.triu_indices(size, k=1)
+        first = stacked[:, left_index].ravel()
+        second = stacked[:, right_index].ravel()
+        # Canonical orientation without sorting each block: the smaller
+        # rank (lexicographically smaller id) is the left member.
+        lefts.append(np.minimum(first, second))
+        rights.append(np.maximum(first, second))
+        num_block_pairs += first.size
+    if not lefts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, 0
+    return np.concatenate(lefts), np.concatenate(rights), num_block_pairs
+
+
+def _block_pairs_worker(payload):
+    """Executor task wrapping :func:`block_pair_arrays` (one key shard)."""
+    flat_ranks, sizes = payload
+    return block_pair_arrays(flat_ranks, sizes)
+
+
+def reduce_block_pairs(
+    left_ranks: np.ndarray,
+    right_ranks: np.ndarray,
+    record_ids: list[str],
+    dataset: Dataset,
+    min_shared: int,
+    cross_source_only: bool,
+) -> list[RecordPair]:
+    """Reduce raw block-pair arrays into the final candidate pair list.
+
+    Counts co-occurrences with one ``np.unique`` over packed 64-bit
+    keys, applies the ``min_shared`` threshold and the cross-source
+    admissibility rule, and materializes
+    :class:`~repro.data.pairs.RecordPair` objects.  ``np.unique`` sorts
+    globally, so the result is independent of how the input arrays were
+    partitioned or ordered — the key property that makes the sharded
+    join bit-identical to the serial one.
+    """
+    num_records = len(record_ids)
+    # Pack each (left, right) rank pair into one sortable 64-bit key.
+    keys, counts = np.unique(left_ranks * num_records + right_ranks, return_counts=True)
+    keys = keys[counts >= min_shared]
+    left_ranks = keys // num_records
+    right_ranks = keys % num_records
+
+    if cross_source_only and keys.size:
+        source_names = sorted(
+            {record.source for record in dataset if record.source is not None}
+        )
+        source_code = {name: code for code, name in enumerate(source_names)}
+        codes = np.fromiter(
+            (
+                source_code.get(dataset[record_id].source, -1)
+                for record_id in record_ids
+            ),
+            dtype=np.int64,
+            count=num_records,
+        )
+        left_codes = codes[left_ranks]
+        right_codes = codes[right_ranks]
+        admissible = (left_codes == -1) | (right_codes == -1) | (left_codes != right_codes)
+        left_ranks = left_ranks[admissible]
+        right_ranks = right_ranks[admissible]
+
+    return [
+        RecordPair(record_ids[left], record_ids[right])
+        for left, right in zip(left_ranks.tolist(), right_ranks.tolist())
+    ]
+
+
 def join_blocks(
     dataset: Dataset,
     blocks: Mapping[str, Iterable[str]],
     min_shared: int,
     cross_source_only: bool,
     max_block_size: int | None,
+    executor=None,
 ) -> tuple[list[RecordPair], BlockingStats]:
     """Turn an inverted index into candidate pairs via a sorted-array join.
 
     The classic implementation materializes a Python dict keyed by every
     co-occurring pair — ``O(Σ |block|²)`` dict operations and tuple
-    allocations.  This join instead concatenates the per-block pair
-    index arrays (``np.triu_indices`` over records ranked by id),
-    counts co-occurrences with one ``np.unique`` over packed 64-bit
-    keys, and only materializes :class:`~repro.data.pairs.RecordPair`
-    objects for the pairs that survive the ``min_shared`` threshold and
-    admissibility filtering.
+    allocations.  This join instead expands per-block pair index arrays
+    (:func:`block_pair_arrays`) and reduces them with one ``np.unique``
+    over packed keys (:func:`reduce_block_pairs`).
 
     Pairs are canonicalized by lexicographic id rank (``left`` is the
     smaller id), matching the reference orientation, and the packed-key
@@ -124,12 +220,16 @@ def join_blocks(
     per-record key *sets* guarantee this); duplicate members within one
     block would inflate its co-occurrence counts.
 
+    With a parallel ``executor`` (see :mod:`repro.exec`) the expansion
+    fans out over key-group shards balanced by per-block pair count
+    (``|block|·(|block|-1)/2``); the reduce step is order-independent,
+    so the sharded join is bit-identical to the serial one.
+
     Returns the pairs plus a :class:`BlockingStats`; oversized blocks are
     skipped with an :class:`OversizedBlockWarning`.
     """
     record_ids = sorted(record.record_id for record in dataset)
     rank_of = {record_id: rank for rank, record_id in enumerate(record_ids)}
-    num_records = len(record_ids)
 
     member_lists: list[list[str]] = []
     num_blocks = 0
@@ -156,66 +256,42 @@ def join_blocks(
         stats = BlockingStats(num_blocks, num_oversized, 0, 0)
         return [], stats
 
-    # CSR-style postings: one flat rank array plus per-block offsets.
+    # CSR-style postings: one flat rank array plus per-block sizes.
     sizes = np.fromiter((len(m) for m in member_lists), dtype=np.int64, count=len(member_lists))
     flat_ranks = np.fromiter(
         (rank_of[rid] for members in member_lists for rid in members),
         dtype=np.int64,
         count=int(sizes.sum()),
     )
-    offsets = np.zeros(len(member_lists), dtype=np.int64)
-    np.cumsum(sizes[:-1], out=offsets[1:])
 
-    # Generate each block's pair list with one triu_indices per *block
-    # size* rather than per block: all blocks of equal size are stacked
-    # into one matrix and expanded together.
-    lefts: list[np.ndarray] = []
-    rights: list[np.ndarray] = []
-    num_block_pairs = 0
-    for size in np.unique(sizes).tolist():
-        block_rows = np.nonzero(sizes == size)[0]
-        gather = offsets[block_rows][:, np.newaxis] + np.arange(size, dtype=np.int64)
-        stacked = flat_ranks[gather]
-        left_index, right_index = np.triu_indices(size, k=1)
-        first = stacked[:, left_index].ravel()
-        second = stacked[:, right_index].ravel()
-        # Canonical orientation without sorting each block: the smaller
-        # rank (lexicographically smaller id) is the left member.
-        lefts.append(np.minimum(first, second))
-        rights.append(np.maximum(first, second))
-        num_block_pairs += first.size
+    if executor is not None and getattr(executor, "is_parallel", False) and len(member_lists) > 1:
+        # Map: expand each key-group shard independently (shards balance
+        # the quadratic per-block pair cost, so one stop-gram-sized block
+        # occupies a shard of its own).
+        weights = (sizes * (sizes - 1) // 2).tolist()
+        plan = ShardPlan.balanced(weights, executor.workers)
+        offsets = np.zeros(len(sizes), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        payloads = []
+        for shard in plan.shards:
+            positions = np.asarray(shard.items, dtype=np.int64)
+            shard_sizes = sizes[positions]
+            shard_ranks = np.concatenate(
+                [flat_ranks[offsets[p] : offsets[p] + sizes[p]] for p in positions.tolist()]
+            )
+            payloads.append((shard_ranks, shard_sizes))
+        outputs = executor.map(_block_pairs_worker, payloads)
+        start = time.perf_counter()
+        left_ranks = np.concatenate([out[0] for out in outputs])
+        right_ranks = np.concatenate([out[1] for out in outputs])
+        num_block_pairs = int(sum(out[2] for out in outputs))
+        _observe_merge("block-join", time.perf_counter() - start, items=num_block_pairs)
+    else:
+        left_ranks, right_ranks, num_block_pairs = block_pair_arrays(flat_ranks, sizes)
 
-    left_ranks = np.concatenate(lefts)
-    right_ranks = np.concatenate(rights)
-    # Pack each (left, right) rank pair into one sortable 64-bit key.
-    keys, counts = np.unique(left_ranks * num_records + right_ranks, return_counts=True)
-    keys = keys[counts >= min_shared]
-    left_ranks = keys // num_records
-    right_ranks = keys % num_records
-
-    if cross_source_only and keys.size:
-        source_names = sorted(
-            {record.source for record in dataset if record.source is not None}
-        )
-        source_code = {name: code for code, name in enumerate(source_names)}
-        codes = np.fromiter(
-            (
-                source_code.get(dataset[record_id].source, -1)
-                for record_id in record_ids
-            ),
-            dtype=np.int64,
-            count=num_records,
-        )
-        left_codes = codes[left_ranks]
-        right_codes = codes[right_ranks]
-        admissible = (left_codes == -1) | (right_codes == -1) | (left_codes != right_codes)
-        left_ranks = left_ranks[admissible]
-        right_ranks = right_ranks[admissible]
-
-    pairs = [
-        RecordPair(record_ids[left], record_ids[right])
-        for left, right in zip(left_ranks.tolist(), right_ranks.tolist())
-    ]
+    pairs = reduce_block_pairs(
+        left_ranks, right_ranks, record_ids, dataset, min_shared, cross_source_only
+    )
     stats = BlockingStats(num_blocks, num_oversized, num_block_pairs, len(pairs))
     return pairs, stats
 

@@ -63,6 +63,10 @@ class QGramBlocker(Blocker):
         self.max_block_size = max_block_size
         #: Statistics of the most recent :meth:`block` run.
         self.last_stats = BlockingStats()
+        #: Optional :class:`repro.exec.Executor` the co-occurrence join
+        #: shards over.  Runtime wiring (attached by the resolver), not
+        #: part of the spec: executors never change blocking results.
+        self.executor = None
 
     def to_spec(self) -> dict[str, object]:
         """Serialize the blocker configuration into a registry spec."""
@@ -103,6 +107,7 @@ class QGramBlocker(Blocker):
             min_shared=self.min_shared,
             cross_source_only=self.cross_source_only,
             max_block_size=self.max_block_size,
+            executor=self.executor,
         )
         self.last_stats: BlockingStats = stats
         return pairs

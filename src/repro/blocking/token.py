@@ -67,6 +67,10 @@ class TokenBlocker(Blocker):
         self.stopwords = frozenset(stopwords)
         #: Statistics of the most recent :meth:`block` run.
         self.last_stats = BlockingStats()
+        #: Optional :class:`repro.exec.Executor` the co-occurrence join
+        #: shards over.  Runtime wiring (attached by the resolver), not
+        #: part of the spec: executors never change blocking results.
+        self.executor = None
 
     def to_spec(self) -> dict[str, object]:
         """Serialize the blocker configuration into a registry spec."""
@@ -115,6 +119,7 @@ class TokenBlocker(Blocker):
             min_shared=self.min_shared,
             cross_source_only=self.cross_source_only,
             max_block_size=self.max_block_size,
+            executor=self.executor,
         )
         self.last_stats = stats
         return pairs

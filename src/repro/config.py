@@ -187,6 +187,14 @@ class FlexERConfig:
         The multiplex graph construction (``"intent_graph"``).
     classifier:
         The per-intent node classifier (``"graphsage"``).
+    executor:
+        The sharded-execution backend of the run (``"serial"``,
+        ``"threads"``, ``"processes"``; e.g.
+        ``{"type": "processes", "workers": 4}``).  Executors never
+        change results — every sharded stage is bit-identical to its
+        serial run — so this spec deliberately does *not* participate
+        in pipeline stage fingerprints and cached artifacts stay valid
+        across executor choices.
     """
 
     matcher: MatcherConfig = field(default_factory=MatcherConfig)
@@ -196,9 +204,10 @@ class FlexERConfig:
     blocker: str | Mapping[str, Any] = "qgram"
     graph_builder: str | Mapping[str, Any] = "intent_graph"
     classifier: str | Mapping[str, Any] = "graphsage"
+    executor: str | Mapping[str, Any] = "serial"
 
     def __post_init__(self) -> None:
-        for name in ("solver", "blocker", "graph_builder", "classifier"):
+        for name in ("solver", "blocker", "graph_builder", "classifier", "executor"):
             spec = normalize_spec(getattr(self, name), context=f"FlexERConfig.{name}")
             object.__setattr__(self, name, spec)
 

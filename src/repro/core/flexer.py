@@ -350,7 +350,11 @@ class FlexER:
                 train_index=train_index,
                 train_labels=train.labels(intent),
                 valid_index=valid_index,
-                valid_labels=valid.labels(intent) if valid_index is not None and valid is not None else None,
+                valid_labels=(
+                    valid.labels(intent)
+                    if valid_index is not None and valid is not None
+                    else None
+                ),
             )
             elapsed = time.perf_counter() - start
             timings.record_stage("gnn", elapsed, intent=intent)

@@ -151,7 +151,9 @@ class IntentSet:
         return cls(candidates.intents)
 
     @classmethod
-    def from_names(cls, names: Iterable[str], descriptions: Mapping[str, str] | None = None) -> "IntentSet":
+    def from_names(
+        cls, names: Iterable[str], descriptions: Mapping[str, str] | None = None
+    ) -> "IntentSet":
         """Build an intent set from names with optional descriptions."""
         descriptions = descriptions or {}
         return cls(Intent(name=name, description=descriptions.get(name, "")) for name in names)

@@ -81,7 +81,9 @@ class LabeledPair:
         try:
             return self.labels[intent]
         except KeyError:
-            raise LabelingError(f"pair {self.pair.as_tuple()} has no label for intent {intent!r}") from None
+            raise LabelingError(
+                f"pair {self.pair.as_tuple()} has no label for intent {intent!r}"
+            ) from None
 
     @property
     def intents(self) -> tuple[str, ...]:

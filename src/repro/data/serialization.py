@@ -203,7 +203,7 @@ def read_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, ob
                 raise DataError(f"{path} is not a pipeline artifact (missing metadata)")
             metadata = json.loads(bytes(data[METADATA_KEY].tobytes()).decode("utf-8"))
             arrays = {
-                key[len(_ARRAY_PREFIX):]: data[key]
+                key[len(_ARRAY_PREFIX) :]: data[key]
                 for key in data.files
                 if key.startswith(_ARRAY_PREFIX)
             }

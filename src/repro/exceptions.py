@@ -56,5 +56,14 @@ class EvaluationError(ReproError):
     """Raised when evaluation inputs are inconsistent (e.g. length mismatch)."""
 
 
+class ExecutionError(ReproError):
+    """Raised when a sharded execution task fails or a worker crashes.
+
+    Executors wrap every task failure — including abrupt worker deaths
+    that break a process pool — in this type, so callers of the parallel
+    stages handle one exception instead of executor-specific ones.
+    """
+
+
 class IntentError(ReproError):
     """Raised for invalid intent definitions or unknown intent names."""

@@ -1,0 +1,281 @@
+"""The executor component family: serial, thread, and process backends.
+
+An :class:`Executor` runs one stage's shard tasks and returns their
+results in submission order.  All three built-ins share the same
+contract:
+
+* ``map(fn, payloads)`` preserves payload order;
+* any task failure — including a worker process dying mid-task — raises
+  a typed :class:`~repro.exceptions.ExecutionError` (never a hang, never
+  an executor-specific exception type);
+* executors never change results: a stage sharded over any executor is
+  bit-identical to its serial run, which is why executor specs are
+  deliberately excluded from pipeline stage fingerprints (cached
+  artifacts stay valid across executor choices).
+
+``ProcessExecutor`` tasks must be module-level functions with picklable
+payloads; the pipeline ships stage inputs as plain arrays, frozen config
+dataclasses, and ``state_dict`` mappings for exactly this reason.
+
+Executors are registered in :data:`repro.registry.EXECUTORS` under the
+keys ``serial`` / ``threads`` / ``processes`` and serialize to specs like
+any other component: ``{"type": "processes", "params": {"workers": 4}}``.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections.abc import Callable, Mapping, Sequence
+
+from .._spec import normalize_spec
+from ..exceptions import ConfigurationError, ExecutionError
+
+#: Worker-count shorthand meaning "one worker per available CPU".
+AUTO_WORKERS = 0
+
+
+def available_cpus() -> int:
+    """Number of CPUs this process may run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+class Executor(abc.ABC):
+    """Base class of the executor family.
+
+    Parameters
+    ----------
+    workers:
+        Degree of parallelism.  ``0`` (:data:`AUTO_WORKERS`) resolves to
+        :func:`available_cpus` at construction time.
+    """
+
+    #: Registry key of the concrete executor (set by subclasses).
+    spec_type: str = ""
+
+    def __init__(self, workers: int = 1) -> None:
+        workers = int(workers)
+        if workers == AUTO_WORKERS:
+            workers = available_cpus()
+        if workers < 1:
+            raise ConfigurationError("executor workers must be positive (or 0 for auto)")
+        self.workers = workers
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether sharded stage paths should fan work out through this executor."""
+        return True
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the executor into a registry spec."""
+        return {"type": self.spec_type, "params": {"workers": self.workers}}
+
+    @classmethod
+    def from_spec(cls, params: Mapping[str, object]) -> "Executor":
+        """Construct the executor from the parameters of a spec."""
+        return cls(**params)
+
+    @abc.abstractmethod
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        """Run ``fn`` over every payload; results keep payload order.
+
+        Raises :class:`~repro.exceptions.ExecutionError` when any task
+        fails, chaining the original exception as ``__cause__``.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+def _wrap_failure(executor: Executor, position: int, total: int, error: BaseException):
+    return ExecutionError(
+        f"{executor.spec_type} executor: task {position + 1}/{total} failed with "
+        f"{type(error).__name__}: {error}"
+    )
+
+
+class SerialExecutor(Executor):
+    """Run every task inline in the calling thread (the default executor)."""
+
+    spec_type = "serial"
+
+    @property
+    def is_parallel(self) -> bool:
+        return False
+
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        results = []
+        for position, payload in enumerate(payloads):
+            try:
+                results.append(fn(payload))
+            except ExecutionError:
+                raise
+            except Exception as error:
+                raise _wrap_failure(self, position, len(payloads), error) from error
+        return results
+
+
+class _PoolExecutor(Executor):
+    """Shared pool lifecycle and submit/collect logic of the parallel backends.
+
+    The worker pool is created lazily on the first ``map`` call and
+    **reused across calls**, so one executor driving a multi-stage
+    pipeline pays worker start-up once rather than once per stage.  A
+    failed call discards the pool (a broken process pool cannot be
+    reused) and the next ``map`` starts a fresh one.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._pool = None
+
+    def _make_pool(self, max_workers: int):
+        raise NotImplementedError
+
+    def _acquire_pool(self):
+        if self._pool is None:
+            self._pool = self._make_pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later ``map`` restarts it)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        if not payloads:
+            return []
+        pool = self._acquire_pool()
+        futures = [pool.submit(fn, payload) for payload in payloads]
+        results = []
+        for position, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except ExecutionError:
+                self.close()
+                raise
+            except Exception as error:
+                # Includes BrokenProcessPool (a RuntimeError) when a
+                # worker dies abruptly: the failure surfaces as a typed
+                # error instead of hanging on unfinished futures, and
+                # the (possibly broken) pool is discarded so the
+                # executor stays usable.  KeyboardInterrupt/SystemExit
+                # deliberately propagate unwrapped.
+                for pending in futures[position + 1 :]:
+                    pending.cancel()
+                self.close()
+                raise _wrap_failure(self, position, len(payloads), error) from error
+        return results
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Fan tasks out over a thread pool.
+
+    Suited to stages whose inner kernels release the GIL (numpy/scipy
+    calls) and to cheap fan-outs where process start-up would dominate.
+    """
+
+    spec_type = "threads"
+
+    def __init__(self, workers: int = AUTO_WORKERS) -> None:
+        super().__init__(workers)
+
+    def _make_pool(self, max_workers: int):
+        return ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="repro-exec")
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Fan tasks out over a process pool (one Python process per worker).
+
+    Parameters
+    ----------
+    workers:
+        Pool size (``0`` for one per available CPU).
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``fork`` where
+        available (cheap on Linux — workers inherit loaded datasets)
+        and falls back to ``spawn`` elsewhere.
+    """
+
+    spec_type = "processes"
+
+    def __init__(self, workers: int = AUTO_WORKERS, start_method: str | None = None) -> None:
+        super().__init__(workers)
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            resolved = "fork" if "fork" in methods else "spawn"
+        elif start_method in methods:
+            resolved = start_method
+        else:
+            raise ConfigurationError(
+                f"start method {start_method!r} is not available (have: {methods})"
+            )
+        self.start_method = resolved
+        self._context = multiprocessing.get_context(resolved)
+
+    def to_spec(self) -> dict[str, object]:
+        return {
+            "type": self.spec_type,
+            "params": {"workers": self.workers, "start_method": self.start_method},
+        }
+
+    def _make_pool(self, max_workers: int):
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=self._context)
+
+
+#: The built-in executor classes, keyed by spec type (the registry in
+#: :mod:`repro.registry.components` is built from this mapping).
+BUILTIN_EXECUTORS: dict[str, type[Executor]] = {
+    SerialExecutor.spec_type: SerialExecutor,
+    ThreadExecutor.spec_type: ThreadExecutor,
+    ProcessExecutor.spec_type: ProcessExecutor,
+}
+
+
+def executor_spec(executor: object = None, workers: int | None = None) -> dict[str, object]:
+    """Normalize an executor description into a canonical registry spec.
+
+    Accepts ``None`` (serial), a registry key, a spec mapping, or an
+    :class:`Executor` instance; ``workers`` (when given) overrides the
+    spec's worker count.  This is the helper behind
+    ``repro.resolve(..., executor="processes", workers=2)``.
+    """
+    if isinstance(executor, Executor):
+        spec = executor.to_spec()
+    else:
+        spec = normalize_spec(executor if executor is not None else "serial", context="executor spec")
+    if workers is not None:
+        params = dict(spec.get("params", {}))
+        params["workers"] = int(workers)
+        spec = {"type": spec["type"], "params": params}
+    return normalize_spec(spec, context="executor spec")
+
+
+def make_executor(executor: object = None, workers: int | None = None) -> Executor:
+    """Build an :class:`Executor` from any accepted executor description."""
+    if isinstance(executor, Executor) and workers is None:
+        return executor
+    spec = executor_spec(executor, workers)
+    component = BUILTIN_EXECUTORS.get(str(spec["type"]))
+    if component is None:
+        # Plugin executors registered at runtime resolve through the
+        # registry; imported lazily to keep this module cycle-free.
+        from ..registry import EXECUTORS
+
+        return EXECUTORS.create(spec)
+    return component.from_spec(dict(spec["params"]))

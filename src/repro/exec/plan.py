@@ -1,0 +1,169 @@
+"""Shard planning — how a stage's work is partitioned across workers.
+
+A :class:`ShardPlan` assigns the *positions* of a work list (candidate
+pairs, blocking keys, intents) to shards.  Two strategies cover the
+pipeline's embarrassingly parallel stages:
+
+* :meth:`ShardPlan.contiguous` — order-preserving contiguous ranges, for
+  row-independent batch computations whose outputs are concatenated back
+  (pair feature encoding);
+* :meth:`ShardPlan.balanced` — greedy longest-processing-time assignment
+  over per-item weights, for heterogeneous work such as blocking keys
+  (cost grows quadratically with block size) or per-intent model
+  training.
+
+Plans only describe the partition; executors (:mod:`repro.exec.executors`)
+run the per-shard tasks and the calling stage merges the outputs.  Both
+strategies are deterministic, so a sharded run partitions identically
+across processes, threads, and repeat invocations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..exceptions import ExecutionError
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of sharded work: positions into the stage's work list."""
+
+    index: int
+    items: tuple[int, ...]
+    weight: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of ``num_items`` work items into shards.
+
+    Every item position in ``range(num_items)`` appears in exactly one
+    shard, and no shard is empty — a plan over zero items has zero
+    shards, and requesting more shards than items yields one shard per
+    item.
+    """
+
+    num_items: int
+    shards: tuple[Shard, ...]
+
+    def __post_init__(self) -> None:
+        covered = sorted(position for shard in self.shards for position in shard.items)
+        if covered != list(range(self.num_items)):
+            raise ExecutionError(
+                f"shard plan does not cover items 0..{self.num_items - 1} exactly once"
+            )
+        if any(not shard.items for shard in self.shards):
+            raise ExecutionError("shard plans must not contain empty shards")
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.shards)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan carries no work at all."""
+        return self.num_items == 0
+
+    # ------------------------------------------------------------- strategies
+
+    @classmethod
+    def contiguous(cls, num_items: int, max_shards: int) -> "ShardPlan":
+        """Split ``num_items`` positions into contiguous, size-balanced ranges.
+
+        Shard sizes differ by at most one and order is preserved, so
+        concatenating per-shard outputs reproduces the unsharded order.
+        ``max_shards`` is capped at ``num_items`` — a plan never contains
+        an empty shard, and zero items produce zero shards.
+        """
+        if num_items < 0:
+            raise ExecutionError("num_items must be non-negative")
+        if max_shards < 1:
+            raise ExecutionError("max_shards must be at least 1")
+        num_shards = min(max_shards, num_items)
+        if num_shards == 0:
+            return cls(num_items=0, shards=())
+        base, extra = divmod(num_items, num_shards)
+        shards: list[Shard] = []
+        cursor = 0
+        for index in range(num_shards):
+            size = base + (1 if index < extra else 0)
+            items = tuple(range(cursor, cursor + size))
+            shards.append(Shard(index=index, items=items, weight=float(size)))
+            cursor += size
+        return cls(num_items=num_items, shards=tuple(shards))
+
+    @classmethod
+    def balanced(cls, weights: Sequence[float], max_shards: int) -> "ShardPlan":
+        """Greedy LPT assignment of weighted items to size-balanced shards.
+
+        Items are assigned heaviest-first to the least-loaded shard (ties
+        broken by shard index, so the plan is deterministic).  A single
+        oversized item — e.g. one blocking key indexing most of the
+        dataset — therefore occupies a shard of its own while the
+        remaining items balance across the other shards.  Within each
+        shard, item positions stay in ascending order.
+        """
+        if max_shards < 1:
+            raise ExecutionError("max_shards must be at least 1")
+        if any(weight < 0 for weight in weights):
+            raise ExecutionError("shard weights must be non-negative")
+        num_items = len(weights)
+        num_shards = min(max_shards, num_items)
+        if num_shards == 0:
+            return cls(num_items=0, shards=())
+        order = sorted(range(num_items), key=lambda position: (-weights[position], position))
+        loads: list[tuple[float, int]] = [(0.0, index) for index in range(num_shards)]
+        heapq.heapify(loads)
+        members: dict[int, list[int]] = {index: [] for index in range(num_shards)}
+        for position in order:
+            load, index = heapq.heappop(loads)
+            members[index].append(position)
+            heapq.heappush(loads, (load + float(weights[position]), index))
+        shards = tuple(
+            Shard(
+                index=index,
+                items=tuple(sorted(members[index])),
+                weight=float(sum(weights[position] for position in members[index])),
+            )
+            for index in range(num_shards)
+        )
+        return cls(num_items=num_items, shards=shards)
+
+    # -------------------------------------------------------------- utilities
+
+    def take(self, items: Sequence) -> list[list]:
+        """Materialize each shard's slice of ``items`` (one list per shard)."""
+        if len(items) != self.num_items:
+            raise ExecutionError(
+                f"plan covers {self.num_items} items but {len(items)} were given"
+            )
+        return [[items[position] for position in shard.items] for shard in self.shards]
+
+    def restore(self, shard_outputs: Sequence[Sequence]) -> list:
+        """Scatter per-item shard outputs back into original item order.
+
+        ``shard_outputs[s][j]`` must correspond to item
+        ``shards[s].items[j]``; the result has one entry per original
+        item position.
+        """
+        if len(shard_outputs) != self.num_shards:
+            raise ExecutionError(
+                f"plan has {self.num_shards} shards but {len(shard_outputs)} outputs were given"
+            )
+        merged: list = [None] * self.num_items
+        for shard, outputs in zip(self.shards, shard_outputs):
+            if len(outputs) != len(shard.items):
+                raise ExecutionError(
+                    f"shard {shard.index} produced {len(outputs)} outputs "
+                    f"for {len(shard.items)} items"
+                )
+            for position, value in zip(shard.items, outputs):
+                merged[position] = value
+        return merged

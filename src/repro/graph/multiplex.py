@@ -148,7 +148,9 @@ class MultiplexGraph:
         self._edge_targets.append(int(target))
         self._invalidate()
 
-    def add_edges(self, sources: np.ndarray | Iterable[int], targets: np.ndarray | Iterable[int]) -> None:
+    def add_edges(
+        self, sources: np.ndarray | Iterable[int], targets: np.ndarray | Iterable[int]
+    ) -> None:
         """Bulk-append directed edges (vectorized validation, one extend)."""
         source_array = np.asarray(sources, dtype=np.int64).ravel()
         target_array = np.asarray(targets, dtype=np.int64).ravel()
@@ -162,7 +164,12 @@ class MultiplexGraph:
             target_array.min(),
             target_array.max(),
         )
-        if bounds[0] < 0 or bounds[1] >= self.num_nodes or bounds[2] < 0 or bounds[3] >= self.num_nodes:
+        if (
+            bounds[0] < 0
+            or bounds[1] >= self.num_nodes
+            or bounds[2] < 0
+            or bounds[3] >= self.num_nodes
+        ):
             raise GraphConstructionError("edge endpoints out of range")
         self._edge_sources.extend(source_array.tolist())
         self._edge_targets.extend(target_array.tolist())
@@ -263,6 +270,42 @@ class MultiplexGraph:
         use the CSR operator.
         """
         return self.aggregation_operator(mode).toarray()
+
+    # ------------------------------------------------------------- round-trip
+
+    def to_payload(self) -> dict[str, object]:
+        """Serialize the graph into plain arrays (picklable, cacheable).
+
+        The edge log is exported through ``edge_arrays`` — grouped by
+        target with per-target insertion order preserved — so
+        :meth:`from_payload` rebuilds an edge-for-edge identical graph
+        and GNN training over it is byte-identical.  This is the payload
+        the process executor ships to per-intent GNN workers and the
+        staged pipeline stores as the graph-build artifact.
+        """
+        sources, targets, _ = self.edge_arrays(mode="sum")
+        return {
+            "intents": list(self.intents),
+            "num_pairs": self.num_pairs,
+            "features": self.features,
+            "sources": sources,
+            "targets": targets,
+            "intra_edge_count": self.intra_edge_count,
+            "inter_edge_count": self.inter_edge_count,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "MultiplexGraph":
+        """Rebuild a graph from :meth:`to_payload` arrays."""
+        graph = cls(
+            intents=tuple(payload["intents"]),
+            num_pairs=int(payload["num_pairs"]),
+            features=payload["features"],
+        )
+        graph.add_edges(payload["sources"], payload["targets"])
+        graph.intra_edge_count = int(payload["intra_edge_count"])
+        graph.inter_edge_count = int(payload["inter_edge_count"])
+        return graph
 
     def describe(self) -> dict[str, object]:
         """Graph statistics used by reports and run-time benchmarks."""

@@ -15,6 +15,7 @@ nodes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from collections.abc import Mapping
 
@@ -296,3 +297,57 @@ class IntentNodeClassifier:
         if self.result is None:
             raise NotFittedError("fit_predict must be called before predict")
         return (self.result.probabilities >= threshold).astype(np.int64)
+
+
+# ----------------------------------------------------------- sharded execution
+
+
+@dataclass(frozen=True)
+class ClassifierJob:
+    """The per-intent supervision of one GNN training task.
+
+    Jobs carry only plain arrays and the intent name, so the process
+    executor ships them (alongside a graph payload) to workers without
+    any shared state.
+    """
+
+    intent: str
+    train_index: np.ndarray
+    train_labels: np.ndarray
+    valid_index: np.ndarray | None = None
+    valid_labels: np.ndarray | None = None
+
+
+def run_classifier_job(
+    graph_payload: dict[str, object],
+    classifier_spec: dict[str, object],
+    config: GNNConfig,
+    job: ClassifierJob,
+) -> tuple[np.ndarray, float, float]:
+    """Train one per-intent classifier from shipped inputs (executor task).
+
+    Rebuilds the multiplex graph from its
+    :meth:`~repro.graph.multiplex.MultiplexGraph.to_payload` arrays,
+    constructs the classifier through the registry, and returns
+    ``(layer_probabilities, best_validation_f1, elapsed_seconds)``.
+    Training is fully seeded by ``config``, so the result is
+    bit-identical wherever the job runs — the basis of the serial /
+    thread / process executor equivalence guarantee.
+    """
+    # Imported lazily: the registry imports this module at start-up.
+    from ..registry import INTENT_CLASSIFIERS
+    from .multiplex import MultiplexGraph
+
+    graph = MultiplexGraph.from_payload(graph_payload)
+    start = time.perf_counter()
+    classifier = INTENT_CLASSIFIERS.create(classifier_spec, config=config)
+    result = classifier.fit_predict(
+        graph,
+        target_intent=job.intent,
+        train_index=job.train_index,
+        train_labels=job.train_labels,
+        valid_index=job.valid_index,
+        valid_labels=job.valid_labels,
+    )
+    elapsed = time.perf_counter() - start
+    return result.probabilities, result.best_validation_f1, elapsed

@@ -130,6 +130,11 @@ class PairFeatureEncoder:
         self._memo: TextMemo | None = None
         self._jw_cache: dict[tuple[str, str], float] = {}
         self._sim_cache: dict[tuple[str, str], np.ndarray] = {}
+        #: Optional :class:`repro.exec.Executor` batch encodes shard
+        #: over.  Runtime wiring (attached by the pipeline runner), not
+        #: part of the feature configuration: sharded encoding is
+        #: bit-identical to the single-batch path.
+        self.executor = None
 
     @property
     def dimension(self) -> int:
@@ -172,7 +177,19 @@ class PairFeatureEncoder:
             and self._last_batch[1] == pair_key
         ):
             return self._last_batch[2]
-        matrix = self.encode_batch(dataset, pairs)
+        if (
+            self.executor is not None
+            and getattr(self.executor, "is_parallel", False)
+            and len(pairs) > 1
+        ):
+            # Each shard encodes on a fresh worker-side encoder; rows are
+            # pair-independent, so stacking shard outputs is bit-identical
+            # to one unsharded encode_batch call.
+            from ..exec.stages import encode_pairs_sharded
+
+            matrix = encode_pairs_sharded(self.config, dataset, pairs, self.executor)
+        else:
+            matrix = self.encode_batch(dataset, pairs)
         self._last_batch = (dataset, pair_key, matrix)
         return matrix
 

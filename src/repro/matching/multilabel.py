@@ -15,7 +15,17 @@ import numpy as np
 
 from ..config import MatcherConfig
 from ..exceptions import MatchingError, NotFittedError
-from ..nn import MLP, Adam, Linear, Module, ReLU, Sequential, Tensor, l2_penalty, multilabel_weighted_bce
+from ..nn import (
+    MLP,
+    Adam,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    l2_penalty,
+    multilabel_weighted_bce,
+)
 from .pair_matcher import TrainingHistory
 
 
@@ -198,7 +208,9 @@ class MultiLabelMatcher:
         """Per-intent binary prediction matrix of shape ``(n, P)``."""
         return (self.predict_proba(features) >= threshold).astype(np.int64)
 
-    def predict_intent(self, features: np.ndarray, intent: str, threshold: float = 0.5) -> np.ndarray:
+    def predict_intent(
+        self, features: np.ndarray, intent: str, threshold: float = 0.5
+    ) -> np.ndarray:
         """Binary predictions for a single intent."""
         return self.predict(features, threshold)[:, self._intent_index(intent)]
 

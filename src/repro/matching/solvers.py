@@ -46,6 +46,21 @@ def _group_solver_state(
     return grouped
 
 
+def _fit_matcher_worker(payload):
+    """Train one per-intent matcher from shipped arrays (executor task).
+
+    Returns the fitted matcher's ``state_dict`` — the same serialization
+    round-trip the pipeline's artifact cache uses — plus its
+    :class:`~repro.matching.pair_matcher.TrainingHistory`, so the parent
+    process restores a matcher indistinguishable from one trained in
+    place (parameters *and* per-epoch losses).
+    """
+    matcher_config, features, labels = payload
+    matcher = PairMatcher(matcher_config)
+    matcher.fit(features, labels)
+    return matcher.state_dict(), matcher.history
+
+
 class BaseSolver:
     """Shared feature-encoding logic of the MIER solvers.
 
@@ -72,6 +87,10 @@ class BaseSolver:
         self.matcher_config = matcher_config or MatcherConfig()
         self.encoder = PairFeatureEncoder(feature_config)
         self._fitted = False
+        #: Optional :class:`repro.exec.Executor` for per-intent training
+        #: fan-out.  Runtime wiring (attached by the pipeline runner),
+        #: not part of the spec: executors never change results.
+        self.executor = None
 
     def to_spec(self) -> dict[str, object]:
         """Serialize the solver-specific parameters into a registry spec."""
@@ -230,14 +249,36 @@ class InParallelSolver(BaseSolver):
         )
 
     def fit(self, train: CandidateSet) -> "InParallelSolver":
-        """Train one matcher per intent on the same candidate pairs."""
+        """Train one matcher per intent on the same candidate pairs.
+
+        The per-intent trainings are independent (each is seeded by its
+        own :meth:`_intent_config`), so with a parallel executor
+        attached they fan out one task per intent; workers return
+        matcher ``state_dict`` arrays that restore bit-identically.
+        """
         self._check_intents(train)
         features = self.encode(train)
         self.matchers = {}
-        for index, intent in enumerate(self.intents):
-            matcher = PairMatcher(self._intent_config(index))
-            matcher.fit(features, train.labels(intent))
-            self.matchers[intent] = matcher
+        if (
+            self.executor is not None
+            and getattr(self.executor, "is_parallel", False)
+            and len(self.intents) > 1
+        ):
+            payloads = [
+                (self._intent_config(index), features, train.labels(intent))
+                for index, intent in enumerate(self.intents)
+            ]
+            outcomes = self.executor.map(_fit_matcher_worker, payloads)
+            for index, (intent, (state, history)) in enumerate(zip(self.intents, outcomes)):
+                matcher = PairMatcher(self._intent_config(index))
+                matcher.load_state_dict(state, self.encoder.dimension)
+                matcher.history = history
+                self.matchers[intent] = matcher
+        else:
+            for index, intent in enumerate(self.intents):
+                matcher = PairMatcher(self._intent_config(index))
+                matcher.fit(features, train.labels(intent))
+                self.matchers[intent] = matcher
         self._fitted = True
         return self
 

@@ -28,16 +28,20 @@ __all__ = [
     "profiled",
     "rss_bytes",
     "run_perf_suite",
+    "scaling_curve",
     "write_report",
     "check_regression",
     "use_reference_implementations",
+    "SCALING_WORKER_COUNTS",
     "SCHEMA_VERSION",
 ]
 
 _LAZY = {
     "run_perf_suite": "bench",
+    "scaling_curve": "bench",
     "write_report": "bench",
     "check_regression": "bench",
+    "SCALING_WORKER_COUNTS": "bench",
     "SCHEMA_VERSION": "bench",
     "use_reference_implementations": "compat",
 }

@@ -23,13 +23,14 @@ import datetime as _datetime
 import json
 import platform
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
 from ..blocking import QGramBlocker
 from ..config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from ..exec import MERGE_STAGE_PREFIX, available_cpus, executor_spec, make_executor
 from ..graph.builder import IntentGraphBuilder
 from ..matching.features import PairFeatureConfig, PairFeatureEncoder
 from ..pipeline import ArtifactCache, PipelineRunner
@@ -250,6 +251,108 @@ def kernel_benchmarks(workload: PerfWorkload) -> list[dict[str, object]]:
     return results
 
 
+#: Worker counts measured by the scaling-curve section.
+SCALING_WORKER_COUNTS = (1, 2, 4)
+
+
+def scaling_curve(
+    workload: PerfWorkload,
+    worker_counts: tuple[int, ...] = SCALING_WORKER_COUNTS,
+    executor_type: str = "processes",
+) -> dict[str, object]:
+    """Measure the sharded-execution scaling of one workload.
+
+    Runs the workload end-to-end — blocking plus a cold staged pipeline
+    — once per worker count: one worker uses the ``serial`` executor
+    (the scaling baseline), higher counts shard the embarrassingly
+    parallel stages (blocking join, pair encoding, per-intent matcher
+    and GNN training) over ``executor_type``.  Every run starts from a
+    fresh cache, and all runs produce bit-identical results, so the
+    entries measure pure execution cost.
+
+    Each entry reports end-to-end wall time, the per-stage FlexER
+    breakdown, the merge overhead (wall time spent combining shard
+    outputs, from the ``exec:merge:*`` perf records), and speedups
+    relative to the one-worker entry (end-to-end and per stage).
+    ``available_cpus`` is recorded alongside: speedups saturate at the
+    machine's core count, so a 4-worker entry on a 2-core runner is
+    expected to sit near 2x.
+
+    ``worker_counts`` is normalized to sorted unique values and a
+    one-worker serial entry is prepended when absent, so the reported
+    speedups are always anchored to the serial baseline.
+    """
+    counts = sorted({int(workers) for workers in worker_counts})
+    if not counts:
+        raise ValueError("scaling_curve requires at least one worker count")
+    if counts[0] > 1:
+        counts.insert(0, 1)
+    benchmark = _load_benchmark(workload)
+    entries: list[dict[str, object]] = []
+    for workers in counts:
+        spec = (
+            executor_spec("serial")
+            if workers <= 1
+            else executor_spec(executor_type, workers=workers)
+        )
+        config = replace(workload.flexer_config(), executor=spec)
+        blocker = QGramBlocker(q=4)
+        executor = make_executor(spec)
+        if executor.is_parallel:
+            blocker.executor = executor
+        # The runner shares the blocker's executor instance, so each
+        # entry runs over exactly one worker pool (started outside any
+        # per-stage timing but inside the end-to-end window only once).
+        runner = PipelineRunner(cache=ArtifactCache(), executor=executor)
+        session = PerfSession()
+        with session.activate():
+            start = time.perf_counter()
+            with session.stage("blocking-end-to-end", items=len(benchmark.dataset)):
+                blocker.block(benchmark.dataset)
+            result = runner.run(benchmark.split, benchmark.intents, config=config)
+            end_to_end = time.perf_counter() - start
+        merge_overhead = float(
+            sum(
+                record.wall_seconds
+                for record in session.records
+                if record.name.startswith(MERGE_STAGE_PREFIX)
+            )
+        )
+        timings = result.timings.as_dict()
+        entries.append(
+            {
+                "workers": int(workers),
+                "executor": str(spec["type"]),
+                "end_to_end_wall_seconds": end_to_end,
+                "blocking_wall_seconds": session.total_seconds("blocking-end-to-end"),
+                "stages": {
+                    "matcher-fit": timings["matcher_training_seconds"],
+                    "representation": timings["representation_seconds"],
+                    "graph-build": timings["graph_build_seconds"],
+                    "gnn-total": timings["gnn_total_seconds"],
+                },
+                "merge_overhead_seconds": merge_overhead,
+            }
+        )
+
+    baseline = entries[0]
+    for entry in entries:
+        wall = entry["end_to_end_wall_seconds"]
+        entry["end_to_end_speedup"] = (
+            baseline["end_to_end_wall_seconds"] / wall if wall > 0 else None
+        )
+        entry["stage_speedups"] = {
+            stage: (baseline["stages"][stage] / seconds) if seconds > 0 else None
+            for stage, seconds in entry["stages"].items()
+        }
+    return {
+        "executor": executor_type,
+        "worker_counts": counts,
+        "available_cpus": available_cpus(),
+        "entries": entries,
+    }
+
+
 def _results_match(loop_value, vectorized_value) -> bool:
     """Equivalence verdict for a kernel pair (arrays, edge tuples, pair lists)."""
     if isinstance(loop_value, np.ndarray):
@@ -263,9 +366,18 @@ def run_perf_suite(
     smoke: bool = False,
     compare_reference: bool = True,
     workloads: tuple[PerfWorkload, ...] | None = None,
+    scaling_workers: tuple[int, ...] | None = None,
+    scaling_executor: str = "processes",
 ) -> dict[str, object]:
-    """Run the workload matrix and assemble the ``BENCH_perf.json`` document."""
-    selected = workloads if workloads is not None else (SMOKE_WORKLOADS if smoke else FULL_WORKLOADS)
+    """Run the workload matrix and assemble the ``BENCH_perf.json`` document.
+
+    With ``scaling_workers`` (e.g. ``(1, 2, 4)``) each workload entry
+    additionally carries a ``scaling`` section — the
+    :func:`scaling_curve` of the workload over the given worker counts.
+    """
+    selected = (
+        workloads if workloads is not None else (SMOKE_WORKLOADS if smoke else FULL_WORKLOADS)
+    )
     entries: list[dict[str, object]] = []
     for workload in selected:
         entry: dict[str, object] = {
@@ -279,6 +391,10 @@ def run_perf_suite(
             reference_wall = entry["reference"]["end_to_end_wall_seconds"]
             entry["end_to_end_speedup"] = (
                 reference_wall / vectorized_wall if vectorized_wall > 0 else None
+            )
+        if scaling_workers:
+            entry["scaling"] = scaling_curve(
+                workload, worker_counts=scaling_workers, executor_type=scaling_executor
             )
         entries.append(entry)
 
@@ -307,7 +423,7 @@ def run_perf_suite(
     }
 
 
-def _environment() -> dict[str, str]:
+def _environment() -> dict[str, object]:
     import scipy
 
     return {
@@ -316,6 +432,7 @@ def _environment() -> dict[str, str]:
         "scipy": scipy.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "available_cpus": available_cpus(),
     }
 
 

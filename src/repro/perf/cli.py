@@ -63,6 +63,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="allowed fractional end-to-end wall-time regression (default: %(default)s)",
     )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="add the sharded-execution scaling-curve section per workload",
+    )
+    parser.add_argument(
+        "--scaling-workers",
+        default="1,2,4",
+        help="comma-separated worker counts of the scaling curve (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scaling-executor",
+        default="processes",
+        choices=("threads", "processes"),
+        help="executor the scaling curve shards over (default: %(default)s)",
+    )
     return parser
 
 
@@ -96,11 +112,35 @@ def _print_summary(report: dict[str, object]) -> None:
                 f"({kernel['loop_seconds']:.4f}s -> {kernel['vectorized_seconds']:.4f}s)"
                 f"{marker}"
             )
+        scaling = entry.get("scaling")
+        if scaling:
+            print(
+                f"      scaling [{scaling['executor']}] "
+                f"({scaling['available_cpus']} CPUs available):"
+            )
+            for point in scaling["entries"]:
+                speedup = point.get("end_to_end_speedup")
+                speedup_text = f"{speedup:.2f}x" if speedup is not None else "n/a"
+                print(
+                    f"        {point['workers']} worker(s): "
+                    f"{point['end_to_end_wall_seconds']:.3f}s ({speedup_text}, "
+                    f"merge {point['merge_overhead_seconds']:.4f}s)"
+                )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    report = run_perf_suite(smoke=args.smoke, compare_reference=not args.no_reference)
+    scaling_workers = None
+    if args.scaling:
+        scaling_workers = tuple(
+            int(value) for value in args.scaling_workers.split(",") if value.strip()
+        )
+    report = run_perf_suite(
+        smoke=args.smoke,
+        compare_reference=not args.no_reference,
+        scaling_workers=scaling_workers,
+        scaling_executor=args.scaling_executor,
+    )
     path = write_report(report, args.output)
     _print_summary(report)
     print(f"report written to {path}")

@@ -113,10 +113,22 @@ def intent_subset_grid(
 
 
 class BatchRunner:
-    """Execute scenario grids through one shared pipeline runner."""
+    """Execute scenario grids through one shared pipeline runner.
 
-    def __init__(self, runner: PipelineRunner | None = None) -> None:
-        self.runner = runner or PipelineRunner()
+    Parameters
+    ----------
+    runner:
+        Shared pipeline runner; ``None`` creates a private one.
+    executor:
+        Sharded-execution backend for a private runner (an
+        :class:`~repro.exec.Executor`, registry key, or spec); ignored
+        when ``runner`` is given.  Because executors never change
+        results or stage fingerprints, a grid run under any executor
+        shares its cached artifacts with every other executor choice.
+    """
+
+    def __init__(self, runner: PipelineRunner | None = None, executor: object = None) -> None:
+        self.runner = runner or PipelineRunner(executor=executor)
 
     def run(
         self,

@@ -27,11 +27,15 @@ import os
 import sys
 from collections.abc import Sequence
 
+import numpy as np
+
 from .. import registry
 from ..config import CacheConfig, FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from ..data.serialization import write_artifact
 from ..datasets import BENCHMARK_LABELERS, benchmark_names, load_benchmark
 from ..evaluation import evaluate_binary, format_table
-from ..resolver import Resolver
+from ..exec import executor_spec
+from ..resolver import Resolver, ResolverResult
 from .batch import BatchRunner, k_sweep
 from .cache import ArtifactCache
 from .runner import PipelineResult, PipelineRunner
@@ -59,6 +63,18 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         default="in_parallel",
         choices=registry.available("solver"),
         help="solver registry key (--representation-source is a deprecated alias)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        choices=registry.available("executor"),
+        help="sharded-execution backend (results are identical across executors)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel workers for --executor threads/processes (default: all CPUs)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -115,6 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated intents to predict (default: all intents)",
     )
+    resolve.add_argument(
+        "--dump-result",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the resolution (per-intent probabilities + predictions) as a "
+            ".npz artifact; byte-identical across executors, which the exec-smoke "
+            "CI job asserts with a plain cmp"
+        ),
+    )
 
     sweep = commands.add_parser(
         "sweep-k", help="sweep intra-layer k through the BatchRunner (Table 8)"
@@ -158,6 +184,7 @@ def _make_config(
         graph=GraphConfig(k_neighbors=k_neighbors),
         gnn=GNNConfig(hidden_dim=48, epochs=args.gnn_epochs, seed=args.seed),
         solver=args.solver,
+        executor=executor_spec(args.executor, args.workers),
         **kwargs,
     )
 
@@ -167,6 +194,33 @@ def _split_names(value: str | None) -> tuple[str, ...] | None:
         return None
     names = tuple(name.strip() for name in value.split(",") if name.strip())
     return names or None
+
+
+def _dump_result(result: ResolverResult, path: str) -> None:
+    """Persist the resolution as a deterministic ``.npz`` artifact.
+
+    Only result content goes in — per-intent probabilities and
+    predictions over the test split, plus the canonical test pair ids —
+    never timings or the executor spec, so two runs that resolve
+    identically dump byte-identical files regardless of how they were
+    executed.
+    """
+    arrays: dict[str, object] = {
+        "test_pairs": np.array(
+            [list(pair.as_tuple()) for pair in result.split.test.pairs], dtype=np.str_
+        ),
+    }
+    for intent in result.solution.intents:
+        arrays[f"probabilities::{intent}"] = result.solution.probabilities[intent]
+        arrays[f"predictions::{intent}"] = result.solution.predictions[intent]
+    write_artifact(
+        path,
+        arrays,
+        metadata={
+            "intents": list(result.solution.intents),
+            "num_test_pairs": len(result.split.test),
+        },
+    )
 
 
 def _print_stage_table(result: PipelineResult) -> None:
@@ -314,6 +368,9 @@ def _command_resolve(args: argparse.Namespace) -> int:
     )
     _print_stage_table(result.pipeline)
     print(f"cache: {resolver.runner.cache.stats.as_dict()}")
+    if args.dump_result:
+        _dump_result(result, args.dump_result)
+        print(f"result artifact written to {args.dump_result}")
     return 0
 
 

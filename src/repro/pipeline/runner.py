@@ -41,11 +41,13 @@ from ..core.mier import MIERSolution
 from ..data.pairs import CandidateSet
 from ..data.splits import DatasetSplit
 from ..exceptions import IntentError, MatchingError
+from ..exec import Executor, executor_spec, make_executor, run_classifier_jobs
 from ..graph.multiplex import MultiplexGraph
+from ..graph.sage import ClassifierJob
 from ..matching.features import PairFeatureConfig
 from ..registry import GRAPH_BUILDERS, INTENT_CLASSIFIERS, SOLVERS
 from .cache import Artifact, ArtifactCache, stage_artifact
-from .fingerprint import digest, fingerprint_candidates
+from .fingerprint import canonical_json, digest, fingerprint_candidates
 
 #: Stage names used for cache addressing and progress events.
 STAGE_MATCHER_FIT = "matcher-fit"
@@ -145,6 +147,14 @@ class PipelineRunner:
         (Section 4.1.1; on by default, as in :class:`~repro.core.FlexER`).
     feature_config:
         Optional pair-feature encoding override shared by all matchers.
+    executor:
+        Sharded-execution backend override: an
+        :class:`~repro.exec.Executor`, a registry spec, or ``None`` to
+        follow each run's ``config.executor``.  Executors fan out the
+        embarrassingly parallel stages (pair encoding, per-intent
+        matcher and GNN training) without changing results, so they
+        deliberately do not participate in stage fingerprints — cached
+        artifacts stay valid across executor choices.
     """
 
     def __init__(
@@ -153,6 +163,7 @@ class PipelineRunner:
         representation_source: str | None = None,
         augment_with_scores: bool = True,
         feature_config: PairFeatureConfig | None = None,
+        executor: object = None,
     ) -> None:
         self.solver_override: dict[str, object] | None = None
         if representation_source is not None:
@@ -170,6 +181,11 @@ class PipelineRunner:
         self.cache = cache or ArtifactCache()
         self.augment_with_scores = augment_with_scores
         self.feature_config = feature_config
+        self.executor_override = executor
+        # Executor instances memoized by canonical spec, so a batch grid
+        # over one runner reuses one worker pool across scenarios
+        # instead of paying pool start-up per run.
+        self._executors: dict[str, Executor] = {}
 
     # -------------------------------------------------------------- factories
 
@@ -179,7 +195,9 @@ class PipelineRunner:
             return self.solver_override
         return SOLVERS.normalize(config.solver)
 
-    def _make_solver(self, solver_spec: dict[str, object], intents: tuple[str, ...], config: FlexERConfig):
+    def _make_solver(
+        self, solver_spec: dict[str, object], intents: tuple[str, ...], config: FlexERConfig
+    ):
         return SOLVERS.create(
             solver_spec,
             intents=intents,
@@ -189,6 +207,23 @@ class PipelineRunner:
 
     def _feature_fingerprint(self) -> object:
         return asdict(self.feature_config or PairFeatureConfig())
+
+    def executor_for(self, config: FlexERConfig) -> Executor:
+        """The executor of a run: the runner override or the config spec.
+
+        Instances are memoized by canonical spec so repeated runs (batch
+        grids, warm re-runs) — and the resolver's blocking step — share
+        one worker pool.
+        """
+        source = self.executor_override if self.executor_override is not None else config.executor
+        if isinstance(source, Executor):
+            return source
+        key = canonical_json(executor_spec(source))
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = make_executor(source)
+            self._executors[key] = executor
+        return executor
 
     # ------------------------------------------------------------------- run
 
@@ -224,6 +259,7 @@ class PipelineRunner:
         test = split.test
         events: list[StageEvent] = []
         solver_spec = self._solver_spec(config)
+        executor = self.executor_for(config)
 
         fingerprint_train = fingerprint_candidates(train)
         fingerprint_valid = fingerprint_candidates(valid)
@@ -231,7 +267,7 @@ class PipelineRunner:
 
         # Stage 1 — matcher-fit.
         solver, matcher_event = self._run_matcher_fit(
-            train, intents, config, fingerprint_train, solver_spec
+            train, intents, config, fingerprint_train, solver_spec, executor
         )
         events.append(matcher_event)
 
@@ -271,17 +307,19 @@ class PipelineRunner:
         predictions: dict[str, np.ndarray] = {}
         probabilities: dict[str, np.ndarray] = {}
         validation_f1: dict[str, float] = {}
+        gnn_outcomes = self._run_gnn_stage(
+            graph,
+            targets,
+            config,
+            graph_event.key,
+            train,
+            valid,
+            train_index,
+            valid_index,
+            executor,
+        )
         for intent in targets:
-            layer_probabilities, best_f1, gnn_event = self._run_gnn(
-                graph,
-                intent,
-                config,
-                graph_event.key,
-                train,
-                valid,
-                train_index,
-                valid_index,
-            )
+            layer_probabilities, best_f1, gnn_event = gnn_outcomes[intent]
             events.append(gnn_event)
             timings.record_stage("gnn", gnn_event.elapsed_seconds, intent=intent)
             test_probabilities = layer_probabilities[test_index]
@@ -325,7 +363,11 @@ class PipelineRunner:
         config: FlexERConfig,
         fingerprint_train: str,
         solver_spec: dict[str, object],
+        executor: Executor | None = None,
     ):
+        # The executor is deliberately absent from the stage key:
+        # sharded training and encoding are bit-identical to serial, so
+        # artifacts cached under any executor serve every other one.
         key = digest(
             STAGE_MATCHER_FIT,
             solver_spec,
@@ -335,6 +377,11 @@ class PipelineRunner:
             fingerprint_train,
         )
         solver = self._make_solver(solver_spec, intents, config)
+        if executor is not None:
+            # Runtime fan-out wiring for per-intent training and batch
+            # encoding (both no-ops under the serial executor).
+            solver.executor = executor
+            solver.encoder.executor = executor
         artifact = self.cache.get(STAGE_MATCHER_FIT, key)
         if artifact is not None:
             solver.load_state_dict(artifact.arrays)
@@ -426,24 +473,21 @@ class PipelineRunner:
         self.cache.put(STAGE_GRAPH_BUILD, key, _graph_to_artifact(graph, elapsed))
         return graph, StageEvent(STAGE_GRAPH_BUILD, key, STATUS_COMPUTED, elapsed)
 
-    def _run_gnn(
+    def _gnn_key(
         self,
-        graph: MultiplexGraph,
-        intent: str,
-        config: FlexERConfig,
+        classifier_spec: dict[str, object],
         graph_key: str,
-        train: CandidateSet,
-        valid: CandidateSet | None,
+        config: FlexERConfig,
+        intent: str,
         train_index: np.ndarray,
         valid_index: np.ndarray | None,
-    ):
-        stage = f"{STAGE_GNN}:{intent}"
-        classifier_spec = INTENT_CLASSIFIERS.normalize(config.classifier)
+    ) -> str:
         # The graph key already pins the representations, layer set, and
         # (through the data fingerprints) every label matrix; adding the
         # classifier spec, GNN config, and split sizes pins the model and
-        # its supervision.
-        key = digest(
+        # its supervision.  The executor stays out of the key: sharded
+        # GNN training is bit-identical to serial.
+        return digest(
             STAGE_GNN,
             classifier_spec,
             graph_key,
@@ -452,73 +496,161 @@ class PipelineRunner:
             int(train_index.shape[0]),
             int(valid_index.shape[0]) if valid_index is not None else 0,
         )
-        artifact = self.cache.get(stage, key)
-        if artifact is not None:
-            layer_probabilities = artifact.arrays["probabilities"]
-            best_f1 = float(artifact.arrays["best_validation_f1"][0])
-            event = StageEvent(stage, key, STATUS_HIT, artifact.elapsed_seconds)
-            return layer_probabilities, best_f1, event
-        start = time.perf_counter()
-        classifier = INTENT_CLASSIFIERS.create(classifier_spec, config=config.gnn)
-        result = classifier.fit_predict(
-            graph,
-            target_intent=intent,
-            train_index=train_index,
-            train_labels=train.labels(intent),
-            valid_index=valid_index,
-            valid_labels=valid.labels(intent) if valid is not None and valid_index is not None else None,
-        )
-        elapsed = time.perf_counter() - start
+
+    def _store_gnn_artifact(
+        self,
+        stage: str,
+        key: str,
+        probabilities: np.ndarray,
+        best_f1: float,
+        elapsed: float,
+        intent: str,
+    ) -> None:
         self.cache.put(
             stage,
             key,
             stage_artifact(
                 {
-                    "probabilities": result.probabilities,
-                    "best_validation_f1": np.array([result.best_validation_f1]),
+                    "probabilities": probabilities,
+                    "best_validation_f1": np.array([best_f1]),
                 },
                 elapsed,
                 intent=intent,
             ),
         )
-        return (
-            result.probabilities,
-            result.best_validation_f1,
-            StageEvent(stage, key, STATUS_COMPUTED, elapsed),
+
+    def _run_gnn_stage(
+        self,
+        graph: MultiplexGraph,
+        targets: tuple[str, ...],
+        config: FlexERConfig,
+        graph_key: str,
+        train: CandidateSet,
+        valid: CandidateSet | None,
+        train_index: np.ndarray,
+        valid_index: np.ndarray | None,
+        executor: Executor | None,
+    ) -> dict[str, tuple[np.ndarray, float, StageEvent]]:
+        """Run (or restore) one GNN per target intent; parallel across intents.
+
+        Cache lookups and stores stay in the calling process; only the
+        cache-missing trainings fan out — with a parallel executor, one
+        task per intent, each shipping the graph payload plus that
+        intent's supervision arrays and returning layer probabilities
+        that are bit-identical to the serial training.
+        """
+        classifier_spec = INTENT_CLASSIFIERS.normalize(config.classifier)
+        valid_labels_of = (
+            (lambda intent: valid.labels(intent))
+            if valid is not None and valid_index is not None
+            else (lambda intent: None)
         )
+        outcomes: dict[str, tuple[np.ndarray, float, StageEvent]] = {}
+        pending: list[tuple[str, str, str]] = []
+        for intent in targets:
+            stage = f"{STAGE_GNN}:{intent}"
+            key = self._gnn_key(
+                classifier_spec, graph_key, config, intent, train_index, valid_index
+            )
+            artifact = self.cache.get(stage, key)
+            if artifact is not None:
+                layer_probabilities = artifact.arrays["probabilities"]
+                best_f1 = float(artifact.arrays["best_validation_f1"][0])
+                event = StageEvent(stage, key, STATUS_HIT, artifact.elapsed_seconds)
+                outcomes[intent] = (layer_probabilities, best_f1, event)
+            else:
+                pending.append((intent, stage, key))
+        if not pending:
+            return outcomes
+
+        if executor is not None and executor.is_parallel and len(pending) > 1:
+            jobs = [
+                ClassifierJob(
+                    intent=intent,
+                    train_index=train_index,
+                    train_labels=train.labels(intent),
+                    valid_index=valid_index,
+                    valid_labels=valid_labels_of(intent),
+                )
+                for intent, _, _ in pending
+            ]
+            results = run_classifier_jobs(graph, classifier_spec, config.gnn, jobs, executor)
+            for (intent, stage, key), (layer_probabilities, best_f1, elapsed) in zip(
+                pending, results
+            ):
+                self._store_gnn_artifact(stage, key, layer_probabilities, best_f1, elapsed, intent)
+                outcomes[intent] = (
+                    layer_probabilities,
+                    best_f1,
+                    StageEvent(stage, key, STATUS_COMPUTED, elapsed),
+                )
+            return outcomes
+
+        for intent, stage, key in pending:
+            start = time.perf_counter()
+            classifier = INTENT_CLASSIFIERS.create(classifier_spec, config=config.gnn)
+            result = classifier.fit_predict(
+                graph,
+                target_intent=intent,
+                train_index=train_index,
+                train_labels=train.labels(intent),
+                valid_index=valid_index,
+                valid_labels=valid_labels_of(intent),
+            )
+            elapsed = time.perf_counter() - start
+            self._store_gnn_artifact(
+                stage, key, result.probabilities, result.best_validation_f1, elapsed, intent
+            )
+            outcomes[intent] = (
+                result.probabilities,
+                result.best_validation_f1,
+                StageEvent(stage, key, STATUS_COMPUTED, elapsed),
+            )
+        return outcomes
 
 
 # ------------------------------------------------------------ graph artifacts
 
 
 def _graph_to_artifact(graph: MultiplexGraph, elapsed_seconds: float) -> Artifact:
-    """Serialize a multiplex graph into a cacheable artifact."""
-    sources, targets, _ = graph.edge_arrays(mode="sum")
+    """Serialize a multiplex graph into a cacheable artifact.
+
+    Uses the graph's :meth:`~repro.graph.multiplex.MultiplexGraph.to_payload`
+    round-trip — the same arrays the process executor ships to GNN
+    workers — so cached graphs and shipped graphs rebuild identically.
+    """
+    payload = graph.to_payload()
     return stage_artifact(
-        {"features": graph.features, "sources": sources, "targets": targets},
+        {
+            "features": payload["features"],
+            "sources": payload["sources"],
+            "targets": payload["targets"],
+        },
         elapsed_seconds,
-        intents=list(graph.intents),
-        num_pairs=graph.num_pairs,
-        intra_edge_count=graph.intra_edge_count,
-        inter_edge_count=graph.inter_edge_count,
+        intents=payload["intents"],
+        num_pairs=payload["num_pairs"],
+        intra_edge_count=payload["intra_edge_count"],
+        inter_edge_count=payload["inter_edge_count"],
     )
 
 
 def _graph_from_artifact(artifact: Artifact) -> MultiplexGraph:
     """Rebuild a multiplex graph from a cached artifact.
 
-    ``edge_arrays`` iterates targets in order and preserves per-target
-    source insertion order, so the reconstruction is edge-for-edge
+    ``to_payload`` exports edges grouped by target with per-target
+    insertion order preserved, so the reconstruction is edge-for-edge
     identical to the original graph and GNN training over it is
     byte-identical.
     """
     metadata = artifact.metadata
-    graph = MultiplexGraph(
-        intents=tuple(metadata["intents"]),
-        num_pairs=int(metadata["num_pairs"]),
-        features=artifact.arrays["features"],
+    return MultiplexGraph.from_payload(
+        {
+            "intents": metadata["intents"],
+            "num_pairs": metadata["num_pairs"],
+            "features": artifact.arrays["features"],
+            "sources": artifact.arrays["sources"],
+            "targets": artifact.arrays["targets"],
+            "intra_edge_count": metadata["intra_edge_count"],
+            "inter_edge_count": metadata["inter_edge_count"],
+        }
     )
-    graph.add_edges(artifact.arrays["sources"], artifact.arrays["targets"])
-    graph.intra_edge_count = int(metadata["intra_edge_count"])
-    graph.inter_edge_count = int(metadata["inter_edge_count"])
-    return graph

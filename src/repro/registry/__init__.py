@@ -22,6 +22,7 @@ from ..exceptions import RegistryError
 from .core import ComponentRegistry, normalize_spec
 from .components import (
     BLOCKERS,
+    EXECUTORS,
     FAMILIES,
     GRAPH_BUILDERS,
     INTENT_CLASSIFIERS,
@@ -76,6 +77,7 @@ __all__ = [
     "BLOCKERS",
     "GRAPH_BUILDERS",
     "INTENT_CLASSIFIERS",
+    "EXECUTORS",
     "FAMILIES",
     "family",
     "register",

@@ -22,6 +22,10 @@ Families and creation context:
     Multiplex graph constructions.  Context: ``config`` (GraphConfig).
 ``INTENT_CLASSIFIERS``
     Per-intent node classifiers.  Context: ``config`` (GNNConfig).
+``EXECUTORS``
+    Sharded-execution backends (``serial`` / ``threads`` /
+    ``processes``).  No context; executors never change results, so
+    their specs stay out of pipeline stage fingerprints.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from __future__ import annotations
 from ..blocking.full import FullBlocker
 from ..blocking.qgram import QGramBlocker
 from ..blocking.token import TokenBlocker
+from ..exec.executors import BUILTIN_EXECUTORS
 from ..graph.builder import IntentGraphBuilder
 from ..graph.sage import IntentNodeClassifier
 from ..matching.solvers import InParallelSolver, MultiLabelSolver, NaiveSolver
@@ -50,10 +55,15 @@ GRAPH_BUILDERS.register(IntentGraphBuilder.spec_type, IntentGraphBuilder)
 INTENT_CLASSIFIERS = ComponentRegistry("intent_classifier")
 INTENT_CLASSIFIERS.register(IntentNodeClassifier.spec_type, IntentNodeClassifier)
 
+EXECUTORS = ComponentRegistry("executor")
+for _key, _executor in BUILTIN_EXECUTORS.items():
+    EXECUTORS.register(_key, _executor)
+
 #: All registries keyed by family name.
 FAMILIES: dict[str, ComponentRegistry] = {
     SOLVERS.family: SOLVERS,
     BLOCKERS.family: BLOCKERS,
     GRAPH_BUILDERS.family: GRAPH_BUILDERS,
     INTENT_CLASSIFIERS.family: INTENT_CLASSIFIERS,
+    EXECUTORS.family: EXECUTORS,
 }

@@ -26,7 +26,7 @@ so existing benchmark-driven code funnels through the same facade.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from collections.abc import Callable, Mapping, Sequence
 
 from .config import FlexERConfig
@@ -41,6 +41,7 @@ from .blocking.base import Blocker
 from .blocking.full import FullBlocker
 from .core.flexer import FlexERTimings
 from .core.mier import MIERSolution
+from .exec import executor_spec
 from .graph.multiplex import MultiplexGraph
 from .matching.features import PairFeatureConfig
 from .pipeline.cache import ArtifactCache
@@ -123,6 +124,12 @@ class Resolver:
         (or re-running one resolver) turns unchanged stages into hits.
     augment_with_scores, feature_config:
         Forwarded to :class:`~repro.pipeline.PipelineRunner`.
+    executor, workers:
+        Sharded-execution override: an executor registry key or spec
+        (``"serial"`` / ``"threads"`` / ``"processes"``) plus an
+        optional worker count, replacing the config's executor spec.
+        Results are bit-identical across executors; cached artifacts
+        remain valid regardless of the choice.
     """
 
     def __init__(
@@ -131,8 +138,16 @@ class Resolver:
         cache: ArtifactCache | None = None,
         augment_with_scores: bool = True,
         feature_config: PairFeatureConfig | None = None,
+        executor: object = None,
+        workers: int | None = None,
     ) -> None:
         self.config = config or FlexERConfig()
+        if executor is not None or workers is not None:
+            spec = executor_spec(
+                executor if executor is not None else self.config.executor,
+                workers,
+            )
+            self.config = replace(self.config, executor=spec)
         self.runner = PipelineRunner(
             cache=cache,
             augment_with_scores=augment_with_scores,
@@ -148,8 +163,19 @@ class Resolver:
     # ------------------------------------------------------------------ steps
 
     def block(self, dataset: Dataset) -> list[RecordPair]:
-        """Run the configured blocker over ``dataset``."""
-        pairs = self.make_blocker().block(dataset)
+        """Run the configured blocker over ``dataset``.
+
+        With a parallel executor configured, blockers that support it
+        shard their co-occurrence join across the executor's workers
+        (bit-identical to the serial join).
+        """
+        blocker = self.make_blocker()
+        # The runner memoizes executors per spec, so blocking shares the
+        # pipeline stages' worker pool instead of starting its own.
+        executor = self.runner.executor_for(self.config)
+        if executor.is_parallel and hasattr(blocker, "executor"):
+            blocker.executor = executor
+        pairs = blocker.block(dataset)
         if not pairs:
             raise BlockingError(
                 f"blocker {self.config.blocker['type']!r} produced no candidate "
@@ -366,16 +392,21 @@ def resolve(
     labels: PairLabels | None = None,
     labeler: PairLabeler | None = None,
     cache: ArtifactCache | None = None,
+    executor: object = None,
+    workers: int | None = None,
     **kwargs,
 ) -> ResolverResult:
     """Resolve ``data`` end to end with a one-shot :class:`Resolver`.
 
     Convenience wrapper: ``repro.resolve(dataset, intents=...,
-    labeler=...)`` is the library's quickstart entry point.  Keyword
-    arguments beyond ``config`` and ``cache`` are forwarded to
+    labeler=...)`` is the library's quickstart entry point.
+    ``executor``/``workers`` select the sharded-execution backend (e.g.
+    ``repro.resolve(dataset, ..., executor="processes", workers=4)``)
+    without changing results.  Keyword arguments beyond ``config``,
+    ``cache``, ``executor``, and ``workers`` are forwarded to
     :meth:`Resolver.resolve`.
     """
-    resolver = Resolver(config=config, cache=cache)
+    resolver = Resolver(config=config, cache=cache, executor=executor, workers=workers)
     return resolver.resolve(data, intents=intents, labels=labels, labeler=labeler, **kwargs)
 
 

@@ -90,6 +90,7 @@ class TestFlexERConfig:
             "blocker",
             "graph_builder",
             "classifier",
+            "executor",
         }
         assert as_dict["graph"]["k_neighbors"] == config.graph.k_neighbors
         assert as_dict["solver"] == {"type": "in_parallel", "params": {}}

@@ -41,11 +41,15 @@ class TestCatalogGenerator:
         assert {p.domain for p in products} == {"shoes", "books"}
 
     def test_product_ids_are_unique(self):
-        products = CatalogGenerator(CatalogConfig(products_per_domain=10, seed=2)).generate_products()
+        products = CatalogGenerator(
+            CatalogConfig(products_per_domain=10, seed=2)
+        ).generate_products()
         assert len({p.product_id for p in products}) == len(products)
 
     def test_category_set_ends_with_usage_and_line(self):
-        products = CatalogGenerator(CatalogConfig(domains=("shoes",), products_per_domain=3)).generate_products()
+        products = CatalogGenerator(
+            CatalogConfig(domains=("shoes",), products_per_domain=3)
+        ).generate_products()
         for product in products:
             assert product.category_set[-1] == product.line
             assert product.category_set[-2] == product.usage
@@ -119,10 +123,14 @@ class TestLabelers:
         assert labels["set_category"] == 1
 
     def test_subsumption_equivalence_implies_brand(self):
-        products = CatalogGenerator(CatalogConfig(seed=11, products_per_domain=10)).generate_products()
+        products = CatalogGenerator(
+            CatalogConfig(seed=11, products_per_domain=10)
+        ).generate_products()
         pairs = [(p, p) for p in products] + list(zip(products, products[1:]))
         assert AMAZON_MI_LABELER.validate_subsumption(pairs, "equivalence", "brand")
-        assert AMAZON_MI_LABELER.validate_subsumption(pairs, "main_and_set_category", "main_category")
+        assert AMAZON_MI_LABELER.validate_subsumption(
+            pairs, "main_and_set_category", "main_category"
+        )
 
     def test_walmart_amazon_general_category(self):
         camera = make_product("p1", domain="cameras")
@@ -153,7 +161,9 @@ class TestLabelers:
 class TestStratumWeights:
     def test_negative_weight_rejected(self):
         with pytest.raises(ConfigurationError):
-            StratumWeights(duplicate=-0.1, same_line=0, same_brand=0, same_domain=0, same_general=0, cross=1)
+            StratumWeights(
+                duplicate=-0.1, same_line=0, same_brand=0, same_domain=0, same_general=0, cross=1
+            )
 
     def test_all_zero_rejected(self):
         with pytest.raises(ConfigurationError):

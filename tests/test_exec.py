@@ -1,0 +1,305 @@
+"""Tests of the sharded parallel execution layer (:mod:`repro.exec`)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.blocking.base import join_blocks
+from repro.blocking.qgram import QGramBlocker
+from repro.exceptions import ConfigurationError, ExecutionError
+from repro.exec import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardPlan,
+    ThreadExecutor,
+    encode_pairs_sharded,
+    executor_spec,
+    make_executor,
+)
+from repro.matching.features import PairFeatureConfig, PairFeatureEncoder
+from repro.matching.solvers import InParallelSolver
+from repro.pipeline import ArtifactCache
+from repro.registry import EXECUTORS
+
+
+def _square(value):
+    return value * value
+
+
+def _fail_on_three(value):
+    if value == 3:
+        raise ValueError("three is right out")
+    return value
+
+
+def _die_abruptly(value):
+    # Kills the worker process without unwinding: the pool breaks and the
+    # executor must surface a typed error instead of hanging.
+    os._exit(13)
+
+
+EXECUTOR_FACTORIES = [
+    pytest.param(lambda: SerialExecutor(), id="serial"),
+    pytest.param(lambda: ThreadExecutor(workers=2), id="threads"),
+    pytest.param(lambda: ProcessExecutor(workers=2), id="processes"),
+]
+
+
+class TestShardPlan:
+    def test_contiguous_balances_and_preserves_order(self):
+        plan = ShardPlan.contiguous(10, 3)
+        assert plan.num_shards == 3
+        assert [shard.items for shard in plan.shards] == [
+            (0, 1, 2, 3),
+            (4, 5, 6),
+            (7, 8, 9),
+        ]
+
+    def test_contiguous_empty_input_has_no_shards(self):
+        plan = ShardPlan.contiguous(0, 4)
+        assert plan.is_empty
+        assert plan.num_shards == 0
+        assert plan.take([]) == []
+
+    def test_contiguous_more_workers_than_items(self):
+        plan = ShardPlan.contiguous(2, 8)
+        assert plan.num_shards == 2
+        assert all(len(shard) == 1 for shard in plan.shards)
+
+    def test_balanced_isolates_single_oversized_block(self):
+        # One stop-gram-sized block dominates: it must occupy a shard of
+        # its own while the small blocks balance across the rest.
+        plan = ShardPlan.balanced([5000, 3, 2, 3, 2], 3)
+        heavy = [shard for shard in plan.shards if 0 in shard.items]
+        assert len(heavy) == 1
+        assert heavy[0].items == (0,)
+        light_weights = sorted(shard.weight for shard in plan.shards if shard is not heavy[0])
+        assert light_weights == [5.0, 5.0]
+
+    def test_balanced_empty_and_overprovisioned(self):
+        assert ShardPlan.balanced([], 4).num_shards == 0
+        plan = ShardPlan.balanced([1.0, 2.0], 16)
+        assert plan.num_shards == 2
+
+    def test_balanced_rejects_negative_weights(self):
+        with pytest.raises(ExecutionError):
+            ShardPlan.balanced([1.0, -1.0], 2)
+
+    def test_take_and_restore_round_trip(self):
+        plan = ShardPlan.balanced([3, 1, 4, 1, 5], 2)
+        items = ["a", "b", "c", "d", "e"]
+        shards = plan.take(items)
+        restored = plan.restore(shards)
+        assert restored == items
+
+    def test_restore_rejects_mismatched_outputs(self):
+        plan = ShardPlan.contiguous(4, 2)
+        with pytest.raises(ExecutionError):
+            plan.restore([[1, 2]])
+        with pytest.raises(ExecutionError):
+            plan.restore([[1], [2, 3, 4]])
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_map_preserves_payload_order(self, factory):
+        executor = factory()
+        assert executor.map(_square, [3, 1, 2, 5]) == [9, 1, 4, 25]
+        assert executor.map(_square, []) == []
+
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_task_failure_raises_typed_execution_error(self, factory):
+        executor = factory()
+        with pytest.raises(ExecutionError, match="three is right out"):
+            executor.map(_fail_on_three, [1, 2, 3, 4])
+
+    def test_process_worker_crash_surfaces_not_hangs(self):
+        executor = ProcessExecutor(workers=2)
+        with pytest.raises(ExecutionError):
+            executor.map(_die_abruptly, [1, 2])
+
+    def test_workers_validation(self):
+        with pytest.raises(ConfigurationError):
+            SerialExecutor(workers=-1)
+        assert ThreadExecutor(workers=0).workers >= 1  # auto resolves to CPUs
+
+    def test_process_executor_rejects_unknown_start_method(self):
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(workers=1, start_method="no-such-method")
+
+    def test_executor_spec_normalization_and_worker_override(self):
+        assert executor_spec() == {"type": "serial", "params": {}}
+        spec = executor_spec("processes", workers=2)
+        assert spec == {"type": "processes", "params": {"workers": 2}}
+        assert executor_spec(ThreadExecutor(workers=3))["params"]["workers"] == 3
+
+    def test_make_executor_and_registry_round_trip(self):
+        executor = make_executor("threads", workers=2)
+        assert isinstance(executor, ThreadExecutor)
+        rebuilt = EXECUTORS.create(EXECUTORS.spec(executor))
+        assert isinstance(rebuilt, ThreadExecutor)
+        assert rebuilt.workers == 2
+        assert not make_executor("serial").is_parallel
+
+
+class TestShardedStages:
+    @pytest.fixture(scope="class")
+    def encode_inputs(self, tiny_benchmark):
+        dataset = tiny_benchmark.dataset
+        pairs = list(tiny_benchmark.candidates.pairs)
+        return dataset, pairs
+
+    @pytest.mark.parametrize(
+        "factory", [EXECUTOR_FACTORIES[1], EXECUTOR_FACTORIES[2]]
+    )
+    def test_sharded_encoding_bit_identical(self, factory, encode_inputs):
+        dataset, pairs = encode_inputs
+        config = PairFeatureConfig(n_features=64)
+        reference = PairFeatureEncoder(config).encode_batch(dataset, pairs)
+        sharded = encode_pairs_sharded(config, dataset, pairs, factory())
+        assert np.array_equal(reference, sharded)
+
+    def test_encoder_executor_attribute_path(self, encode_inputs):
+        dataset, pairs = encode_inputs
+        config = PairFeatureConfig(n_features=64)
+        serial = PairFeatureEncoder(config).encode(dataset, pairs)
+        encoder = PairFeatureEncoder(config)
+        encoder.executor = ThreadExecutor(workers=2)
+        assert np.array_equal(serial, encoder.encode(dataset, pairs))
+
+    @pytest.mark.parametrize(
+        "factory", [EXECUTOR_FACTORIES[1], EXECUTOR_FACTORIES[2]]
+    )
+    def test_sharded_block_join_bit_identical(self, factory, tiny_benchmark):
+        dataset = tiny_benchmark.dataset
+        serial_blocker = QGramBlocker(q=4)
+        serial_pairs = serial_blocker.block(dataset)
+        sharded_blocker = QGramBlocker(q=4)
+        sharded_blocker.executor = factory()
+        sharded_pairs = sharded_blocker.block(dataset)
+        assert serial_pairs == sharded_pairs
+        assert serial_blocker.last_stats == sharded_blocker.last_stats
+
+    def test_sharded_join_handles_min_shared_across_shards(self, toy_dataset):
+        # Pairs co-occurring in blocks that land on *different* shards
+        # must still accumulate their shared count in the reduce step.
+        blocks = {
+            "k1": ["r1", "r2"],
+            "k2": ["r1", "r2", "r3"],
+            "k3": ["r2", "r3"],
+            "k4": ["r1", "r2", "r4"],
+        }
+        serial, serial_stats = join_blocks(toy_dataset, blocks, 2, False, None)
+        sharded, sharded_stats = join_blocks(
+            toy_dataset, blocks, 2, False, None, executor=ProcessExecutor(workers=2)
+        )
+        assert serial == sharded
+        assert [pair.as_tuple() for pair in serial] == [("r1", "r2"), ("r2", "r3")]
+        assert serial_stats == sharded_stats
+
+    def test_parallel_matcher_fit_bit_identical(self, tiny_benchmark, fast_config):
+        train = tiny_benchmark.split.train
+        intents = tiny_benchmark.intents
+        serial = InParallelSolver(intents, matcher_config=fast_config.matcher)
+        serial.fit(train)
+        parallel = InParallelSolver(intents, matcher_config=fast_config.matcher)
+        parallel.executor = ProcessExecutor(workers=2)
+        parallel.fit(train)
+        serial_state = serial.state_dict()
+        parallel_state = parallel.state_dict()
+        assert set(serial_state) == set(parallel_state)
+        for key, array in serial_state.items():
+            assert np.array_equal(array, parallel_state[key]), key
+        for intent in intents:
+            # Training history ships back with the state dict, so the
+            # fitted solvers are indistinguishable beyond parameters too.
+            assert (
+                serial.matchers[intent].history.losses
+                == parallel.matchers[intent].history.losses
+            ), intent
+
+
+class TestEndToEndEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_result(self, tiny_benchmark, fast_config):
+        return repro.resolve(tiny_benchmark.split, config=fast_config)
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_resolve_bit_identical_across_executors(
+        self, executor, tiny_benchmark, fast_config, serial_result
+    ):
+        result = repro.resolve(
+            tiny_benchmark.split, config=fast_config, executor=executor, workers=2
+        )
+        assert result.solution.intents == serial_result.solution.intents
+        for intent in result.solution.intents:
+            assert np.array_equal(
+                serial_result.solution.probabilities[intent],
+                result.solution.probabilities[intent],
+            ), intent
+            assert np.array_equal(
+                serial_result.solution.prediction(intent),
+                result.solution.prediction(intent),
+            ), intent
+
+    def test_cached_artifacts_valid_across_executor_choices(
+        self, tiny_benchmark, fast_config
+    ):
+        # The executor spec is excluded from stage fingerprints, so a
+        # process-parallel re-run over a serial run's cache hits on
+        # every stage (and vice versa).
+        cache = ArtifactCache()
+        cold = repro.resolve(tiny_benchmark.split, config=fast_config, cache=cache)
+        warm = repro.resolve(
+            tiny_benchmark.split,
+            config=fast_config,
+            cache=cache,
+            executor="processes",
+            workers=2,
+        )
+        assert set(warm.pipeline.stage_status().values()) == {"hit"}
+        for intent in cold.solution.intents:
+            assert np.array_equal(
+                cold.solution.probabilities[intent], warm.solution.probabilities[intent]
+            )
+
+    def test_dump_result_byte_identical_across_executors(self, tmp_path):
+        from repro.pipeline.cli import main
+
+        common = [
+            "resolve",
+            "--dataset",
+            "amazon_mi",
+            "--num-pairs",
+            "60",
+            "--products",
+            "6",
+            "--matcher-epochs",
+            "1",
+            "--gnn-epochs",
+            "1",
+            "--target-intents",
+            "equivalence",
+        ]
+        serial_path = tmp_path / "serial.npz"
+        process_path = tmp_path / "processes.npz"
+        assert main([*common, "--dump-result", str(serial_path)]) == 0
+        assert (
+            main(
+                [
+                    *common,
+                    "--executor",
+                    "processes",
+                    "--workers",
+                    "2",
+                    "--dump-result",
+                    str(process_path),
+                ]
+            )
+            == 0
+        )
+        assert serial_path.read_bytes() == process_path.read_bytes()

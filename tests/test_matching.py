@@ -128,7 +128,9 @@ class TestMultiLabelMatcher:
 
     def test_learns_both_intents(self):
         features, labels = self._multilabel_data()
-        matcher = MultiLabelMatcher(("narrow", "broad"), MatcherConfig(hidden_dims=(16,), epochs=30, seed=0))
+        matcher = MultiLabelMatcher(
+            ("narrow", "broad"), MatcherConfig(hidden_dims=(16,), epochs=30, seed=0)
+        )
         matcher.fit(features, labels)
         predictions = matcher.predict(features)
         accuracy = (predictions == labels).mean()
@@ -211,6 +213,10 @@ class TestSolvers:
                             feature_config=FAST_FEATURES).fit(split.train)
         parallel = InParallelSolver(tiny_benchmark.intents, matcher_config=FAST_MATCHER,
                                     feature_config=FAST_FEATURES).fit(split.train)
-        naive_eval = evaluate_solution(MIERSolution.from_mapping(split.test, naive.predict(split.test)))
-        parallel_eval = evaluate_solution(MIERSolution.from_mapping(split.test, parallel.predict(split.test)))
+        naive_eval = evaluate_solution(
+            MIERSolution.from_mapping(split.test, naive.predict(split.test))
+        )
+        parallel_eval = evaluate_solution(
+            MIERSolution.from_mapping(split.test, parallel.predict(split.test))
+        )
         assert parallel_eval.mi_recall > naive_eval.mi_recall

@@ -32,7 +32,9 @@ class TestScatterAggregate:
         with pytest.raises(GraphConstructionError):
             scatter_aggregate(hidden, np.array([0]), np.array([0, 1]), 2, np.array([1.0]))
         with pytest.raises(GraphConstructionError):
-            scatter_aggregate(Tensor(np.ones((3, 2))), np.array([0]), np.array([0]), 2, np.array([1.0]))
+            scatter_aggregate(
+                Tensor(np.ones((3, 2))), np.array([0]), np.array([0]), 2, np.array([1.0])
+            )
 
     def test_gradient_matches_dense_formulation(self):
         rng = np.random.default_rng(0)

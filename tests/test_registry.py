@@ -59,8 +59,15 @@ class TestUnknownKeys:
 
     def test_available_lists_all_families(self):
         families = registry.available()
-        assert set(families) == {"solver", "blocker", "graph_builder", "intent_classifier"}
+        assert set(families) == {
+            "solver",
+            "blocker",
+            "graph_builder",
+            "intent_classifier",
+            "executor",
+        }
         assert registry.available("graph_builder") == ("intent_graph",)
+        assert registry.available("executor") == ("serial", "threads", "processes")
 
 
 class TestRoundTrips:

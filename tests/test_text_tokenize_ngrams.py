@@ -9,7 +9,9 @@ from repro.text.ngrams import char_ngrams, ngram_profile, shared_ngrams, word_ng
 from repro.text.tokenize import char_tokens, normalize, token_set, word_tokens
 
 text_strategy = st.text(
-    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Zs"), whitelist_characters="-'/"),
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Zs"), whitelist_characters="-'/"
+    ),
     max_size=40,
 )
 
@@ -86,4 +88,7 @@ class TestProfiles:
     def test_shared_ngrams_symmetric(self):
         left, right = "nike air max", "nike air force"
         assert shared_ngrams(left, right) == shared_ngrams(right, left)
-        assert "nike" in {g for g in shared_ngrams(left, right)} or len(shared_ngrams(left, right)) > 0
+        assert (
+            "nike" in {g for g in shared_ngrams(left, right)}
+            or len(shared_ngrams(left, right)) > 0
+        )
