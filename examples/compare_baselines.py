@@ -40,7 +40,8 @@ def main(dataset_name: str = "amazon_mi") -> None:
         evaluations[name] = evaluate_solution(solution)
 
     flexer = FlexER(benchmark.intents, config)
-    result = flexer.run_split(split)
+    flexer.fit(split.train, split.valid if len(split.valid) > 0 else None)
+    result = flexer.predict(split.test)
     evaluations["FlexER"] = evaluate_solution(result.solution)
 
     rows = []

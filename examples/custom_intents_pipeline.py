@@ -139,7 +139,8 @@ def main() -> None:
         gnn=GNNConfig(hidden_dim=32, epochs=60, seed=3),
     )
     flexer = FlexER(candidates.intents, config)
-    result = flexer.run_split(split)
+    flexer.fit(split.train, split.valid if len(split.valid) > 0 else None)
+    result = flexer.predict(split.test)
     evaluation = evaluate_solution(result.solution)
 
     rows = [

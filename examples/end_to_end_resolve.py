@@ -1,18 +1,23 @@
-"""End-to-end MIER resolution from raw records with ``repro.resolve``.
+"""End-to-end MIER lifecycle from raw records: fit → save → load → query.
 
 The other examples start from a pre-built, labeled candidate split.
 This one starts where a real deployment starts — a bag of raw records —
-and runs the whole stack through the composable Resolver facade:
+and runs the full production lifecycle through the composable Resolver
+facade:
 
     raw Dataset
       → blocking           (registry-built from ``config.blocker``)
       → label attachment   (ground-truth labeler over record pairs)
       → 3:1:1 split        (stratified on the first intent)
       → staged FlexER      (matcher-fit → representation → graph → GNNs)
+      → ResolverModel      (persistable: save / load)
+      → model.query(...)   (new records, online, no refitting)
 
 along with the blocking-quality metrics (reduction ratio, per-intent
 pair completeness) that tell you what the blocker cost you before
-matching even began.
+matching even began.  The one-shot ``repro.resolve(dataset, ...)`` call
+remains available as a thin fit+predict convenience when you do not
+need the model artifact.
 
 Run with::
 
@@ -20,6 +25,9 @@ Run with::
 """
 
 from __future__ import annotations
+
+import tempfile
+from pathlib import Path
 
 import repro
 from repro.datasets import BENCHMARK_LABELERS
@@ -31,8 +39,10 @@ def main() -> None:
     # world: we keep only its raw records and the ground-truth product
     # metadata behind them (for labeling), discarding its candidate set.
     benchmark = repro.load_benchmark("amazon_mi", num_pairs=100, products_per_domain=12, seed=7)
-    dataset = benchmark.dataset
-    print(f"raw records: {len(dataset)} ({dataset.name})")
+    records = list(benchmark.dataset.records)
+    dataset = repro.Dataset(records=records[:-4], name=benchmark.dataset.name)
+    incoming = records[-4:]
+    print(f"raw corpus records: {len(dataset)} ({dataset.name}); held back: {len(incoming)}")
 
     # --- Ground truth ----------------------------------------------------
     # Intents are expressed only through labels (Section 5.1 of the
@@ -54,13 +64,14 @@ def main() -> None:
         blocker={"type": "token", "min_shared": 1},
     )
 
-    # --- Resolve ---------------------------------------------------------
-    result = repro.resolve(
+    # --- Fit once --------------------------------------------------------
+    model = repro.fit(
         dataset,
         intents=labeler.intent_names,
         labeler=label_pair,
         config=config,
     )
+    result = model.fit_result
 
     # --- Report ----------------------------------------------------------
     quality = result.blocking
@@ -81,7 +92,25 @@ def main() -> None:
             f"R={intent_eval.recall:.3f} F1={intent_eval.f1:.3f}"
         )
 
-    # Re-resolving with a shared cache would hit every stage; see
+    # --- Persist and serve ----------------------------------------------
+    # The model is a single fingerprinted .npz artifact; a fresh process
+    # (or machine) loads it and serves queries without any refitting.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = model.save(Path(tmp) / "resolver_model.npz")
+        print(f"\nmodel saved to {path.name} ({path.stat().st_size // 1024} KiB)")
+        served = repro.load_model(path)
+
+        # New records arrive: retrieve candidates from the fitted corpus
+        # (ANN over hashed record vectors) and score them online.
+        answer = served.query(incoming, k=3, mode="online")
+        print(f"query: {len(answer.record_ids)} new records -> {len(answer)} pairs")
+        for intent in ("equivalence",):
+            matched = answer.matches(intent)
+            print(f"  {intent}: {len(matched)} predicted matches")
+            for pair in matched[:5]:
+                print(f"    {pair.left_id} <-> {pair.right_id}")
+
+    # Re-fitting with a shared cache would hit every stage; see
     # examples/pipeline_batch_sweep.py for cache-driven grids.
 
 

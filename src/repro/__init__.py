@@ -22,7 +22,13 @@ Quickstart
 >>> evaluation = evaluate_solution(result.solution)
 >>> 0.0 <= evaluation.mi_f1 <= 1.0
 True
+
+For the production lifecycle — fit once, persist, query new records
+online — see :func:`repro.fit`, :class:`repro.ResolverModel`, and
+:func:`repro.load_model`.
 """
+
+__version__ = "1.0.0"
 
 from .config import FlexERConfig, MatcherConfig, GraphConfig, GNNConfig, CacheConfig
 from .data import (
@@ -72,12 +78,12 @@ from .evaluation import (
     preventable_error,
 )
 from .pipeline import ArtifactCache, BatchRunner, PipelineRunner, Scenario
-from .resolver import Resolver, ResolverResult, resolve
+from .resolver import Resolver, ResolverResult, fit, resolve
+from .model import QueryResult, QuerySession, ResolverModel, load_model
+from .retrieval import AnnKnnRetriever, BlockerRetriever, CandidateRetriever
 from . import exceptions
 from . import exec
 from . import registry
-
-__version__ = "1.0.0"
 
 __all__ = [
     "FlexERConfig",
@@ -133,7 +139,15 @@ __all__ = [
     "Scenario",
     "Resolver",
     "ResolverResult",
+    "ResolverModel",
+    "QueryResult",
+    "QuerySession",
+    "AnnKnnRetriever",
+    "BlockerRetriever",
+    "CandidateRetriever",
     "resolve",
+    "fit",
+    "load_model",
     "exceptions",
     "exec",
     "registry",

@@ -216,6 +216,31 @@ class FlexERConfig:
         return asdict(self)
 
     @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "FlexERConfig":
+        """Rebuild a configuration from a :meth:`to_dict` document.
+
+        This is the inverse used by persisted
+        :class:`~repro.model.ResolverModel` artifacts: the JSON-plain
+        document round-trips through nested dataclass construction
+        (tuples restored from lists), so
+        ``FlexERConfig.from_dict(config.to_dict()) == config``.
+        """
+        document = dict(document)
+        matcher = dict(document.get("matcher", {}))
+        if "hidden_dims" in matcher:
+            matcher["hidden_dims"] = tuple(matcher["hidden_dims"])
+        return cls(
+            matcher=MatcherConfig(**matcher),
+            graph=GraphConfig(**dict(document.get("graph", {}))),
+            gnn=GNNConfig(**dict(document.get("gnn", {}))),
+            solver=document.get("solver", "in_parallel"),
+            blocker=document.get("blocker", "qgram"),
+            graph_builder=document.get("graph_builder", "intent_graph"),
+            classifier=document.get("classifier", "graphsage"),
+            executor=document.get("executor", "serial"),
+        )
+
+    @classmethod
     def fast(cls) -> "FlexERConfig":
         """A configuration scaled down for unit tests and examples."""
         return cls(

@@ -384,7 +384,23 @@ class FlexER:
         intent_subset: Sequence[str] | None = None,
         target_intents: Sequence[str] | None = None,
     ) -> FlexERResult:
-        """Fit on the split's train/valid parts and predict its test part."""
+        """Fit on the split's train/valid parts and predict its test part.
+
+        .. deprecated::
+            The one-shot ``run_split`` call pattern predates the
+            fit/serve lifecycle split.  Call :meth:`fit` and
+            :meth:`predict` explicitly, or use the train-once /
+            query-many API (:func:`repro.fit` →
+            :meth:`repro.ResolverModel.query`).  This shim keeps the old
+            pattern working unchanged.
+        """
+        warnings.warn(
+            "FlexER.run_split(split) is deprecated; call fit(split.train, "
+            "split.valid) + predict(split.test) explicitly, or use the "
+            "repro.fit() / ResolverModel.query() lifecycle",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.fit(split.train, split.valid if len(split.valid) > 0 else None)
         return self.predict(
             split.test,

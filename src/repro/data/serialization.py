@@ -129,6 +129,15 @@ def serialize_candidates(
 
 # --------------------------------------------------------------- artifacts
 
+#: Version of the on-disk artifact container format.  Bump when the
+#: container layout changes incompatibly; readers refuse artifacts
+#: written by a *newer* format with a clear error instead of failing
+#: deep inside ``np.load`` or on a missing array key.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Metadata field carrying the artifact schema version.
+SCHEMA_VERSION_KEY = "__artifact_schema__"
+
 #: Reserved ``.npz`` entry holding the JSON metadata of an artifact.
 METADATA_KEY = "__artifact_metadata__"
 
@@ -167,7 +176,11 @@ def write_artifact(
         path = path.with_name(path.name + ARTIFACT_SUFFIX)
     if METADATA_KEY in arrays:
         raise DataError(f"array key {METADATA_KEY!r} is reserved for metadata")
-    document = json.dumps(dict(metadata or {}), sort_keys=True).encode("utf-8")
+    document_fields = dict(metadata or {})
+    if SCHEMA_VERSION_KEY in document_fields:
+        raise DataError(f"metadata key {SCHEMA_VERSION_KEY!r} is reserved")
+    document_fields[SCHEMA_VERSION_KEY] = ARTIFACT_SCHEMA_VERSION
+    document = json.dumps(document_fields, sort_keys=True).encode("utf-8")
     payload: dict[str, np.ndarray] = {
         f"{_ARRAY_PREFIX}{key}": np.ascontiguousarray(value)
         for key, value in arrays.items()
@@ -188,11 +201,34 @@ def write_artifact(
     return path
 
 
+def check_artifact_schema(version: object, path: str | Path) -> None:
+    """Validate an artifact's schema version against this build's reader.
+
+    Artifacts written before versioning (no version field) are treated as
+    version 1.  Artifacts written by a *newer* format raise a clear
+    :class:`DataError` instead of an opaque failure on a missing or
+    re-shaped entry further down the line.
+    """
+    if version is None:
+        return
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise DataError(
+            f"artifact {path} carries a malformed schema version {version!r}"
+        )
+    if version > ARTIFACT_SCHEMA_VERSION:
+        raise DataError(
+            f"artifact {path} was written with schema version {version}, but this "
+            f"build reads versions up to {ARTIFACT_SCHEMA_VERSION}; upgrade the "
+            f"repro library (or re-create the artifact) to use it"
+        )
+
+
 def read_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, object]]:
     """Load an artifact written by :func:`write_artifact`.
 
     Returns the ``(arrays, metadata)`` pair.  Raises :class:`DataError`
-    when the file is not a valid artifact.
+    when the file is not a valid artifact or was written by a newer
+    artifact schema than this build can read (forward-compat check).
     """
     path = Path(path)
     if path.suffix != ARTIFACT_SUFFIX:
@@ -209,4 +245,5 @@ def read_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, ob
             }
     except (OSError, ValueError) as error:
         raise DataError(f"cannot read artifact {path}: {error}") from error
+    check_artifact_schema(metadata.pop(SCHEMA_VERSION_KEY, None), path)
     return arrays, metadata

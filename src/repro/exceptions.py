@@ -67,3 +67,20 @@ class ExecutionError(ReproError):
 
 class IntentError(ReproError):
     """Raised for invalid intent definitions or unknown intent names."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid :class:`~repro.model.ResolverModel` artifacts.
+
+    Covers save/load failures that are specific to the model container —
+    schema-version mismatches, fingerprint verification failures, and
+    payloads missing required components.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when an online ``query()`` call receives invalid input.
+
+    Covers query records colliding with corpus record ids, records
+    outside the corpus schema, and retrieval misconfiguration.
+    """

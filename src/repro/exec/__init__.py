@@ -31,7 +31,12 @@ from .executors import (
     make_executor,
 )
 from .plan import Shard, ShardPlan
-from .stages import MERGE_STAGE_PREFIX, encode_pairs_sharded, run_classifier_jobs
+from .stages import (
+    MERGE_STAGE_PREFIX,
+    encode_pairs_sharded,
+    query_records_sharded,
+    run_classifier_jobs,
+)
 
 __all__ = [
     "AUTO_WORKERS",
@@ -47,5 +52,6 @@ __all__ = [
     "encode_pairs_sharded",
     "executor_spec",
     "make_executor",
+    "query_records_sharded",
     "run_classifier_jobs",
 ]

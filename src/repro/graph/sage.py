@@ -137,6 +137,11 @@ class GraphSAGE(Module):
         half = max(config.hidden_dim // 2, 2)
         return [in_dim, config.hidden_dim, half, half]
 
+    @property
+    def num_convolutions(self) -> int:
+        """Number of stacked GraphSAGE convolutions."""
+        return len(self._convolutions)
+
     def node_embeddings(self, features: Tensor, aggregation: GraphAggregation) -> Tensor:
         """Final hidden state of every node after message propagation."""
         hidden = features
@@ -144,9 +149,82 @@ class GraphSAGE(Module):
             hidden = convolution(hidden, aggregation)
         return hidden
 
+    def hidden_states(
+        self, features: Tensor, aggregation: GraphAggregation
+    ) -> list[np.ndarray]:
+        """Per-convolution hidden states ``[h^1, ..., h^L]`` as arrays.
+
+        ``h^l`` is the output of convolution ``l``; the input level
+        ``h^0`` is the feature matrix itself.  The intermediate levels
+        are what :class:`FrozenSAGE` aggregates when new nodes are
+        attached for online inference, so a fitted model persists them
+        alongside its weights.
+        """
+        states: list[np.ndarray] = []
+        hidden = features
+        for convolution in self._convolutions:
+            hidden = convolution(hidden, aggregation)
+            states.append(hidden.numpy())
+        return states
+
     def forward(self, features: Tensor, aggregation: GraphAggregation) -> Tensor:
         """Class logits for every node."""
         return self.head(self.node_embeddings(features, aggregation))
+
+
+class FrozenSAGE:
+    """Numpy-only forward pass of a trained GraphSAGE state (serving path).
+
+    A :class:`GraphSAGE` module owns autodiff tensors; the online query
+    path only needs the *inference* arithmetic — per-convolution
+    ``act(concat(h, agg) @ W + b)`` and the prediction head — applied to
+    a handful of newly attached nodes whose neighbour hidden states are
+    already known.  This class wraps a ``state_dict`` so a persisted
+    model can run that arithmetic without constructing modules or
+    aggregation operators.
+    """
+
+    def __init__(self, state: Mapping[str, np.ndarray], config: GNNConfig) -> None:
+        self.config = config
+        self._conv_weights: list[tuple[np.ndarray, np.ndarray]] = []
+        index = 0
+        while f"conv{index}.linear.weight" in state:
+            self._conv_weights.append(
+                (
+                    np.asarray(state[f"conv{index}.linear.weight"], dtype=np.float64),
+                    np.asarray(state[f"conv{index}.linear.bias"], dtype=np.float64),
+                )
+            )
+            index += 1
+        if not self._conv_weights or "head.weight" not in state:
+            raise GraphConstructionError(
+                "state dict does not describe a trained GraphSAGE model"
+            )
+        self._head = (
+            np.asarray(state["head.weight"], dtype=np.float64),
+            np.asarray(state["head.bias"], dtype=np.float64),
+        )
+
+    @property
+    def num_convolutions(self) -> int:
+        """Number of stacked convolutions in the frozen state."""
+        return len(self._conv_weights)
+
+    def convolve(self, level: int, hidden: np.ndarray, aggregated: np.ndarray) -> np.ndarray:
+        """Apply convolution ``level`` to own/neighbourhood hidden states."""
+        weight, bias = self._conv_weights[level]
+        out = np.concatenate([hidden, aggregated], axis=1) @ weight + bias
+        if level < len(self._conv_weights) - 1:
+            out = np.maximum(out, 0.0)
+        return out
+
+    def probabilities(self, hidden: np.ndarray) -> np.ndarray:
+        """Positive-class probability of each row of final hidden states."""
+        weight, bias = self._head
+        logits = hidden @ weight + bias
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exponents = np.exp(shifted)
+        return (exponents / exponents.sum(axis=1, keepdims=True))[:, 1]
 
 
 @dataclass
@@ -298,6 +376,24 @@ class IntentNodeClassifier:
             raise NotFittedError("fit_predict must be called before predict")
         return (self.result.probabilities >= threshold).astype(np.int64)
 
+    def model_state(self) -> dict[str, np.ndarray]:
+        """Parameters of the trained GraphSAGE model (best epoch restored).
+
+        This is what a :class:`~repro.model.ResolverModel` persists per
+        intent so the online query path can run frozen inference.
+        """
+        if self._model is None:
+            raise NotFittedError("fit_predict must be called before model_state")
+        return self._model.state_dict()
+
+    def hidden_states(self, graph: MultiplexGraph) -> list[np.ndarray]:
+        """Per-convolution hidden states of the trained model over ``graph``."""
+        if self._model is None:
+            raise NotFittedError("fit_predict must be called before hidden_states")
+        aggregation = GraphAggregation.from_graph(graph, mode=self.config.aggregator)
+        self._model.eval()
+        return self._model.hidden_states(Tensor(graph.features), aggregation)
+
 
 # ----------------------------------------------------------- sharded execution
 
@@ -323,16 +419,18 @@ def run_classifier_job(
     classifier_spec: dict[str, object],
     config: GNNConfig,
     job: ClassifierJob,
-) -> tuple[np.ndarray, float, float]:
+) -> tuple[np.ndarray, float, float, dict[str, np.ndarray]]:
     """Train one per-intent classifier from shipped inputs (executor task).
 
     Rebuilds the multiplex graph from its
     :meth:`~repro.graph.multiplex.MultiplexGraph.to_payload` arrays,
     constructs the classifier through the registry, and returns
-    ``(layer_probabilities, best_validation_f1, elapsed_seconds)``.
-    Training is fully seeded by ``config``, so the result is
-    bit-identical wherever the job runs — the basis of the serial /
-    thread / process executor equivalence guarantee.
+    ``(layer_probabilities, best_validation_f1, elapsed_seconds,
+    model_state)`` — the trained parameter arrays ride along so the
+    pipeline can persist them in the model artifact.  Training is fully
+    seeded by ``config``, so the result is bit-identical wherever the
+    job runs — the basis of the serial / thread / process executor
+    equivalence guarantee.
     """
     # Imported lazily: the registry imports this module at start-up.
     from ..registry import INTENT_CLASSIFIERS
@@ -350,4 +448,5 @@ def run_classifier_job(
         valid_labels=job.valid_labels,
     )
     elapsed = time.perf_counter() - start
-    return result.probabilities, result.best_validation_f1, elapsed
+    state = classifier.model_state() if hasattr(classifier, "model_state") else {}
+    return result.probabilities, result.best_validation_f1, elapsed, state

@@ -254,6 +254,100 @@ def kernel_benchmarks(workload: PerfWorkload) -> list[dict[str, object]]:
 #: Worker counts measured by the scaling-curve section.
 SCALING_WORKER_COUNTS = (1, 2, 4)
 
+#: Micro-batch sizes measured by the query-latency section.
+QUERY_BATCH_SIZES = (1, 4, 16)
+
+
+def query_latency(
+    workload: PerfWorkload,
+    batch_sizes: tuple[int, ...] = QUERY_BATCH_SIZES,
+    repeats: int = 12,
+    holdout: int = 24,
+    k: int = 5,
+) -> dict[str, object]:
+    """Measure the online serve path of the fit/query lifecycle.
+
+    Fits a :class:`~repro.model.ResolverModel` once on the workload's
+    records minus a ``holdout`` tail, then times ``repeats`` online
+    ``query()`` micro-batches per batch size through one
+    :class:`~repro.model.QuerySession` (records cycle through the
+    holdout, so batches differ while staying deterministic).  Reports
+    p50/p95/mean wall seconds per micro-batch and per record, plus the
+    one-off fit and session warm-up costs — the numbers that tell you
+    what serving traffic from this model actually costs, as opposed to
+    the full re-resolve that the one-shot API would pay per batch.
+    """
+    from ..data.records import Dataset
+    from ..datasets import BENCHMARK_LABELERS
+    from ..resolver import Resolver
+
+    benchmark = _load_benchmark(workload)
+    labeler = BENCHMARK_LABELERS[workload.dataset]
+    products = benchmark.record_products
+
+    def record_labeler(left, right):
+        return labeler.label_pair(products[left.record_id], products[right.record_id])
+
+    records = list(benchmark.dataset.records)
+    holdout = min(holdout, max(len(records) // 4, 1))
+    corpus = Dataset(
+        records=records[:-holdout],
+        name=benchmark.dataset.name,
+        attributes=benchmark.dataset.attributes,
+    )
+    held_out = records[-holdout:]
+
+    resolver = Resolver(config=workload.flexer_config())
+    start = time.perf_counter()
+    model = resolver.fit(
+        corpus,
+        intents=labeler.intent_names,
+        labeler=record_labeler,
+        split_seed=workload.seed,
+    )
+    fit_seconds = time.perf_counter() - start
+
+    session = model.session()
+    # Warm-up: the first query builds the per-layer ANN indexes and the
+    # frozen per-intent states; serving latency excludes that one-off.
+    start = time.perf_counter()
+    session.query(held_out[:1], k=k, mode="online")
+    warmup_seconds = time.perf_counter() - start
+
+    entries: list[dict[str, object]] = []
+    for batch_size in batch_sizes:
+        batch_size = min(batch_size, holdout)
+        walls: list[float] = []
+        pairs_scored = 0
+        for repeat in range(repeats):
+            offset = (repeat * batch_size) % holdout
+            batch = [held_out[(offset + i) % holdout] for i in range(batch_size)]
+            start = time.perf_counter()
+            result = session.query(batch, k=k, mode="online")
+            walls.append(time.perf_counter() - start)
+            pairs_scored += len(result)
+        wall_array = np.asarray(walls)
+        entries.append(
+            {
+                "batch_size": int(batch_size),
+                "repeats": int(repeats),
+                "p50_seconds": float(np.percentile(wall_array, 50)),
+                "p95_seconds": float(np.percentile(wall_array, 95)),
+                "mean_seconds": float(wall_array.mean()),
+                "mean_seconds_per_record": float(wall_array.mean() / batch_size),
+                "pairs_scored": int(pairs_scored),
+            }
+        )
+    return {
+        "mode": "online",
+        "k": int(k),
+        "holdout_records": int(holdout),
+        "corpus_records": len(corpus),
+        "fit_seconds": fit_seconds,
+        "session_warmup_seconds": warmup_seconds,
+        "batches": entries,
+    }
+
 
 def scaling_curve(
     workload: PerfWorkload,
@@ -368,12 +462,16 @@ def run_perf_suite(
     workloads: tuple[PerfWorkload, ...] | None = None,
     scaling_workers: tuple[int, ...] | None = None,
     scaling_executor: str = "processes",
+    measure_query_latency: bool = False,
 ) -> dict[str, object]:
     """Run the workload matrix and assemble the ``BENCH_perf.json`` document.
 
     With ``scaling_workers`` (e.g. ``(1, 2, 4)``) each workload entry
     additionally carries a ``scaling`` section — the
     :func:`scaling_curve` of the workload over the given worker counts.
+    With ``measure_query_latency`` each entry carries a
+    ``query_latency`` section — the online-serving micro-batch p50/p95
+    profile of :func:`query_latency`.
     """
     selected = (
         workloads if workloads is not None else (SMOKE_WORKLOADS if smoke else FULL_WORKLOADS)
@@ -396,6 +494,8 @@ def run_perf_suite(
             entry["scaling"] = scaling_curve(
                 workload, worker_counts=scaling_workers, executor_type=scaling_executor
             )
+        if measure_query_latency:
+            entry["query_latency"] = query_latency(workload)
         entries.append(entry)
 
     total_wall = float(

@@ -79,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("threads", "processes"),
         help="executor the scaling curve shards over (default: %(default)s)",
     )
+    parser.add_argument(
+        "--query-latency",
+        action="store_true",
+        help=(
+            "add the query-latency section per workload: fit a ResolverModel "
+            "once, then profile online query() micro-batches (p50/p95)"
+        ),
+    )
     return parser
 
 
@@ -112,6 +120,20 @@ def _print_summary(report: dict[str, object]) -> None:
                 f"({kernel['loop_seconds']:.4f}s -> {kernel['vectorized_seconds']:.4f}s)"
                 f"{marker}"
             )
+        latency = entry.get("query_latency")
+        if latency:
+            print(
+                f"      query latency [online, k={latency['k']}] "
+                f"(fit once: {latency['fit_seconds']:.3f}s, "
+                f"warm-up {latency['session_warmup_seconds']:.4f}s):"
+            )
+            for batch in latency["batches"]:
+                print(
+                    f"        batch={batch['batch_size']}: "
+                    f"p50 {batch['p50_seconds'] * 1000:.1f}ms, "
+                    f"p95 {batch['p95_seconds'] * 1000:.1f}ms "
+                    f"({batch['mean_seconds_per_record'] * 1000:.1f}ms/record)"
+                )
         scaling = entry.get("scaling")
         if scaling:
             print(
@@ -140,6 +162,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         compare_reference=not args.no_reference,
         scaling_workers=scaling_workers,
         scaling_executor=args.scaling_executor,
+        measure_query_latency=args.query_latency,
     )
     path = write_report(report, args.output)
     _print_summary(report)

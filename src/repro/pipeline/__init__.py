@@ -30,9 +30,11 @@ from .runner import (
     STAGE_GNN,
     STAGE_GRAPH_BUILD,
     STAGE_MATCHER_FIT,
+    STAGE_MODEL,
     STAGE_REPRESENTATION,
     STATUS_COMPUTED,
     STATUS_HIT,
+    ModelFitResult,
     PipelineResult,
     PipelineRunner,
     StageEvent,
@@ -52,9 +54,11 @@ __all__ = [
     "STAGE_GNN",
     "STAGE_GRAPH_BUILD",
     "STAGE_MATCHER_FIT",
+    "STAGE_MODEL",
     "STAGE_REPRESENTATION",
     "STATUS_COMPUTED",
     "STATUS_HIT",
+    "ModelFitResult",
     "PipelineResult",
     "PipelineRunner",
     "StageEvent",

@@ -143,6 +143,25 @@ class ArtifactCache:
 
     # ------------------------------------------------------------- management
 
+    @property
+    def memory_artifacts(self) -> int:
+        """Number of artifacts currently held in the in-memory tier."""
+        return len(self._memory)
+
+    def prune_memory(self, keep_stages: tuple[str, ...] = ()) -> int:
+        """Drop in-memory artifacts except those of ``keep_stages``.
+
+        Long-lived cache owners (e.g. a query session serving many
+        distinct micro-batches) call this to bound memory growth while
+        keeping seeded artifacts alive; the on-disk tier is untouched.
+        Returns the number of artifacts dropped.
+        """
+        keep = set(keep_stages)
+        doomed = [key for key in self._memory if key[0] not in keep]
+        for key in doomed:
+            del self._memory[key]
+        return len(doomed)
+
     def clear(self) -> None:
         """Drop every artifact from memory and disk."""
         self._memory.clear()

@@ -4,16 +4,22 @@ Usage (module form)::
 
     PYTHONPATH=src python -m repro.pipeline run --dataset amazon_mi
     PYTHONPATH=src python -m repro.pipeline resolve --dataset amazon_mi --blocker token
+    PYTHONPATH=src python -m repro.pipeline fit --save-model model.npz --query-holdout 6
+    PYTHONPATH=src python -m repro.pipeline query --model model.npz --query-holdout 6
     PYTHONPATH=src python -m repro.pipeline sweep-k --k-values 0,2,4,6
     PYTHONPATH=src python -m repro.pipeline cache --cache-dir .repro-cache
 
 ``run`` executes the four pipeline stages once over a synthetic
 benchmark's pre-built split; ``resolve`` starts one step earlier, from
 the benchmark's *raw records* (blocking → labeling → staged FlexER,
-through :func:`repro.resolve`); ``sweep-k`` executes a Table-8-style
-grid through the :class:`~repro.pipeline.batch.BatchRunner`; ``cache``
-inspects (or clears) an on-disk artifact cache.  All components are
-named by registry keys (``--solver``, ``--blocker``) and constructed
+through :func:`repro.resolve`); ``fit`` trains on the benchmark's raw
+records (optionally holding out the last N records) and persists a
+:class:`~repro.model.ResolverModel`; ``query`` loads a persisted model
+in a fresh process and resolves the held-out records against the fitted
+corpus online; ``sweep-k`` executes a Table-8-style grid through the
+:class:`~repro.pipeline.batch.BatchRunner`; ``cache`` inspects (or
+clears) an on-disk artifact cache.  All components are named by registry
+keys (``--solver``, ``--blocker``, ``--retriever``) and constructed
 through :mod:`repro.registry`.  With ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) artifacts persist across
 invocations, so repeating a command — or sweeping around a previous run —
@@ -34,7 +40,7 @@ from ..config import CacheConfig, FlexERConfig, GNNConfig, GraphConfig, MatcherC
 from ..data.serialization import write_artifact
 from ..datasets import BENCHMARK_LABELERS, benchmark_names, load_benchmark
 from ..evaluation import evaluate_binary, format_table
-from ..exec import executor_spec
+from ..exec import executor_spec, make_executor
 from ..resolver import Resolver, ResolverResult
 from .batch import BatchRunner, k_sweep
 from .cache import ArtifactCache
@@ -142,6 +148,61 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    fit = commands.add_parser(
+        "fit",
+        help="fit on raw benchmark records and persist a ResolverModel artifact",
+    )
+    _add_common_options(fit)
+    fit.add_argument("--k", type=int, default=6, help="intra-layer kNN neighbours")
+    fit.add_argument(
+        "--blocker",
+        default="qgram",
+        choices=registry.available("blocker"),
+        help="blocker registry key used for candidate generation",
+    )
+    fit.add_argument(
+        "--retriever",
+        default="ann_knn",
+        choices=registry.available("candidate_retriever"),
+        help="online candidate retriever bundled with the model",
+    )
+    fit.add_argument(
+        "--save-model",
+        required=True,
+        metavar="PATH",
+        help="write the fitted ResolverModel as a .npz artifact",
+    )
+    _add_query_options(fit)
+    fit.add_argument(
+        "--dump-query",
+        default=None,
+        metavar="PATH",
+        help=(
+            "after fitting, query the held-out records with the in-memory model "
+            "and dump the result artifact (cmp'd against the reloaded model by "
+            "the query-smoke CI job)"
+        ),
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="load a persisted ResolverModel and resolve held-out records online",
+    )
+    _add_common_options(query)
+    query.add_argument(
+        "--model",
+        required=True,
+        metavar="PATH",
+        help="path of a ResolverModel artifact written by fit --save-model",
+    )
+    _add_query_options(query)
+    query.add_argument(
+        "--dump-result",
+        default=None,
+        metavar="PATH",
+        help="write the query result as a deterministic .npz artifact",
+    )
+
     sweep = commands.add_parser(
         "sweep-k", help="sweep intra-layer k through the BatchRunner (Table 8)"
     )
@@ -160,6 +221,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument("--clear", action="store_true", help="delete every artifact")
     return parser
+
+
+def _add_query_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--query-holdout",
+        type=int,
+        default=6,
+        help="hold the last N benchmark records out of the corpus as query records",
+    )
+    parser.add_argument(
+        "--query-k",
+        type=int,
+        default=4,
+        help="candidate corpus records retrieved per query record",
+    )
+    parser.add_argument(
+        "--query-mode",
+        default="online",
+        choices=("online", "exact"),
+        help="online (frozen incremental inference) or exact (transductive replay)",
+    )
 
 
 def _make_cache(args: argparse.Namespace) -> ArtifactCache:
@@ -374,6 +456,151 @@ def _command_resolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _benchmark_labeler(args: argparse.Namespace, benchmark):
+    """The record-level labeling callable of a synthetic benchmark."""
+    labeler = BENCHMARK_LABELERS[args.dataset]
+    products = benchmark.record_products
+
+    def record_labeler(left, right):
+        return labeler.label_pair(products[left.record_id], products[right.record_id])
+
+    return labeler, record_labeler
+
+
+def _holdout_corpus(args: argparse.Namespace, benchmark):
+    """Split benchmark records into (corpus dataset, held-out query records).
+
+    The last ``--query-holdout`` records are withheld from the corpus so
+    the fitted model can be queried with genuinely new records; the
+    split is deterministic, so a fresh ``query`` process selects exactly
+    the records the ``fit`` process withheld.
+    """
+    from ..data.records import Dataset
+
+    records = list(benchmark.dataset.records)
+    holdout = max(int(args.query_holdout), 0)
+    if holdout >= len(records):
+        raise SystemExit(
+            f"--query-holdout {holdout} would leave no corpus records "
+            f"({len(records)} total)"
+        )
+    if holdout == 0:
+        return benchmark.dataset, []
+    corpus = Dataset(
+        records=records[:-holdout],
+        name=benchmark.dataset.name,
+        attributes=benchmark.dataset.attributes,
+    )
+    return corpus, records[-holdout:]
+
+
+def _dump_query_result(result, path: str) -> None:
+    """Persist a query result as a deterministic ``.npz`` artifact."""
+    arrays, metadata = result.as_arrays()
+    write_artifact(path, arrays, metadata)
+
+
+def _print_query_result(result) -> None:
+    rows = []
+    for index, pair in enumerate(result.pairs):
+        rows.append(
+            [pair.left_id, pair.right_id]
+            + [round(float(result.probabilities[intent][index]), 4) for intent in result.intents]
+        )
+    print(
+        format_table(
+            ["Left", "Right"] + [f"P({intent})" for intent in result.intents],
+            rows,
+            title=(
+                f"query[{result.mode}]: {len(result.record_ids)} records, "
+                f"{len(result.pairs)} candidate pairs"
+            ),
+        )
+    )
+
+
+def _command_fit(args: argparse.Namespace) -> int:
+    """Fit on raw records (minus holdout), persist the model, optionally query."""
+    from ..resolver import Resolver as _Resolver
+
+    benchmark = load_benchmark(
+        args.dataset,
+        num_pairs=args.num_pairs,
+        products_per_domain=args.products,
+        seed=args.seed,
+    )
+    labeler, record_labeler = _benchmark_labeler(args, benchmark)
+    corpus, holdout_records = _holdout_corpus(args, benchmark)
+
+    blocker_spec: dict[str, object] = {"type": args.blocker}
+    if benchmark.dataset.sources:
+        blocker_spec["cross_source_only"] = True
+    # The retriever mirrors the fit-time blocking semantics: the blocker
+    # retriever probes the same blocker configuration's index, and the
+    # ANN retriever honours clean-clean source admissibility.
+    retriever_spec: dict[str, object] = {"type": args.retriever}
+    if args.retriever == "blocker":
+        retriever_spec["blocker"] = blocker_spec
+    elif benchmark.dataset.sources:
+        retriever_spec["cross_source_only"] = True
+    resolver = _Resolver(
+        config=_make_config(args, k_neighbors=args.k, blocker=blocker_spec),
+        cache=_make_cache(args),
+    )
+    model = resolver.fit(
+        corpus,
+        intents=labeler.intent_names,
+        labeler=record_labeler,
+        split_seed=args.seed,
+        retriever=retriever_spec,
+    )
+    path = model.save(args.save_model)
+    description = model.describe()
+    print(
+        f"model saved to {path} "
+        f"(corpus: {description['corpus_records']} records, "
+        f"retriever: {description['retriever']}, "
+        f"fingerprint {description['fingerprint'][:12]}…)"
+    )
+    _print_stage_table(model.fit_result.pipeline)
+    if args.dump_query:
+        if not holdout_records:
+            raise SystemExit("--dump-query requires --query-holdout > 0")
+        result = model.query(holdout_records, k=args.query_k, mode=args.query_mode)
+        _print_query_result(result)
+        _dump_query_result(result, args.dump_query)
+        print(f"in-process query artifact written to {args.dump_query}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    """Load a persisted model in this (fresh) process and query it."""
+    from ..model import ResolverModel
+
+    benchmark = load_benchmark(
+        args.dataset,
+        num_pairs=args.num_pairs,
+        products_per_domain=args.products,
+        seed=args.seed,
+    )
+    _, holdout_records = _holdout_corpus(args, benchmark)
+    if not holdout_records:
+        raise SystemExit("query requires --query-holdout > 0")
+    model = ResolverModel.load(args.model)
+    executor = None
+    if args.executor != "serial" and args.query_mode == "online":
+        # Online micro-batches shard bit-identically across records.
+        executor = make_executor(executor_spec(args.executor, args.workers))
+    result = model.query(
+        holdout_records, k=args.query_k, mode=args.query_mode, executor=executor
+    )
+    _print_query_result(result)
+    if args.dump_result:
+        _dump_query_result(result, args.dump_result)
+        print(f"query artifact written to {args.dump_result}")
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     if not args.cache_dir:
         print("no cache directory given (use --cache-dir or $REPRO_CACHE_DIR)")
@@ -395,6 +622,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "resolve":
         return _command_resolve(args)
+    if args.command == "fit":
+        return _command_fit(args)
+    if args.command == "query":
+        return _command_query(args)
     if args.command == "sweep-k":
         return _command_sweep_k(args)
     return _command_cache(args)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import asdict, dataclass, field
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -54,6 +54,10 @@ STAGE_MATCHER_FIT = "matcher-fit"
 STAGE_REPRESENTATION = "representation"
 STAGE_GRAPH_BUILD = "graph-build"
 STAGE_GNN = "gnn"
+STAGE_MODEL = "model-build"
+
+#: Array-key prefix of trained GNN parameters inside gnn stage artifacts.
+_GNN_STATE_PREFIX = "state::"
 
 #: Event statuses.
 STATUS_HIT = "hit"
@@ -123,6 +127,28 @@ class PipelineResult:
     def computed_stages(self) -> tuple[str, ...]:
         """Stages that had to be recomputed."""
         return tuple(event.stage for event in self.events if not event.cached)
+
+
+@dataclass
+class ModelFitResult:
+    """Outcome of :meth:`PipelineRunner.fit_model`.
+
+    Attributes
+    ----------
+    model:
+        The assembled, persistable :class:`~repro.model.ResolverModel`.
+    pipeline:
+        The staged run that produced it (corpus solution over the test
+        split, stage events including the ``model-build`` stage).
+    """
+
+    model: object
+    pipeline: PipelineResult
+
+    @property
+    def solution(self) -> MIERSolution:
+        """The corpus MIER solution (over the split's test pairs)."""
+        return self.pipeline.solution
 
 
 class PipelineRunner:
@@ -242,6 +268,24 @@ class PipelineRunner:
         (Figure 6) and ``target_intents`` restricts which intents get a
         GNN (defaults to the graph's layers).
         """
+        result, _ = self._execute(split, intents, config, intent_subset, target_intents)
+        return result
+
+    def _execute(
+        self,
+        split: DatasetSplit,
+        intents: Sequence[str],
+        config: FlexERConfig | None = None,
+        intent_subset: Sequence[str] | None = None,
+        target_intents: Sequence[str] | None = None,
+    ) -> tuple[PipelineResult, dict[str, object]]:
+        """Run the stages and return the result plus fitted internals.
+
+        The internals dict (fitted solver, combined representations, the
+        graph, per-intent trained GNN states) is what
+        :meth:`fit_model` assembles into a persistable
+        :class:`~repro.model.ResolverModel`; :meth:`run` discards it.
+        """
         intents = tuple(intents)
         if not intents:
             raise IntentError("the pipeline requires at least one intent")
@@ -307,6 +351,7 @@ class PipelineRunner:
         predictions: dict[str, np.ndarray] = {}
         probabilities: dict[str, np.ndarray] = {}
         validation_f1: dict[str, float] = {}
+        gnn_states: dict[str, dict[str, np.ndarray]] = {}
         gnn_outcomes = self._run_gnn_stage(
             graph,
             targets,
@@ -319,13 +364,14 @@ class PipelineRunner:
             executor,
         )
         for intent in targets:
-            layer_probabilities, best_f1, gnn_event = gnn_outcomes[intent]
+            layer_probabilities, best_f1, gnn_event, state = gnn_outcomes[intent]
             events.append(gnn_event)
             timings.record_stage("gnn", gnn_event.elapsed_seconds, intent=intent)
             test_probabilities = layer_probabilities[test_index]
             probabilities[intent] = test_probabilities
             predictions[intent] = (test_probabilities >= 0.5).astype(np.int64)
             validation_f1[intent] = best_f1
+            gnn_states[intent] = state
 
         solution = MIERSolution(
             candidates=test,
@@ -339,7 +385,107 @@ class PipelineRunner:
             timings=timings,
             validation_f1=validation_f1,
         )
-        return PipelineResult(flexer=flexer, events=events)
+        internals: dict[str, object] = {
+            "solver": solver,
+            "representations": representations,
+            "graph": graph,
+            "gnn_states": gnn_states,
+            "layer_intents": layer_intents,
+            "targets": targets,
+        }
+        return PipelineResult(flexer=flexer, events=events), internals
+
+    # ------------------------------------------------------------------- fit
+
+    def fit_model(
+        self,
+        split: DatasetSplit,
+        intents: Sequence[str],
+        config: FlexERConfig | None = None,
+        retriever: object = "ann_knn",
+    ) -> ModelFitResult:
+        """Run the staged pipeline and assemble a :class:`ResolverModel`.
+
+        Executes all four stages over ``split`` (sharing the runner's
+        artifact cache), then bundles the fitted solver state, corpus
+        representations, multiplex-graph payload, per-intent trained GNN
+        parameters (plus their per-convolution corpus hidden states for
+        frozen online inference), and a fitted candidate retriever into
+        one persistable model.  The assembled model is itself a
+        cacheable stage output (``model-build``): re-fitting the same
+        configuration over the same data restores the model from the
+        cache.
+        """
+        # Imported lazily: repro.model imports this module at start-up.
+        from ..model import MODEL_SCHEMA_VERSION, ResolverModel, fingerprint_corpus
+        from ..registry import CANDIDATE_RETRIEVERS, INTENT_CLASSIFIERS as _CLASSIFIERS
+
+        intents = tuple(intents)
+        config = config or FlexERConfig()
+        retriever_spec = CANDIDATE_RETRIEVERS.normalize(retriever)
+        result, internals = self._execute(split, intents, config)
+        corpus = split.train.dataset
+        key = digest(
+            STAGE_MODEL,
+            [(event.stage, event.key) for event in result.events],
+            retriever_spec,
+            fingerprint_corpus(corpus),
+            MODEL_SCHEMA_VERSION,
+        )
+        artifact = self.cache.get(STAGE_MODEL, key)
+        if artifact is not None:
+            model = ResolverModel.from_payload(artifact.arrays, artifact.metadata)
+            result.events.append(
+                StageEvent(STAGE_MODEL, key, STATUS_HIT, artifact.elapsed_seconds)
+            )
+            return ModelFitResult(model=model, pipeline=result)
+
+        start = time.perf_counter()
+        gnn_states: dict[str, dict[str, np.ndarray]] = dict(internals["gnn_states"])
+        stale = [intent for intent in intents if not gnn_states.get(intent)]
+        if stale:
+            # Cached gnn artifacts from before state persistence carry no
+            # parameters; retrain those intents once (seeded, so the
+            # retrained weights reproduce the cached probabilities).
+            graph = internals["graph"]
+            train, valid = split.train, split.valid
+            train_index = np.arange(len(train), dtype=np.int64)
+            has_valid = len(valid) > 0
+            valid_index = (
+                np.arange(len(train), len(train) + len(valid), dtype=np.int64)
+                if has_valid
+                else None
+            )
+            classifier_spec = _CLASSIFIERS.normalize(config.classifier)
+            for intent in stale:
+                classifier = _CLASSIFIERS.create(classifier_spec, config=config.gnn)
+                classifier.fit_predict(
+                    graph,
+                    target_intent=intent,
+                    train_index=train_index,
+                    train_labels=train.labels(intent),
+                    valid_index=valid_index,
+                    valid_labels=valid.labels(intent) if has_valid else None,
+                )
+                gnn_states[intent] = classifier.model_state()
+
+        model = ResolverModel.from_fit(
+            config=config,
+            intents=intents,
+            split=split,
+            solver=internals["solver"],
+            representations=internals["representations"],
+            graph=internals["graph"],
+            gnn_states=gnn_states,
+            retriever_spec=retriever_spec,
+            augment_with_scores=self.augment_with_scores,
+            feature_config=self.feature_config,
+        )
+        elapsed = time.perf_counter() - start
+        arrays, metadata = model.to_payload()
+        self.cache.put(STAGE_MODEL, key, stage_artifact(arrays, elapsed, **metadata))
+        result.events.append(StageEvent(STAGE_MODEL, key, STATUS_COMPUTED, elapsed))
+        return ModelFitResult(model=model, pipeline=result)
 
     # ----------------------------------------------------------------- stages
 
@@ -356,6 +502,57 @@ class PipelineRunner:
             )
         return tuple(intent_subset)
 
+    def matcher_fit_key(
+        self,
+        train: CandidateSet,
+        intents: Sequence[str],
+        config: FlexERConfig,
+    ) -> str:
+        """The matcher-fit stage key of a run over ``train``.
+
+        Exposed so a fitted :class:`~repro.model.ResolverModel` can seed
+        a query-time cache with its solver state: the online exact path
+        then *hits* this stage instead of re-fitting matchers.
+        """
+        # The executor is deliberately absent from the stage key:
+        # sharded training and encoding are bit-identical to serial, so
+        # artifacts cached under any executor serve every other one.
+        return digest(
+            STAGE_MATCHER_FIT,
+            self._solver_spec(config),
+            list(tuple(intents)),
+            config.matcher,
+            self._feature_fingerprint(),
+            fingerprint_candidates(train),
+        )
+
+    def seed_matcher_artifact(
+        self,
+        train: CandidateSet,
+        intents: Sequence[str],
+        config: FlexERConfig,
+        state: Mapping[str, np.ndarray],
+        elapsed_seconds: float = 0.0,
+    ) -> str:
+        """Pre-populate the matcher-fit stage with already-fitted state.
+
+        Returns the seeded stage key.  Subsequent runs over a split whose
+        training part fingerprints identically restore the solver from
+        this artifact (a cache *hit*) rather than re-fitting it.
+        """
+        key = self.matcher_fit_key(train, intents, config)
+        self.cache.put(
+            STAGE_MATCHER_FIT,
+            key,
+            stage_artifact(
+                dict(state),
+                elapsed_seconds,
+                solver=str(self._solver_spec(config)["type"]),
+                num_train_pairs=len(train),
+            ),
+        )
+        return key
+
     def _run_matcher_fit(
         self,
         train: CandidateSet,
@@ -365,9 +562,6 @@ class PipelineRunner:
         solver_spec: dict[str, object],
         executor: Executor | None = None,
     ):
-        # The executor is deliberately absent from the stage key:
-        # sharded training and encoding are bit-identical to serial, so
-        # artifacts cached under any executor serve every other one.
         key = digest(
             STAGE_MATCHER_FIT,
             solver_spec,
@@ -505,19 +699,27 @@ class PipelineRunner:
         best_f1: float,
         elapsed: float,
         intent: str,
+        state: Mapping[str, np.ndarray] | None = None,
     ) -> None:
-        self.cache.put(
-            stage,
-            key,
-            stage_artifact(
-                {
-                    "probabilities": probabilities,
-                    "best_validation_f1": np.array([best_f1]),
-                },
-                elapsed,
-                intent=intent,
-            ),
-        )
+        arrays: dict[str, np.ndarray] = {
+            "probabilities": probabilities,
+            "best_validation_f1": np.array([best_f1]),
+        }
+        # Trained parameters ride along under a reserved prefix so a
+        # model fit over a warm cache restores the intent's GNN weights
+        # without retraining.
+        for name, array in (state or {}).items():
+            arrays[f"{_GNN_STATE_PREFIX}{name}"] = array
+        self.cache.put(stage, key, stage_artifact(arrays, elapsed, intent=intent))
+
+    @staticmethod
+    def _gnn_state_from_artifact(artifact: Artifact) -> dict[str, np.ndarray]:
+        """Extract the trained-parameter arrays of a cached gnn artifact."""
+        return {
+            key[len(_GNN_STATE_PREFIX) :]: array
+            for key, array in artifact.arrays.items()
+            if key.startswith(_GNN_STATE_PREFIX)
+        }
 
     def _run_gnn_stage(
         self,
@@ -530,14 +732,16 @@ class PipelineRunner:
         train_index: np.ndarray,
         valid_index: np.ndarray | None,
         executor: Executor | None,
-    ) -> dict[str, tuple[np.ndarray, float, StageEvent]]:
+    ) -> dict[str, tuple[np.ndarray, float, StageEvent, dict[str, np.ndarray]]]:
         """Run (or restore) one GNN per target intent; parallel across intents.
 
         Cache lookups and stores stay in the calling process; only the
         cache-missing trainings fan out — with a parallel executor, one
         task per intent, each shipping the graph payload plus that
         intent's supervision arrays and returning layer probabilities
-        that are bit-identical to the serial training.
+        that are bit-identical to the serial training.  Each outcome also
+        carries the trained parameter arrays (empty when a pre-state
+        cached artifact was hit) for model assembly.
         """
         classifier_spec = INTENT_CLASSIFIERS.normalize(config.classifier)
         valid_labels_of = (
@@ -545,7 +749,7 @@ class PipelineRunner:
             if valid is not None and valid_index is not None
             else (lambda intent: None)
         )
-        outcomes: dict[str, tuple[np.ndarray, float, StageEvent]] = {}
+        outcomes: dict[str, tuple[np.ndarray, float, StageEvent, dict[str, np.ndarray]]] = {}
         pending: list[tuple[str, str, str]] = []
         for intent in targets:
             stage = f"{STAGE_GNN}:{intent}"
@@ -557,7 +761,12 @@ class PipelineRunner:
                 layer_probabilities = artifact.arrays["probabilities"]
                 best_f1 = float(artifact.arrays["best_validation_f1"][0])
                 event = StageEvent(stage, key, STATUS_HIT, artifact.elapsed_seconds)
-                outcomes[intent] = (layer_probabilities, best_f1, event)
+                outcomes[intent] = (
+                    layer_probabilities,
+                    best_f1,
+                    event,
+                    self._gnn_state_from_artifact(artifact),
+                )
             else:
                 pending.append((intent, stage, key))
         if not pending:
@@ -575,14 +784,17 @@ class PipelineRunner:
                 for intent, _, _ in pending
             ]
             results = run_classifier_jobs(graph, classifier_spec, config.gnn, jobs, executor)
-            for (intent, stage, key), (layer_probabilities, best_f1, elapsed) in zip(
+            for (intent, stage, key), (layer_probabilities, best_f1, elapsed, state) in zip(
                 pending, results
             ):
-                self._store_gnn_artifact(stage, key, layer_probabilities, best_f1, elapsed, intent)
+                self._store_gnn_artifact(
+                    stage, key, layer_probabilities, best_f1, elapsed, intent, state
+                )
                 outcomes[intent] = (
                     layer_probabilities,
                     best_f1,
                     StageEvent(stage, key, STATUS_COMPUTED, elapsed),
+                    state,
                 )
             return outcomes
 
@@ -598,13 +810,15 @@ class PipelineRunner:
                 valid_labels=valid_labels_of(intent),
             )
             elapsed = time.perf_counter() - start
+            state = classifier.model_state() if hasattr(classifier, "model_state") else {}
             self._store_gnn_artifact(
-                stage, key, result.probabilities, result.best_validation_f1, elapsed, intent
+                stage, key, result.probabilities, result.best_validation_f1, elapsed, intent, state
             )
             outcomes[intent] = (
                 result.probabilities,
                 result.best_validation_f1,
                 StageEvent(stage, key, STATUS_COMPUTED, elapsed),
+                state,
             )
         return outcomes
 

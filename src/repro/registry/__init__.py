@@ -22,10 +22,12 @@ from ..exceptions import RegistryError
 from .core import ComponentRegistry, normalize_spec
 from .components import (
     BLOCKERS,
+    CANDIDATE_RETRIEVERS,
     EXECUTORS,
     FAMILIES,
     GRAPH_BUILDERS,
     INTENT_CLASSIFIERS,
+    MODELS,
     SOLVERS,
 )
 
@@ -78,6 +80,8 @@ __all__ = [
     "GRAPH_BUILDERS",
     "INTENT_CLASSIFIERS",
     "EXECUTORS",
+    "CANDIDATE_RETRIEVERS",
+    "MODELS",
     "FAMILIES",
     "family",
     "register",

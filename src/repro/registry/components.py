@@ -26,6 +26,13 @@ Families and creation context:
     Sharded-execution backends (``serial`` / ``threads`` /
     ``processes``).  No context; executors never change results, so
     their specs stay out of pipeline stage fingerprints.
+``CANDIDATE_RETRIEVERS``
+    Online candidate retrieval against a fitted corpus (``ann_knn`` /
+    ``blocker``).  No context; fitted over the model corpus at fit/load
+    time.
+``MODELS``
+    Persistable fit artifacts (``flexer``).  Context: ``arrays`` — the
+    numpy payload the spec's metadata describes.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from ..exec.executors import BUILTIN_EXECUTORS
 from ..graph.builder import IntentGraphBuilder
 from ..graph.sage import IntentNodeClassifier
 from ..matching.solvers import InParallelSolver, MultiLabelSolver, NaiveSolver
+from ..retrieval.candidates import BUILTIN_RETRIEVERS
 from .core import ComponentRegistry
 
 SOLVERS = ComponentRegistry("solver")
@@ -59,6 +67,15 @@ EXECUTORS = ComponentRegistry("executor")
 for _key, _executor in BUILTIN_EXECUTORS.items():
     EXECUTORS.register(_key, _executor)
 
+CANDIDATE_RETRIEVERS = ComponentRegistry("candidate_retriever")
+for _key, _retriever in BUILTIN_RETRIEVERS.items():
+    CANDIDATE_RETRIEVERS.register(_key, _retriever)
+
+# The built-in ResolverModel registers itself on first import of
+# repro.model (registering here would close an import cycle through the
+# pipeline runner).
+MODELS = ComponentRegistry("model")
+
 #: All registries keyed by family name.
 FAMILIES: dict[str, ComponentRegistry] = {
     SOLVERS.family: SOLVERS,
@@ -66,4 +83,6 @@ FAMILIES: dict[str, ComponentRegistry] = {
     GRAPH_BUILDERS.family: GRAPH_BUILDERS,
     INTENT_CLASSIFIERS.family: INTENT_CLASSIFIERS,
     EXECUTORS.family: EXECUTORS,
+    CANDIDATE_RETRIEVERS.family: CANDIDATE_RETRIEVERS,
+    MODELS.family: MODELS,
 }

@@ -239,7 +239,7 @@ class Resolver:
 
     # ---------------------------------------------------------------- resolve
 
-    def resolve(
+    def _prepare(
         self,
         data: Dataset | CandidateSet | DatasetSplit,
         *,
@@ -249,36 +249,14 @@ class Resolver:
         default_label: int = 0,
         split_ratio: SplitRatio | None = None,
         split_seed: int = 13,
-        intent_subset: Sequence[str] | None = None,
-        target_intents: Sequence[str] | None = None,
         max_exhaustive_records: int = 400,
-    ) -> ResolverResult:
-        """Resolve ``data`` end to end and return a :class:`ResolverResult`.
+    ) -> tuple[DatasetSplit, tuple[str, ...], CandidateSet | None, BlockingQuality | None]:
+        """Shared data preparation of :meth:`resolve` and :meth:`fit`.
 
-        Parameters
-        ----------
-        data:
-            A raw :class:`Dataset` (full pipeline: blocking → labeling →
-            split → staged FlexER), a labeled :class:`CandidateSet`
-            (split → staged FlexER), or a pre-built
-            :class:`DatasetSplit` (staged FlexER only).
-        intents:
-            Intent names to resolve.  Defaults to the candidate set's
-            intents, the first entry of ``labels``, or one probe call of
-            ``labeler`` — in that order.
-        labels, labeler, default_label:
-            Ground truth for the raw-records path; see
-            :meth:`label_candidates`.
-        split_ratio, split_seed:
-            Candidate splitting (paper default 3:1:1, stratified on the
-            first intent).
-        intent_subset, target_intents:
-            Forwarded to the staged pipeline (graph layers / predicted
-            intents).
-        max_exhaustive_records:
-            When only a ``labeler`` is given, blocking recall needs the
-            golden pairs of the *full* cross product; it is enumerated
-            exhaustively up to this many records and skipped beyond.
+        Turns any accepted input into a labeled
+        :class:`~repro.data.splits.DatasetSplit`: a raw dataset goes
+        through blocking → labeling → splitting, a labeled candidate set
+        through splitting only, and a pre-built split passes through.
         """
         blocking: BlockingQuality | None = None
         candidates: CandidateSet | None = None
@@ -320,7 +298,64 @@ class Resolver:
                 f"resolve() accepts Dataset, CandidateSet, or DatasetSplit, "
                 f"got {type(data).__name__}"
             )
+        return split, resolved_intents, candidates, blocking
 
+    def resolve(
+        self,
+        data: Dataset | CandidateSet | DatasetSplit,
+        *,
+        intents: Sequence[str] | None = None,
+        labels: PairLabels | None = None,
+        labeler: PairLabeler | None = None,
+        default_label: int = 0,
+        split_ratio: SplitRatio | None = None,
+        split_seed: int = 13,
+        intent_subset: Sequence[str] | None = None,
+        target_intents: Sequence[str] | None = None,
+        max_exhaustive_records: int = 400,
+    ) -> ResolverResult:
+        """Resolve ``data`` end to end and return a :class:`ResolverResult`.
+
+        This is the one-shot fit+predict convenience: for the
+        train-once / serve-many lifecycle use :meth:`fit`, which returns
+        a persistable :class:`~repro.model.ResolverModel` with an online
+        ``query()`` path.
+
+        Parameters
+        ----------
+        data:
+            A raw :class:`Dataset` (full pipeline: blocking → labeling →
+            split → staged FlexER), a labeled :class:`CandidateSet`
+            (split → staged FlexER), or a pre-built
+            :class:`DatasetSplit` (staged FlexER only).
+        intents:
+            Intent names to resolve.  Defaults to the candidate set's
+            intents, the first entry of ``labels``, or one probe call of
+            ``labeler`` — in that order.
+        labels, labeler, default_label:
+            Ground truth for the raw-records path; see
+            :meth:`label_candidates`.
+        split_ratio, split_seed:
+            Candidate splitting (paper default 3:1:1, stratified on the
+            first intent).
+        intent_subset, target_intents:
+            Forwarded to the staged pipeline (graph layers / predicted
+            intents).
+        max_exhaustive_records:
+            When only a ``labeler`` is given, blocking recall needs the
+            golden pairs of the *full* cross product; it is enumerated
+            exhaustively up to this many records and skipped beyond.
+        """
+        split, resolved_intents, candidates, blocking = self._prepare(
+            data,
+            intents=intents,
+            labels=labels,
+            labeler=labeler,
+            default_label=default_label,
+            split_ratio=split_ratio,
+            split_seed=split_seed,
+            max_exhaustive_records=max_exhaustive_records,
+        )
         pipeline_result = self.runner.run(
             split,
             resolved_intents,
@@ -336,6 +371,61 @@ class Resolver:
             candidates=candidates,
             blocking=blocking,
         )
+
+    # -------------------------------------------------------------------- fit
+
+    def fit(
+        self,
+        data: Dataset | CandidateSet | DatasetSplit,
+        *,
+        intents: Sequence[str] | None = None,
+        labels: PairLabels | None = None,
+        labeler: PairLabeler | None = None,
+        default_label: int = 0,
+        split_ratio: SplitRatio | None = None,
+        split_seed: int = 13,
+        retriever: object = "ann_knn",
+        max_exhaustive_records: int = 400,
+    ):
+        """Fit on ``data`` and return a persistable ``ResolverModel``.
+
+        The model bundles every fitted component — per-intent matcher
+        ``state_dict``s, corpus representations, the multiplex graph
+        payload, trained per-intent GNNs, a fitted candidate retriever,
+        and this resolver's :class:`~repro.config.FlexERConfig` — and
+        serves new records online via ``model.query(records, k=...)``
+        without re-fitting anything.  Persist it with
+        ``model.save(path)`` / ``repro.load_model(path)``.
+
+        ``retriever`` names the online candidate-retrieval component
+        (:data:`repro.registry.CANDIDATE_RETRIEVERS`): ``"ann_knn"``
+        (nearest corpus records over hashed n-gram vectors, the default)
+        or ``"blocker"`` (probe the fitted blocker's inverted index).
+        The corpus resolution of the fit is attached as
+        ``model.fit_result`` (a :class:`ResolverResult`).
+        """
+        split, resolved_intents, candidates, blocking = self._prepare(
+            data,
+            intents=intents,
+            labels=labels,
+            labeler=labeler,
+            default_label=default_label,
+            split_ratio=split_ratio,
+            split_seed=split_seed,
+            max_exhaustive_records=max_exhaustive_records,
+        )
+        fit = self.runner.fit_model(
+            split, resolved_intents, config=self.config, retriever=retriever
+        )
+        fit.model.fit_result = ResolverResult(
+            solution=fit.pipeline.solution,
+            pipeline=fit.pipeline,
+            split=split,
+            intents=resolved_intents,
+            candidates=candidates,
+            blocking=blocking,
+        )
+        return fit.model
 
     # -------------------------------------------------------------- internals
 
@@ -408,6 +498,43 @@ def resolve(
     """
     resolver = Resolver(config=config, cache=cache, executor=executor, workers=workers)
     return resolver.resolve(data, intents=intents, labels=labels, labeler=labeler, **kwargs)
+
+
+def fit(
+    data: Dataset | CandidateSet | DatasetSplit,
+    *,
+    intents: Sequence[str] | None = None,
+    config: FlexERConfig | None = None,
+    labels: PairLabels | None = None,
+    labeler: PairLabeler | None = None,
+    cache: ArtifactCache | None = None,
+    retriever: object = "ann_knn",
+    executor: object = None,
+    workers: int | None = None,
+    save: object = None,
+    **kwargs,
+):
+    """Fit a one-shot :class:`Resolver` and return its ``ResolverModel``.
+
+    The "fit once, query many" entry point::
+
+        model = repro.fit(dataset, labeler=label_pair, config=config)
+        model.save("resolver_model.npz")
+        ...
+        model = repro.load_model("resolver_model.npz")
+        result = model.query(new_records, k=5)
+
+    ``save`` optionally persists the model in the same call.  Keyword
+    arguments beyond the ones named here are forwarded to
+    :meth:`Resolver.fit`.
+    """
+    resolver = Resolver(config=config, cache=cache, executor=executor, workers=workers)
+    model = resolver.fit(
+        data, intents=intents, labels=labels, labeler=labeler, retriever=retriever, **kwargs
+    )
+    if save is not None:
+        model.save(save)
+    return model
 
 
 # ------------------------------------------------------------------- helpers

@@ -1,0 +1,22 @@
+"""Online candidate retrieval against a fitted corpus.
+
+The serve-side counterpart of :mod:`repro.blocking`: instead of joining
+a whole corpus against itself, retrievers answer "which corpus records
+should this *new* record be scored against?" in micro-batch time.  See
+:mod:`repro.retrieval.candidates` for the built-in implementations and
+:data:`repro.registry.CANDIDATE_RETRIEVERS` for the registry family.
+"""
+
+from .candidates import (
+    BUILTIN_RETRIEVERS,
+    AnnKnnRetriever,
+    BlockerRetriever,
+    CandidateRetriever,
+)
+
+__all__ = [
+    "AnnKnnRetriever",
+    "BlockerRetriever",
+    "BUILTIN_RETRIEVERS",
+    "CandidateRetriever",
+]

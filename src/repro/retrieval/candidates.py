@@ -1,0 +1,333 @@
+"""Candidate retrieval for the online query path.
+
+One-shot resolution generates candidates by blocking the *whole* corpus
+against itself.  The serve path cannot afford that: a micro-batch of new
+records must be paired with a handful of likely corpus matches in
+(amortized) constant time per record.  A :class:`CandidateRetriever`
+is fitted once over the corpus a :class:`~repro.model.ResolverModel`
+was trained on and then answers ``retrieve(records, k)`` — the ranked
+corpus record ids each new record should be scored against.
+
+Two built-in retrievers are registered in
+:data:`repro.registry.CANDIDATE_RETRIEVERS`:
+
+``ann_knn``
+    Approximate-nearest-neighbour-style retrieval over hashed n-gram
+    record vectors through :class:`~repro.ann.knn.ExactNearestNeighbors`
+    (the library's Faiss substitute).  The corpus vector matrix is part
+    of the persisted model state, so a loaded model serves queries
+    without re-vectorizing the corpus.
+``blocker``
+    Reuse of the fitted blocking strategy: the corpus inverted index of
+    a ``qgram``/``token`` blocker is probed with the query record's keys
+    and candidates are ranked by shared-key count, honouring the
+    blocker's ``min_shared``/``max_block_size``/``cross_source_only``
+    semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..ann.knn import ExactNearestNeighbors
+from ..blocking.base import Blocker
+from ..data.records import Dataset, Record
+from ..exceptions import ConfigurationError, NotFittedError
+from ..text.memo import TextMemo
+from ..text.vectorizers import HashingVectorizer, HashingVectorizerConfig
+
+
+class CandidateRetriever(abc.ABC):
+    """Base class of online candidate retrievers.
+
+    Every concrete retriever is registered in
+    :data:`repro.registry.CANDIDATE_RETRIEVERS` under :attr:`spec_type`
+    and round-trips through ``to_spec`` / ``from_spec`` like every other
+    pipeline component.  Fitted state is exposed as plain numpy arrays
+    (:meth:`state_arrays` / :meth:`load_state`) so the model artifact
+    can bundle it.
+    """
+
+    #: Registry key of the concrete retriever (set by subclasses).
+    spec_type: str = ""
+
+    @abc.abstractmethod
+    def fit(self, dataset: Dataset) -> "CandidateRetriever":
+        """Index the corpus ``dataset`` the retriever will answer against."""
+
+    @abc.abstractmethod
+    def retrieve(self, records: Sequence[Record], k: int) -> list[list[str]]:
+        """Ranked corpus record ids for each query record (best first).
+
+        Each inner list holds at most ``k`` ids; fewer when the corpus
+        (or the retriever's admissibility rule) cannot supply ``k``.
+        """
+
+    @abc.abstractmethod
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the retriever configuration into a registry spec."""
+
+    @classmethod
+    def from_spec(cls, params: Mapping[str, object]) -> "CandidateRetriever":
+        """Construct the retriever from the parameters of a spec."""
+        return cls(**params)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Fitted state as plain arrays (empty when state is derivable)."""
+        return {}
+
+    def load_state(self, arrays: Mapping[str, np.ndarray], dataset: Dataset) -> None:
+        """Restore fitted state from :meth:`state_arrays` output.
+
+        The default rebuilds the index from the corpus records — every
+        retriever's indexing is deterministic, so the restored retriever
+        answers identically to the originally fitted one.
+        """
+        del arrays
+        self.fit(dataset)
+
+    def _require_fitted(self) -> None:
+        if not getattr(self, "_fitted", False):
+            raise NotFittedError(f"{type(self).__name__} must be fitted before retrieving")
+
+
+class AnnKnnRetriever(CandidateRetriever):
+    """Nearest-neighbour retrieval over hashed n-gram record vectors.
+
+    Parameters
+    ----------
+    metric:
+        Distance of the kNN search (``"l2"`` or ``"cosine"``).
+    n_features:
+        Buckets of the hashing vectorizer encoding each record's text.
+    attributes:
+        Record attributes included in the text; ``None`` uses all.
+    cross_source_only:
+        Restrict candidates to records from a different source than the
+        query record (clean-clean resolution).
+    """
+
+    spec_type = "ann_knn"
+
+    def __init__(
+        self,
+        metric: str = "l2",
+        n_features: int = 256,
+        attributes: Sequence[str] | None = None,
+        cross_source_only: bool = False,
+    ) -> None:
+        if n_features <= 0:
+            raise ConfigurationError("n_features must be positive")
+        self.metric = metric
+        self.n_features = int(n_features)
+        self.attributes = tuple(attributes) if attributes is not None else None
+        self.cross_source_only = cross_source_only
+        self._vectorizer = HashingVectorizer(HashingVectorizerConfig(n_features=self.n_features))
+        self._index = ExactNearestNeighbors(metric=metric)
+        self._record_ids: list[str] = []
+        self._sources: list[str | None] = []
+        self._fitted = False
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the retriever configuration into a registry spec."""
+        return {
+            "type": self.spec_type,
+            "params": {
+                "metric": self.metric,
+                "n_features": self.n_features,
+                "attributes": list(self.attributes) if self.attributes is not None else None,
+                "cross_source_only": self.cross_source_only,
+            },
+        }
+
+    def _vectorize(self, records: Sequence[Record]) -> np.ndarray:
+        names = list(self.attributes) if self.attributes is not None else None
+        return self._vectorizer.transform([record.text(names) for record in records])
+
+    def fit(self, dataset: Dataset) -> "AnnKnnRetriever":
+        """Vectorize and index every corpus record."""
+        self._record_ids = list(dataset.record_ids)
+        self._sources = [record.source for record in dataset]
+        self._index.fit(self._vectorize(list(dataset)))
+        self._fitted = True
+        return self
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The corpus vector matrix (row order = corpus record order)."""
+        self._require_fitted()
+        assert self._index._data is not None
+        return {"vectors": self._index._data}
+
+    def load_state(self, arrays: Mapping[str, np.ndarray], dataset: Dataset) -> None:
+        """Restore the index from persisted corpus vectors (no re-hashing)."""
+        vectors = arrays.get("vectors")
+        if vectors is None or vectors.shape[0] != len(dataset):
+            self.fit(dataset)
+            return
+        self._record_ids = list(dataset.record_ids)
+        self._sources = [record.source for record in dataset]
+        self._index.fit(np.asarray(vectors, dtype=np.float64))
+        self._fitted = True
+
+    def retrieve(self, records: Sequence[Record], k: int) -> list[list[str]]:
+        """The ``k`` nearest corpus records of each query record.
+
+        Each record is searched *individually*: BLAS matmul results can
+        differ in the last bit with the batch row count, which would
+        make near-tie rankings depend on micro-batch composition.  The
+        per-record search keeps every record's candidates — and hence
+        sharded query batches — bit-identical however the batch is cut.
+        """
+        self._require_fitted()
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if not records:
+            return []
+        queries = self._vectorize(records)
+        # With source filtering the post-filter cut can eat arbitrarily
+        # many of the top results, so rank the full corpus; the search is
+        # exact (O(n) per query) either way.
+        search_k = self._index.num_indexed if self.cross_source_only else k
+        search_k = max(min(search_k, self._index.num_indexed), 1)
+        candidates: list[list[str]] = []
+        for row, record in enumerate(records):
+            result = self._index.search(queries[row : row + 1], search_k)
+            ids: list[str] = []
+            for position in result.indices[0].tolist():
+                corpus_id = self._record_ids[position]
+                if corpus_id == record.record_id:
+                    continue
+                if (
+                    self.cross_source_only
+                    and record.source is not None
+                    and self._sources[position] is not None
+                    and record.source == self._sources[position]
+                ):
+                    continue
+                ids.append(corpus_id)
+                if len(ids) >= k:
+                    break
+            candidates.append(ids)
+        return candidates
+
+
+class BlockerRetriever(CandidateRetriever):
+    """Reuse a fitted blocker's inverted index for online retrieval.
+
+    The corpus index of a key-based blocker (``qgram`` or ``token``) is
+    built once at fit time; each query record's keys probe the postings
+    lists and candidates are ranked by the number of shared keys —
+    exactly the co-occurrence count the offline blocker thresholds with
+    ``min_shared``.
+
+    Parameters
+    ----------
+    blocker:
+        Registry spec of the wrapped blocker (must expose an inverted
+        ``_index``; the ``full`` cross-product blocker has none and is
+        rejected).
+    """
+
+    spec_type = "blocker"
+
+    def __init__(self, blocker: object = "qgram") -> None:
+        # Imported lazily: repro.registry imports this module at start-up.
+        from ..registry import BLOCKERS
+
+        self._blocker_spec = BLOCKERS.normalize(blocker)
+        self.blocker = BLOCKERS.create(self._blocker_spec)
+        if not hasattr(self.blocker, "_index"):
+            raise ConfigurationError(
+                f"blocker {self._blocker_spec['type']!r} exposes no inverted index; "
+                f"use a key-based blocker (qgram/token) for online retrieval"
+            )
+        self._index: dict[str, list[str]] = {}
+        self._dataset: Dataset | None = None
+        self._fitted = False
+
+    def to_spec(self) -> dict[str, object]:
+        """Serialize the retriever (and its wrapped blocker) into a spec."""
+        return {"type": self.spec_type, "params": {"blocker": self._blocker_spec}}
+
+    def fit(self, dataset: Dataset) -> "BlockerRetriever":
+        """Build the wrapped blocker's inverted index over the corpus."""
+        self._dataset = dataset
+        self._index = dict(self.blocker._index(dataset))
+        self._fitted = True
+        return self
+
+    def _query_keys(self, record: Record) -> frozenset[str]:
+        """The blocking keys of one query record (same derivation as fit)."""
+        probe = Dataset(records=[record], name="query-probe")
+        memo = TextMemo(probe, self.blocker.attributes)
+        if hasattr(self.blocker, "q"):
+            return memo.ngram_set(record.record_id, self.blocker.q)
+        keys = memo.token_set(record.record_id)
+        if hasattr(self.blocker, "_keys"):
+            keys = frozenset(self.blocker._keys(keys))
+        return keys
+
+    def retrieve(self, records: Sequence[Record], k: int) -> list[list[str]]:
+        """Corpus records sharing ≥ ``min_shared`` keys, ranked by overlap."""
+        self._require_fitted()
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        assert self._dataset is not None
+        min_shared = int(getattr(self.blocker, "min_shared", 1))
+        max_block_size = getattr(self.blocker, "max_block_size", None)
+        cross_source_only = bool(getattr(self.blocker, "cross_source_only", False))
+        candidates: list[list[str]] = []
+        for record in records:
+            counts: dict[str, int] = {}
+            for key in self._query_keys(record):
+                members = self._index.get(key)
+                if members is None:
+                    continue
+                # Oversized postings behave as stop-keys offline; skip
+                # them online too so the two paths agree on candidates.
+                if max_block_size is not None and len(members) > max_block_size:
+                    continue
+                for corpus_id in members:
+                    counts[corpus_id] = counts.get(corpus_id, 0) + 1
+            ranked = sorted(
+                (
+                    (corpus_id, count)
+                    for corpus_id, count in counts.items()
+                    if count >= min_shared
+                    and corpus_id != record.record_id
+                    and _sources_admissible(
+                        record, self._dataset[corpus_id], cross_source_only
+                    )
+                ),
+                key=lambda item: (-item[1], item[0]),
+            )
+            candidates.append([corpus_id for corpus_id, _ in ranked[:k]])
+        return candidates
+
+
+def _sources_admissible(query: Record, corpus: Record, cross_source_only: bool) -> bool:
+    """The blocker admissibility rule applied to a (query, corpus) pair."""
+    if not cross_source_only:
+        return True
+    if query.source is None or corpus.source is None:
+        return True
+    return query.source != corpus.source
+
+
+# Re-exported for the registry module's registration pass.
+BUILTIN_RETRIEVERS: dict[str, type] = {
+    AnnKnnRetriever.spec_type: AnnKnnRetriever,
+    BlockerRetriever.spec_type: BlockerRetriever,
+}
+
+
+__all__ = [
+    "AnnKnnRetriever",
+    "Blocker",
+    "BlockerRetriever",
+    "BUILTIN_RETRIEVERS",
+    "CandidateRetriever",
+]

@@ -58,3 +58,87 @@ class TestSerializeCandidates:
         serialized = serialize_candidates(toy_dataset, pairs)
         assert len(serialized) == 2
         assert all(CLS_TOKEN in text for text in serialized)
+
+
+class TestArtifactSchemaVersion:
+    def test_written_artifacts_are_stamped(self, toy_dataset, tmp_path):
+        import numpy as np
+
+        from repro.data.serialization import (
+            ARTIFACT_SCHEMA_VERSION,
+            SCHEMA_VERSION_KEY,
+            read_artifact,
+            write_artifact,
+        )
+
+        path = write_artifact(tmp_path / "a", {"x": np.arange(3)}, {"note": "hi"})
+        # The raw on-disk document carries the stamp...
+        import json
+
+        with np.load(path, allow_pickle=False) as data:
+            document = json.loads(bytes(data["__artifact_metadata__"].tobytes()))
+        assert document[SCHEMA_VERSION_KEY] == ARTIFACT_SCHEMA_VERSION
+        # ...while readers see the user metadata unchanged.
+        arrays, metadata = read_artifact(path)
+        assert metadata == {"note": "hi"}
+        assert np.array_equal(arrays["x"], np.arange(3))
+
+    def test_version_key_is_reserved(self, tmp_path):
+        import numpy as np
+        import pytest
+
+        from repro.data.serialization import SCHEMA_VERSION_KEY, write_artifact
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError, match="reserved"):
+            write_artifact(tmp_path / "a", {"x": np.arange(3)}, {SCHEMA_VERSION_KEY: 9})
+
+    def test_newer_schema_is_rejected_with_clear_error(self, tmp_path):
+        import json
+
+        import numpy as np
+        import pytest
+
+        from repro.data.serialization import (
+            ARTIFACT_SCHEMA_VERSION,
+            METADATA_KEY,
+            SCHEMA_VERSION_KEY,
+            read_artifact,
+        )
+        from repro.exceptions import DataError
+
+        # Forge an artifact "from the future" by writing the container
+        # directly with a bumped version stamp.
+        document = json.dumps(
+            {SCHEMA_VERSION_KEY: ARTIFACT_SCHEMA_VERSION + 1}
+        ).encode("utf-8")
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            **{
+                METADATA_KEY: np.frombuffer(document, dtype=np.uint8),
+                "array::x": np.arange(3),
+            },
+        )
+        with pytest.raises(DataError, match="schema version"):
+            read_artifact(path)
+
+    def test_unversioned_artifacts_still_read(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro.data.serialization import METADATA_KEY, read_artifact
+
+        document = json.dumps({"legacy": True}).encode("utf-8")
+        path = tmp_path / "legacy.npz"
+        np.savez(
+            path,
+            **{
+                METADATA_KEY: np.frombuffer(document, dtype=np.uint8),
+                "array::x": np.arange(2),
+            },
+        )
+        arrays, metadata = read_artifact(path)
+        assert metadata == {"legacy": True}
+        assert np.array_equal(arrays["x"], np.arange(2))

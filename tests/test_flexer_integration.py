@@ -17,7 +17,9 @@ from repro.matching import InParallelSolver, NaiveSolver
 def flexer_result(tiny_benchmark, fast_config):
     """A single shared FlexER run over the tiny benchmark."""
     flexer = FlexER(tiny_benchmark.intents, fast_config)
-    result = flexer.run_split(tiny_benchmark.split)
+    split = tiny_benchmark.split
+    flexer.fit(split.train, split.valid if len(split.valid) > 0 else None)
+    result = flexer.predict(split.test)
     return flexer, result
 
 
@@ -102,8 +104,23 @@ class TestFlexERPipeline:
         config = replace(fast_config, solver="multi_label")
         flexer = FlexER(tiny_benchmark.intents, config)
         assert flexer.representation_source == "multi_label"
-        result = flexer.run_split(tiny_benchmark.split, target_intents=("equivalence",))
+        flexer.fit(tiny_benchmark.split.train, tiny_benchmark.split.valid)
+        result = flexer.predict(tiny_benchmark.split.test, target_intents=("equivalence",))
         assert set(result.solution.intents) == {"equivalence"}
+
+    def test_run_split_shim_warns_and_matches_fit_predict(self, tiny_benchmark, fast_config):
+        """The deprecated one-shot pattern still works, with a warning."""
+        split = tiny_benchmark.split
+        shimmed = FlexER(tiny_benchmark.intents, fast_config)
+        with pytest.warns(DeprecationWarning, match="run_split"):
+            old = shimmed.run_split(split, target_intents=("equivalence",))
+        explicit = FlexER(tiny_benchmark.intents, fast_config)
+        explicit.fit(split.train, split.valid if len(split.valid) > 0 else None)
+        new = explicit.predict(split.test, target_intents=("equivalence",))
+        assert np.array_equal(
+            old.solution.probabilities["equivalence"],
+            new.solution.probabilities["equivalence"],
+        )
 
     def test_predict_timings_do_not_alias_or_accumulate(self, tiny_benchmark, fast_config):
         flexer = FlexER(tiny_benchmark.intents, fast_config)

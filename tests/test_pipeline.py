@@ -293,7 +293,9 @@ class TestPipelineMatchesFlexER:
         from repro.core import FlexER
 
         flexer = FlexER(pipeline_benchmark.intents, pipeline_config)
-        direct = flexer.run_split(pipeline_benchmark.split, target_intents=(EQUIVALENCE,))
+        split = pipeline_benchmark.split
+        flexer.fit(split.train, split.valid if len(split.valid) > 0 else None)
+        direct = flexer.predict(split.test, target_intents=(EQUIVALENCE,))
         staged = PipelineRunner().run(
             pipeline_benchmark.split,
             pipeline_benchmark.intents,

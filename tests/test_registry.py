@@ -65,9 +65,12 @@ class TestUnknownKeys:
             "graph_builder",
             "intent_classifier",
             "executor",
+            "candidate_retriever",
+            "model",
         }
         assert registry.available("graph_builder") == ("intent_graph",)
         assert registry.available("executor") == ("serial", "threads", "processes")
+        assert registry.available("candidate_retriever") == ("ann_knn", "blocker")
 
 
 class TestRoundTrips:

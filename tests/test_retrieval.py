@@ -1,0 +1,125 @@
+"""Tests of the online candidate retrievers (ann_knn / blocker)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.records import Dataset, Record
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.registry import CANDIDATE_RETRIEVERS
+from repro.retrieval import AnnKnnRetriever, BlockerRetriever
+
+
+@pytest.fixture
+def shoe_corpus() -> Dataset:
+    records = [
+        Record(record_id="c1", values={"title": "nike air max 2016 running shoe"}),
+        Record(record_id="c2", values={"title": "nike air max 2016 running"}),
+        Record(record_id="c3", values={"title": "adidas boost primeknit basketball"}),
+        Record(record_id="c4", values={"title": "the man who tried to get away"}),
+    ]
+    return Dataset(records=records, name="shoes", attributes=("title",))
+
+
+@pytest.fixture
+def query_record() -> Record:
+    return Record(record_id="q1", values={"title": "nike air max 2016 running shoes"})
+
+
+class TestAnnKnnRetriever:
+    def test_ranks_nearest_first(self, shoe_corpus, query_record):
+        retriever = AnnKnnRetriever(n_features=128).fit(shoe_corpus)
+        (ids,) = retriever.retrieve([query_record], k=2)
+        assert len(ids) == 2
+        assert set(ids) <= {"c1", "c2"}
+
+    def test_requires_fit_and_positive_k(self, shoe_corpus, query_record):
+        retriever = AnnKnnRetriever()
+        with pytest.raises(NotFittedError):
+            retriever.retrieve([query_record], k=1)
+        retriever.fit(shoe_corpus)
+        with pytest.raises(ConfigurationError):
+            retriever.retrieve([query_record], k=0)
+
+    def test_excludes_query_id_and_caps_at_corpus(self, shoe_corpus):
+        retriever = AnnKnnRetriever().fit(shoe_corpus)
+        clone_of_corpus_record = Record(
+            record_id="c1", values={"title": "nike air max 2016 running shoe"}
+        )
+        (ids,) = retriever.retrieve([clone_of_corpus_record], k=10)
+        assert "c1" not in ids
+        assert len(ids) == len(shoe_corpus) - 1
+
+    def test_cross_source_only_filters_same_source(self):
+        records = [
+            Record(record_id="w1", values={"title": "nike air max"}, source="walmart"),
+            Record(record_id="a1", values={"title": "nike air max"}, source="amazon"),
+        ]
+        corpus = Dataset(records=records, name="cc", attributes=("title",))
+        retriever = AnnKnnRetriever(cross_source_only=True).fit(corpus)
+        query = Record(record_id="w9", values={"title": "nike air max"}, source="walmart")
+        (ids,) = retriever.retrieve([query], k=5)
+        assert ids == ["a1"]
+
+    def test_state_round_trip_is_identical(self, shoe_corpus, query_record):
+        fitted = AnnKnnRetriever(n_features=64).fit(shoe_corpus)
+        state = fitted.state_arrays()
+        restored = AnnKnnRetriever(n_features=64)
+        restored.load_state(state, shoe_corpus)
+        assert fitted.retrieve([query_record], k=3) == restored.retrieve(
+            [query_record], k=3
+        )
+        assert np.array_equal(state["vectors"], restored.state_arrays()["vectors"])
+
+    def test_registry_round_trip(self, shoe_corpus):
+        retriever = CANDIDATE_RETRIEVERS.create(
+            {"type": "ann_knn", "metric": "cosine", "n_features": 64}
+        )
+        spec = CANDIDATE_RETRIEVERS.spec(retriever)
+        assert spec["type"] == "ann_knn"
+        assert spec["params"]["metric"] == "cosine"
+        rebuilt = CANDIDATE_RETRIEVERS.create(spec)
+        assert rebuilt.metric == "cosine"
+        assert rebuilt.n_features == 64
+
+
+class TestBlockerRetriever:
+    def test_qgram_overlap_ranking(self, shoe_corpus, query_record):
+        retriever = BlockerRetriever(blocker={"type": "qgram", "q": 4}).fit(shoe_corpus)
+        (ids,) = retriever.retrieve([query_record], k=3)
+        # c1/c2 share many 4-grams with the query; the book shares none.
+        assert ids[0] in {"c1", "c2"}
+        assert "c4" not in ids
+
+    def test_min_shared_threshold_applies(self, shoe_corpus):
+        strict = BlockerRetriever(blocker={"type": "token", "min_shared": 3}).fit(
+            shoe_corpus
+        )
+        query = Record(record_id="q2", values={"title": "nike shoe"})
+        (ids,) = strict.retrieve([query], k=5)
+        # Only records sharing >= 3 tokens survive; "nike shoe" shares at
+        # most two tokens with any corpus record.
+        assert ids == []
+
+    def test_rejects_blockers_without_an_index(self):
+        with pytest.raises(ConfigurationError, match="inverted index"):
+            BlockerRetriever(blocker="full")
+
+    def test_registry_round_trip(self):
+        retriever = CANDIDATE_RETRIEVERS.create(
+            {"type": "blocker", "blocker": {"type": "token", "min_shared": 1}}
+        )
+        spec = CANDIDATE_RETRIEVERS.spec(retriever)
+        assert spec["type"] == "blocker"
+        assert spec["params"]["blocker"]["type"] == "token"
+        rebuilt = CANDIDATE_RETRIEVERS.create(spec)
+        assert rebuilt.blocker.min_shared == 1
+
+    def test_load_state_rebuilds_deterministically(self, shoe_corpus, query_record):
+        fitted = BlockerRetriever(blocker={"type": "qgram", "q": 3}).fit(shoe_corpus)
+        restored = BlockerRetriever(blocker={"type": "qgram", "q": 3})
+        restored.load_state({}, shoe_corpus)
+        assert fitted.retrieve([query_record], k=4) == restored.retrieve(
+            [query_record], k=4
+        )
