@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Check that relative links in the repo's markdown docs resolve.
+
+Stdlib-only (regex + pathlib) so it runs anywhere the repo does:
+
+    python scripts/check_doc_links.py [FILES...]
+
+With no arguments it checks the user-facing documentation set
+(README.md, PERFORMANCE.md, ROADMAP.md, and everything under docs/).
+For each inline markdown link ``[text](target)``:
+
+- ``http(s)://`` / ``mailto:`` targets are skipped (no network here);
+- targets that resolve *outside* the repository root are skipped —
+  GitHub-relative URLs such as the CI badge
+  (``../../actions/workflows/ci.yml/badge.svg``) are served by the
+  forge, not the working tree;
+- everything else must exist on disk, and a ``#fragment`` pointing
+  into a markdown file must match one of that file's heading anchors
+  (GitHub's slug rules: lowercase, punctuation stripped, spaces to
+  hyphens, duplicate slugs numbered).
+
+Exit status is the number of broken links (0 = all good).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_DOCS = ("README.md", "PERFORMANCE.md", "ROADMAP.md", "docs")
+
+# Inline links/images; [text](target "title") titles are trimmed below.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchor slugs for every heading in ``path``."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_PATTERN.match(line)
+        if not match:
+            continue
+        text = match.group(1).strip()
+        # Drop trailing "closing" hashes and inline link syntax.
+        text = re.sub(r"\s+#+\s*$", "", text)
+        text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+        slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+        slug = slug.replace(" ", "-")
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for each inline link in ``path``."""
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return human-readable problems for every broken link in ``path``."""
+    problems: list[str] = []
+    for number, target in iter_links(path):
+        target = target.strip("<>")
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:  # same-document anchor
+            if fragment and fragment not in heading_anchors(path):
+                problems.append(f"{path}:{number}: missing anchor #{fragment}")
+            continue
+        resolved = (path.parent / base).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # forge-relative URL (e.g. the CI badge); not ours to check
+        if not resolved.exists():
+            problems.append(f"{path}:{number}: broken link {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved):
+                problems.append(
+                    f"{path}:{number}: {base} has no anchor #{fragment}"
+                )
+    return problems
+
+
+def collect(arguments: list[str]) -> list[Path]:
+    """Expand CLI arguments (or the default doc set) into markdown files."""
+    roots = [REPO_ROOT / a for a in arguments] if arguments else [
+        REPO_ROOT / name for name in DEFAULT_DOCS
+    ]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"warning: {root} does not exist", file=sys.stderr)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the number of broken links."""
+    files = collect(list(argv if argv is not None else sys.argv[1:]))
+    problems: list[str] = []
+    checked = 0
+    for path in files:
+        problems.extend(check_file(path))
+        checked += 1
+    for problem in problems:
+        print(problem)
+    print(f"checked {checked} file(s): {len(problems)} broken link(s)")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,9 @@ True
 
 For the production lifecycle — fit once, persist, query new records
 online — see :func:`repro.fit`, :class:`repro.ResolverModel`, and
-:func:`repro.load_model`.
+:func:`repro.load_model`; to hold live traffic with micro-batched
+asyncio serving, see :mod:`repro.serve` (imported lazily as
+``repro.serve``).
 """
 
 __version__ = "1.0.0"
@@ -84,6 +86,23 @@ from .retrieval import AnnKnnRetriever, BlockerRetriever, CandidateRetriever
 from . import exceptions
 from . import exec
 from . import registry
+
+
+def __getattr__(name: str):
+    """Lazily import heavyweight optional subsystems (``repro.serve``).
+
+    The serving layer pulls in :mod:`asyncio` plumbing most library
+    users never touch, so it loads on first attribute access instead of
+    at ``import repro`` time.
+    """
+    if name == "serve":
+        import importlib
+
+        module = importlib.import_module(".serve", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "FlexERConfig",
@@ -151,5 +170,6 @@ __all__ = [
     "exceptions",
     "exec",
     "registry",
+    "serve",
     "__version__",
 ]

@@ -23,9 +23,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -243,6 +244,153 @@ def read_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, ob
                 for key in data.files
                 if key.startswith(_ARRAY_PREFIX)
             }
+    except (OSError, ValueError) as error:
+        raise DataError(f"cannot read artifact {path}: {error}") from error
+    check_artifact_schema(metadata.pop(SCHEMA_VERSION_KEY, None), path)
+    return arrays, metadata
+
+
+# ------------------------------------------------------- lazy / mmap reads
+
+
+def _zip_member_data_offsets(path: Path) -> dict[str, tuple[int, int]] | None:
+    """Absolute ``(data_offset, size)`` of each stored zip member.
+
+    ``np.savez`` writes its members with ``ZIP_STORED`` (no compression),
+    which means every embedded ``.npy`` file sits as a contiguous byte
+    range inside the container — the precondition for memory-mapping it
+    in place.  Returns ``None`` when any member is compressed or the
+    local headers cannot be parsed (the caller falls back to an eager
+    load).
+    """
+    offsets: dict[str, tuple[int, int]] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            raw.seek(info.header_offset)
+            header = raw.read(30)
+            if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                return None
+            name_length = int.from_bytes(header[26:28], "little")
+            extra_length = int.from_bytes(header[28:30], "little")
+            data_offset = info.header_offset + 30 + name_length + extra_length
+            offsets[info.filename] = (data_offset, info.file_size)
+    return offsets
+
+
+def _read_npy_header(path: Path, offset: int) -> tuple[tuple[int, ...], bool, np.dtype, int]:
+    """Parse the ``.npy`` header at ``offset``; returns shape/order/dtype/data offset."""
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:  # pragma: no cover - numpy has not emitted other versions
+            raise DataError(f"unsupported npy format version {version} in {path}")
+        if dtype.hasobject:
+            raise DataError(f"artifact {path} contains an object-dtype array")
+        return tuple(shape), bool(fortran), dtype, handle.tell()
+
+
+class LazyArtifactArrays(Mapping):
+    """Lazy, memory-mapped view of one artifact's array payload.
+
+    Behaves like the plain ``dict`` returned by :func:`read_artifact`,
+    but each array is materialized only on first access — as a read-only
+    ``np.memmap`` over the artifact file when the container permits it
+    (``np.savez`` members are stored uncompressed), or by a one-off
+    eager read otherwise.  Memory-mapped pages are loaded on demand and
+    remain evictable by the OS, so resident memory stays bounded by what
+    is actually touched instead of the artifact size — the property the
+    multi-tenant :mod:`repro.serve` model registry relies on.
+
+    Example
+    -------
+    >>> arrays, metadata = read_artifact_lazy("model.npz")  # doctest: +SKIP
+    >>> arrays["graph::features"].shape                     # doctest: +SKIP
+    (1204, 48)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        """Open ``path`` and index its members without reading any array."""
+        self.path = Path(path)
+        self._offsets = _zip_member_data_offsets(self.path)
+        self._cache: dict[str, np.ndarray] = {}
+        with np.load(self.path, allow_pickle=False) as data:
+            self._keys = tuple(
+                key[len(_ARRAY_PREFIX) :]
+                for key in data.files
+                if key.startswith(_ARRAY_PREFIX)
+            )
+
+    @property
+    def mapped(self) -> bool:
+        """Whether member arrays can be memory-mapped in place."""
+        return self._offsets is not None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._keys
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        if key in self._cache:
+            return self._cache[key]
+        if key not in self._keys:
+            raise KeyError(key)
+        member = f"{_ARRAY_PREFIX}{key}.npy"
+        array: np.ndarray | None = None
+        if self._offsets is not None and member in self._offsets:
+            offset, _ = self._offsets[member]
+            shape, fortran, dtype, data_offset = _read_npy_header(self.path, offset)
+            if int(np.prod(shape)) == 0:
+                # np.memmap refuses zero-length maps; an empty array has
+                # no resident cost anyway.
+                array = np.zeros(shape, dtype=dtype)
+            else:
+                array = np.memmap(
+                    self.path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=data_offset,
+                    shape=shape,
+                    order="F" if fortran else "C",
+                )
+        if array is None:  # compressed or unparseable member: eager fallback
+            with np.load(self.path, allow_pickle=False) as data:
+                array = data[member[: -len(".npy")]]
+        self._cache[key] = array
+        return array
+
+
+def read_artifact_lazy(
+    path: str | Path,
+) -> tuple[LazyArtifactArrays, dict[str, object]]:
+    """Load an artifact's metadata eagerly and its arrays lazily.
+
+    The counterpart of :func:`read_artifact` for artifacts too large to
+    materialize up front: the JSON metadata is read immediately (it is
+    tiny), while arrays resolve to read-only memory maps on first access
+    through the returned :class:`LazyArtifactArrays`.  Raises
+    :class:`DataError` for non-artifacts and newer-schema artifacts,
+    exactly like the eager reader.
+    """
+    path = Path(path)
+    if path.suffix != ARTIFACT_SUFFIX:
+        path = path.with_name(path.name + ARTIFACT_SUFFIX)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if METADATA_KEY not in data.files:
+                raise DataError(f"{path} is not a pipeline artifact (missing metadata)")
+            metadata = json.loads(bytes(data[METADATA_KEY].tobytes()).decode("utf-8"))
+        arrays = LazyArtifactArrays(path)
     except (OSError, ValueError) as error:
         raise DataError(f"cannot read artifact {path}: {error}") from error
     check_artifact_schema(metadata.pop(SCHEMA_VERSION_KEY, None), path)

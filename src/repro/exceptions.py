@@ -84,3 +84,28 @@ class QueryError(ReproError):
     Covers query records colliding with corpus record ids, records
     outside the corpus schema, and retrieval misconfiguration.
     """
+
+
+class ServeError(ReproError):
+    """Raised for failures of the :mod:`repro.serve` serving layer.
+
+    Base of the serving-specific error types; also raised directly for
+    protocol violations (malformed requests, unknown operations) and
+    server lifecycle misuse (querying a stopped server).
+    """
+
+
+class ServerOverloadedError(ServeError):
+    """Raised when the serving request queue is full (backpressure).
+
+    The server rejects new requests *immediately* instead of queueing
+    them unboundedly, so callers can shed load or retry with backoff.
+    """
+
+
+class QueryTimeoutError(ServeError):
+    """Raised when a served query misses its deadline.
+
+    The deadline covers the whole request lifetime: waiting in the
+    micro-batch window, queueing for a session, and executing.
+    """

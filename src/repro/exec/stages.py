@@ -138,6 +138,7 @@ def query_records_sharded(
     executor: Executor,
     intents: Sequence[str] | None = None,
     k: int = 5,
+    session=None,
 ):
     """Shard an online query micro-batch across ``executor`` workers.
 
@@ -147,16 +148,23 @@ def query_records_sharded(
     shard outputs in plan order is bit-identical to one unsharded
     ``model.query(records, mode="online")`` call — which is exactly what
     a serial (or empty) executor falls back to.
+
+    ``session`` optionally names the :class:`~repro.model.QuerySession`
+    to validate with and to serve the serial fallback from, so callers
+    that pool sessions (the :mod:`repro.serve` layer) reuse their warm
+    per-session state instead of the model's default session.
     """
     from ..model import QueryResult
 
     records = list(records)
     if not executor.is_parallel or len(records) < 2:
+        if session is not None:
+            return session.query(records, intents=intents, k=k, mode="online")
         return model.query(records, intents=intents, k=k, mode="online")
     # Validate the whole batch up front — per-shard validation cannot see
     # cross-shard duplicates, and the serial fallback above would reject
     # them, so error behaviour must not depend on the executor.
-    model.session().validate(records, intents)
+    (session if session is not None else model.session()).validate(records, intents)
     start = time.perf_counter()
     arrays = model.payload_arrays()
     document = model._document()

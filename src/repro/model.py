@@ -53,7 +53,12 @@ from .config import FlexERConfig
 from .core.flexer import compute_representations
 from .data.pairs import CandidateSet, LabeledPair, RecordPair
 from .data.records import Dataset, Record
-from .data.serialization import read_artifact, serialize_record, write_artifact
+from .data.serialization import (
+    read_artifact,
+    read_artifact_lazy,
+    serialize_record,
+    write_artifact,
+)
 from .data.splits import DatasetSplit
 from .exceptions import IntentError, ModelError, QueryError, SchemaError
 from .graph.multiplex import MultiplexGraph
@@ -65,6 +70,7 @@ from .pipeline.cache import ArtifactCache
 from .pipeline.fingerprint import digest, fingerprint_array
 from .pipeline.runner import STAGE_MATCHER_FIT, PipelineResult, PipelineRunner, StageEvent
 from .registry import CANDIDATE_RETRIEVERS, MODELS, SOLVERS
+from .retrieval.candidates import record_content_key
 
 #: Version of the ResolverModel payload layout.  Bumped when the bundled
 #: components change incompatibly; :meth:`ResolverModel.load` rejects
@@ -430,14 +436,43 @@ class ResolverModel:
         return write_artifact(path, arrays, metadata)
 
     @classmethod
-    def load(cls, path: str | Path) -> "ResolverModel":
+    def load(
+        cls, path: str | Path, mmap: bool = False, verify: bool | None = None
+    ) -> "ResolverModel":
         """Load a model persisted by :meth:`save`.
 
         Raises :class:`~repro.exceptions.ModelError` with a clear message
         when the file is not a resolver model, was written by a newer
         model schema, or fails fingerprint verification.
+
+        Parameters
+        ----------
+        path:
+            The ``.npz`` artifact written by :meth:`save`.
+        mmap:
+            Load the payload arrays as read-only memory maps instead of
+            materializing them (``np.savez`` members are stored
+            uncompressed, so they map in place).  Pages are faulted in
+            on demand and stay evictable, which keeps resident memory
+            bounded when many models are co-resident — the mode the
+            :class:`repro.serve.ModelRegistry` uses.  Query outputs are
+            byte-identical to an eager load (asserted in tests).
+        verify:
+            Whether to recompute and check the content fingerprint.
+            Defaults to ``not mmap``: verification must read every
+            payload byte, which would defeat lazy mapping.
+
+        Example
+        -------
+        >>> model = ResolverModel.load("resolver_model.npz")  # doctest: +SKIP
+        >>> served = ResolverModel.load("resolver_model.npz", mmap=True)  # doctest: +SKIP
         """
-        arrays, metadata = read_artifact(path)
+        if mmap:
+            arrays, metadata = read_artifact_lazy(path)
+        else:
+            arrays, metadata = read_artifact(path)
+        if verify is None:
+            verify = not mmap
         if metadata.get("kind") != MODEL_KIND:
             raise ModelError(f"{path} is not a resolver model artifact")
         # Schema compatibility is reported before fingerprint integrity:
@@ -460,21 +495,22 @@ class ResolverModel:
                 f"model artifact {path} carries no fingerprint; the file was "
                 f"modified after saving"
             )
-        # Verify the *stored* document and arrays exactly as persisted —
-        # recomputing from a restored model would re-stamp the current
-        # library version and spuriously reject artifacts saved by an
-        # older (schema-compatible) release.
-        actual = (
-            cls._fingerprint_of(document, arrays)
-            if isinstance(document, Mapping)
-            else "<no document>"
-        )
-        if expected != actual:
-            raise ModelError(
-                f"model artifact {path} failed fingerprint verification "
-                f"(stored {str(expected)[:12]}…, recomputed {actual[:12]}…); "
-                f"the file is corrupt or was modified after saving"
+        if verify:
+            # Verify the *stored* document and arrays exactly as persisted —
+            # recomputing from a restored model would re-stamp the current
+            # library version and spuriously reject artifacts saved by an
+            # older (schema-compatible) release.
+            actual = (
+                cls._fingerprint_of(document, arrays)
+                if isinstance(document, Mapping)
+                else "<no document>"
             )
+            if expected != actual:
+                raise ModelError(
+                    f"model artifact {path} failed fingerprint verification "
+                    f"(stored {str(expected)[:12]}…, recomputed {actual[:12]}…); "
+                    f"the file is corrupt or was modified after saving"
+                )
         return cls.from_payload(arrays, metadata, source=str(path))
 
     @classmethod
@@ -531,6 +567,7 @@ class ResolverModel:
             )
 
         def part(name: str) -> CandidateSet:
+            """Rebuild one labeled split part from its serialized arrays."""
             pair_array = arrays[f"split{_KEY_SEP}{name}{_KEY_SEP}pairs"]
             label_array = arrays[f"split{_KEY_SEP}{name}{_KEY_SEP}labels"]
             candidates = CandidateSet(corpus, intents=intents)
@@ -798,10 +835,26 @@ class QuerySession:
     def _retrieve(
         self, records: Sequence[Record], k: int
     ) -> tuple[list[RecordPair], dict[str, list[str]]]:
-        candidates = self.model.retriever.retrieve(records, k)
+        # Retrieval ranks by record *content* only, so duplicate records
+        # inside one batch (common under high-QPS serving where many
+        # clients ask about the same entity) share one ranking instead of
+        # being re-ranked per occurrence.
+        unique_records: list[Record] = []
+        slot_by_content: dict[tuple, int] = {}
+        slots: list[int] = []
+        for record in records:
+            key = record_content_key(record)
+            slot = slot_by_content.get(key)
+            if slot is None:
+                slot = len(unique_records)
+                slot_by_content[key] = slot
+                unique_records.append(record)
+            slots.append(slot)
+        candidates = self.model.retriever.retrieve(unique_records, k)
         pairs: list[RecordPair] = []
         per_record: dict[str, list[str]] = {}
-        for record, corpus_ids in zip(records, candidates):
+        for record, slot in zip(records, slots):
+            corpus_ids = candidates[slot]
             per_record[record.record_id] = list(corpus_ids)
             for corpus_id in corpus_ids:
                 pairs.append(RecordPair(record.record_id, corpus_id))
@@ -928,6 +981,7 @@ class QuerySession:
             runner.cache.prune_memory(keep_stages=(STAGE_MATCHER_FIT,))
 
         def rebuilt(part: CandidateSet) -> CandidateSet:
+            """Re-anchor a split part onto the query-extended corpus."""
             return CandidateSet(extended, pairs=list(part), intents=model.intents)
 
         test = rebuilt(model.split.test)
@@ -1048,6 +1102,20 @@ class QuerySession:
         return probabilities
 
 
-def load_model(path: str | Path) -> ResolverModel:
-    """Load a persisted :class:`ResolverModel` (module-level convenience)."""
-    return ResolverModel.load(path)
+def load_model(path: str | Path, mmap: bool = False) -> ResolverModel:
+    """Load a persisted :class:`ResolverModel` (module-level convenience).
+
+    Parameters
+    ----------
+    path:
+        A model artifact written by :meth:`ResolverModel.save`.
+    mmap:
+        Memory-map the payload arrays instead of materializing them;
+        see :meth:`ResolverModel.load`.
+
+    Example
+    -------
+    >>> model = repro.load_model("resolver_model.npz")  # doctest: +SKIP
+    >>> model.query(new_records, k=5)                   # doctest: +SKIP
+    """
+    return ResolverModel.load(path, mmap=mmap)

@@ -258,24 +258,11 @@ SCALING_WORKER_COUNTS = (1, 2, 4)
 QUERY_BATCH_SIZES = (1, 4, 16)
 
 
-def query_latency(
-    workload: PerfWorkload,
-    batch_sizes: tuple[int, ...] = QUERY_BATCH_SIZES,
-    repeats: int = 12,
-    holdout: int = 24,
-    k: int = 5,
-) -> dict[str, object]:
-    """Measure the online serve path of the fit/query lifecycle.
+def _fit_query_model(workload: PerfWorkload, holdout: int):
+    """Fit a servable model on the workload minus a holdout tail.
 
-    Fits a :class:`~repro.model.ResolverModel` once on the workload's
-    records minus a ``holdout`` tail, then times ``repeats`` online
-    ``query()`` micro-batches per batch size through one
-    :class:`~repro.model.QuerySession` (records cycle through the
-    holdout, so batches differ while staying deterministic).  Reports
-    p50/p95/mean wall seconds per micro-batch and per record, plus the
-    one-off fit and session warm-up costs — the numbers that tell you
-    what serving traffic from this model actually costs, as opposed to
-    the full re-resolve that the one-shot API would pay per batch.
+    Shared by :func:`query_latency` and :func:`serve_load_profile`.
+    Returns ``(model, held_out_records, fit_seconds, corpus_size)``.
     """
     from ..data.records import Dataset
     from ..datasets import BENCHMARK_LABELERS
@@ -306,6 +293,37 @@ def query_latency(
         split_seed=workload.seed,
     )
     fit_seconds = time.perf_counter() - start
+    return model, held_out, fit_seconds, len(corpus)
+
+
+def query_latency(
+    workload: PerfWorkload,
+    batch_sizes: tuple[int, ...] = QUERY_BATCH_SIZES,
+    repeats: int = 12,
+    holdout: int = 24,
+    k: int = 5,
+    prefit: tuple | None = None,
+) -> dict[str, object]:
+    """Measure the online serve path of the fit/query lifecycle.
+
+    Fits a :class:`~repro.model.ResolverModel` once on the workload's
+    records minus a ``holdout`` tail, then times ``repeats`` online
+    ``query()`` micro-batches per batch size through one
+    :class:`~repro.model.QuerySession` (records cycle through the
+    holdout, so batches differ while staying deterministic).  Reports
+    p50/p95/mean wall seconds per micro-batch and per record, plus the
+    one-off fit and session warm-up costs — the numbers that tell you
+    what serving traffic from this model actually costs, as opposed to
+    the full re-resolve that the one-shot API would pay per batch.
+
+    ``prefit`` optionally reuses a :func:`_fit_query_model` result so a
+    suite measuring both query latency and serve load fits each
+    workload's model once.
+    """
+    model, held_out, fit_seconds, corpus_size = prefit or _fit_query_model(
+        workload, holdout
+    )
+    holdout = len(held_out)
 
     session = model.session()
     # Warm-up: the first query builds the per-layer ANN indexes and the
@@ -342,11 +360,155 @@ def query_latency(
         "mode": "online",
         "k": int(k),
         "holdout_records": int(holdout),
-        "corpus_records": len(corpus),
+        "corpus_records": corpus_size,
         "fit_seconds": fit_seconds,
         "session_warmup_seconds": warmup_seconds,
         "batches": entries,
     }
+
+
+#: Closed-loop concurrency levels of :func:`serve_load_profile`.
+SERVE_CONCURRENCY_LEVELS = (1, 4, 16)
+
+
+def serve_load_profile(
+    workload: PerfWorkload,
+    concurrency_levels: tuple[int, ...] = SERVE_CONCURRENCY_LEVELS,
+    requests_per_level: int = 48,
+    holdout: int = 24,
+    k: int = 5,
+    open_loop_fraction: float = 0.7,
+    prefit: tuple | None = None,
+) -> dict[str, object]:
+    """Load-test the :mod:`repro.serve` micro-batching layer.
+
+    Fits a model once, stands up an in-process
+    :class:`~repro.serve.AsyncResolverServer` (no TCP — this profiles
+    the batching scheduler and session execution, not socket I/O), and
+    drives it two ways:
+
+    * **closed loop** — at each concurrency level, keep exactly that
+      many single-record requests in flight until
+      ``requests_per_level`` complete; record per-request p50/p95/p99
+      latency and the completion rate (QPS).  ``max_sustained_qps`` is
+      the best completion rate across levels.
+    * **open loop** — offer requests at a fixed rate
+      (``open_loop_fraction`` × max sustained QPS) regardless of
+      completions, the arrival pattern real traffic has; record the
+      same latency percentiles plus any rejections/timeouts.
+
+    The returned section lands in ``BENCH_perf.json`` under
+    ``serve_load`` and is gated (via ``max_sustained_qps``) by
+    :func:`check_regression`.  ``prefit`` optionally reuses a
+    :func:`_fit_query_model` result to skip the fit.
+    """
+    import asyncio
+
+    from ..serve import AsyncResolverServer, ServeConfig
+
+    model, held_out, fit_seconds, corpus_size = prefit or _fit_query_model(
+        workload, holdout
+    )
+    config = ServeConfig(max_queue=max(64, 4 * max(concurrency_levels)))
+    percentile_names = ("p50_ms", "p95_ms", "p99_ms")
+
+    def percentiles(latencies: list[float]) -> dict[str, float]:
+        array = np.asarray(latencies if latencies else [0.0]) * 1e3
+        return {
+            name: float(np.percentile(array, q))
+            for name, q in zip(percentile_names, (50, 95, 99))
+        }
+
+    async def profile() -> dict[str, object]:
+        async with AsyncResolverServer(model, config) as server:
+            # Warm-up builds the frozen states outside the measurements.
+            await server.query(held_out[:1], k=k)
+
+            closed_entries: list[dict[str, object]] = []
+            for concurrency in concurrency_levels:
+                latencies: list[float] = []
+                gate = asyncio.Semaphore(concurrency)
+
+                async def one(index: int) -> None:
+                    async with gate:
+                        record = held_out[index % len(held_out)]
+                        start = time.perf_counter()
+                        await server.query([record], k=k)
+                        latencies.append(time.perf_counter() - start)
+
+                level_start = time.perf_counter()
+                await asyncio.gather(
+                    *(one(index) for index in range(requests_per_level))
+                )
+                elapsed = time.perf_counter() - level_start
+                closed_entries.append(
+                    {
+                        "concurrency": int(concurrency),
+                        "requests": int(requests_per_level),
+                        "qps": float(requests_per_level / elapsed),
+                        **percentiles(latencies),
+                    }
+                )
+
+            max_sustained_qps = max(entry["qps"] for entry in closed_entries)
+
+            target_qps = max(open_loop_fraction * max_sustained_qps, 1e-6)
+            interval = 1.0 / target_qps
+            latencies = []
+            errors = {"rejected": 0, "timed_out": 0}
+
+            async def offered(index: int) -> None:
+                record = held_out[index % len(held_out)]
+                start = time.perf_counter()
+                try:
+                    await server.query([record], k=k)
+                except Exception as error:  # noqa: BLE001 - tallied below
+                    name = type(error).__name__
+                    if name == "ServerOverloadedError":
+                        errors["rejected"] += 1
+                    elif name == "QueryTimeoutError":
+                        errors["timed_out"] += 1
+                    else:
+                        raise
+                else:
+                    latencies.append(time.perf_counter() - start)
+
+            open_start = time.perf_counter()
+            tasks = []
+            for index in range(requests_per_level):
+                tasks.append(asyncio.ensure_future(offered(index)))
+                await asyncio.sleep(interval)
+            await asyncio.gather(*tasks)
+            open_elapsed = time.perf_counter() - open_start
+            open_entry = {
+                "target_qps": float(target_qps),
+                "offered_fraction": float(open_loop_fraction),
+                "requests": int(requests_per_level),
+                "achieved_qps": float(len(latencies) / open_elapsed),
+                "rejected": errors["rejected"],
+                "timed_out": errors["timed_out"],
+                **percentiles(latencies),
+            }
+            stats = server.stats.snapshot()
+        return {
+            "mode": "online",
+            "k": int(k),
+            "holdout_records": len(held_out),
+            "corpus_records": corpus_size,
+            "fit_seconds": fit_seconds,
+            "closed_loop": closed_entries,
+            "max_sustained_qps": float(max_sustained_qps),
+            "open_loop": open_entry,
+            "serve_stats": stats,
+            "serve_config": {
+                "max_batch_size": config.max_batch_size,
+                "max_wait_us": config.max_wait_us,
+                "min_wait_us": config.min_wait_us,
+                "max_queue": config.max_queue,
+            },
+        }
+
+    return asyncio.run(profile())
 
 
 def scaling_curve(
@@ -463,6 +625,7 @@ def run_perf_suite(
     scaling_workers: tuple[int, ...] | None = None,
     scaling_executor: str = "processes",
     measure_query_latency: bool = False,
+    measure_serve_load: bool = False,
 ) -> dict[str, object]:
     """Run the workload matrix and assemble the ``BENCH_perf.json`` document.
 
@@ -471,7 +634,9 @@ def run_perf_suite(
     :func:`scaling_curve` of the workload over the given worker counts.
     With ``measure_query_latency`` each entry carries a
     ``query_latency`` section — the online-serving micro-batch p50/p95
-    profile of :func:`query_latency`.
+    profile of :func:`query_latency`.  With ``measure_serve_load`` each
+    entry carries a ``serve_load`` section — the closed/open-loop
+    latency and throughput profile of :func:`serve_load_profile`.
     """
     selected = (
         workloads if workloads is not None else (SMOKE_WORKLOADS if smoke else FULL_WORKLOADS)
@@ -494,8 +659,14 @@ def run_perf_suite(
             entry["scaling"] = scaling_curve(
                 workload, worker_counts=scaling_workers, executor_type=scaling_executor
             )
+        prefit = None
+        if measure_query_latency and measure_serve_load:
+            # Both sections serve the same fitted model; fit it once.
+            prefit = _fit_query_model(workload, holdout=24)
         if measure_query_latency:
-            entry["query_latency"] = query_latency(workload)
+            entry["query_latency"] = query_latency(workload, prefit=prefit)
+        if measure_serve_load:
+            entry["serve_load"] = serve_load_profile(workload, prefit=prefit)
         entries.append(entry)
 
     total_wall = float(
@@ -563,6 +734,11 @@ def check_regression(
     ``max_regression`` (fractional, e.g. 0.5 allows +50%).  Workloads
     present in only one report are ignored, so a smoke run checks
     cleanly against a baseline that contains the smoke workload.
+
+    When both reports carry a ``serve_load`` section for a workload,
+    its ``max_sustained_qps`` is gated symmetrically: the current
+    throughput may fall below the baseline by at most the same
+    fraction.
     """
     problems: list[str] = []
     if current.get("schema_version") != baseline.get("schema_version"):
@@ -597,6 +773,24 @@ def check_regression(
                 f"[{name}] end-to-end wall time regressed: "
                 f"{current_walls[name]:.3f}s vs baseline {baseline_walls[name]:.3f}s "
                 f"(limit {limit:.3f}s at +{max_regression:.0%})"
+            )
+
+    def serve_qps(report: dict[str, object]) -> dict[str, float]:
+        return {
+            entry["workload"]["name"]: float(entry["serve_load"]["max_sustained_qps"])
+            for entry in report["workloads"]
+            if entry.get("serve_load")
+        }
+
+    current_qps = serve_qps(current)
+    baseline_qps = serve_qps(baseline)
+    for name in sorted(set(current_qps) & set(baseline_qps)):
+        floor = baseline_qps[name] * (1.0 - max_regression)
+        if current_qps[name] < floor:
+            problems.append(
+                f"[{name}] serve throughput regressed: "
+                f"{current_qps[name]:.1f} QPS vs baseline {baseline_qps[name]:.1f} QPS "
+                f"(floor {floor:.1f} at -{max_regression:.0%})"
             )
     return problems
 

@@ -87,6 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
             "once, then profile online query() micro-batches (p50/p95)"
         ),
     )
+    parser.add_argument(
+        "--serve-load",
+        action="store_true",
+        help=(
+            "add the serve-load section per workload: closed/open-loop load "
+            "generation against the repro.serve micro-batching server "
+            "(p50/p95/p99 latency + max sustained QPS)"
+        ),
+    )
     return parser
 
 
@@ -134,6 +143,26 @@ def _print_summary(report: dict[str, object]) -> None:
                     f"p95 {batch['p95_seconds'] * 1000:.1f}ms "
                     f"({batch['mean_seconds_per_record'] * 1000:.1f}ms/record)"
                 )
+        serve_load = entry.get("serve_load")
+        if serve_load:
+            print(
+                f"      serve load [online, k={serve_load['k']}] "
+                f"(max sustained {serve_load['max_sustained_qps']:.1f} QPS):"
+            )
+            for level in serve_load["closed_loop"]:
+                print(
+                    f"        closed c={level['concurrency']}: "
+                    f"{level['qps']:.1f} QPS, p50 {level['p50_ms']:.1f}ms, "
+                    f"p95 {level['p95_ms']:.1f}ms, p99 {level['p99_ms']:.1f}ms"
+                )
+            open_loop = serve_load["open_loop"]
+            print(
+                f"        open @{open_loop['target_qps']:.1f} QPS: "
+                f"achieved {open_loop['achieved_qps']:.1f}, "
+                f"p50 {open_loop['p50_ms']:.1f}ms, p99 {open_loop['p99_ms']:.1f}ms, "
+                f"rejected {open_loop['rejected']}, "
+                f"timed out {open_loop['timed_out']}"
+            )
         scaling = entry.get("scaling")
         if scaling:
             print(
@@ -163,6 +192,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         scaling_workers=scaling_workers,
         scaling_executor=args.scaling_executor,
         measure_query_latency=args.query_latency,
+        measure_serve_load=args.serve_load,
     )
     path = write_report(report, args.output)
     _print_summary(report)

@@ -197,6 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_query_options(query)
     query.add_argument(
+        "--mmap",
+        action="store_true",
+        help=(
+            "memory-map the model's payload arrays instead of materializing "
+            "them (results are byte-identical to an eager load)"
+        ),
+    )
+    query.add_argument(
         "--dump-result",
         default=None,
         metavar="PATH",
@@ -586,7 +594,7 @@ def _command_query(args: argparse.Namespace) -> int:
     _, holdout_records = _holdout_corpus(args, benchmark)
     if not holdout_records:
         raise SystemExit("query requires --query-holdout > 0")
-    model = ResolverModel.load(args.model)
+    model = ResolverModel.load(args.model, mmap=args.mmap)
     executor = None
     if args.executor != "serial" and args.query_mode == "online":
         # Online micro-batches shard bit-identically across records.

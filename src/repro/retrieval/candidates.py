@@ -40,6 +40,19 @@ from ..text.memo import TextMemo
 from ..text.vectorizers import HashingVectorizer, HashingVectorizerConfig
 
 
+def record_content_key(record: Record) -> tuple:
+    """Hashable retrieval fingerprint of a query record's *content*.
+
+    Every built-in retriever ranks candidates from a record's attribute
+    values and source alone — never its id (query ids are validated to
+    be outside the corpus, so the self-match filter can never fire).
+    Records with equal content keys therefore receive identical
+    candidate rankings, which lets a batch de-duplicate retrieval work
+    (:meth:`repro.QuerySession._retrieve`) without changing any result.
+    """
+    return (tuple(record.values.items()), record.source)
+
+
 class CandidateRetriever(abc.ABC):
     """Base class of online candidate retrievers.
 
@@ -330,4 +343,5 @@ __all__ = [
     "BlockerRetriever",
     "BUILTIN_RETRIEVERS",
     "CandidateRetriever",
+    "record_content_key",
 ]

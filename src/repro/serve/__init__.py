@@ -1,0 +1,46 @@
+"""Async micro-batched serving layer over fitted resolver models.
+
+The package turns the fit-once/query-many lifecycle into a process
+that holds traffic:
+
+* :class:`~repro.serve.server.AsyncResolverServer` — asyncio front end
+  with request coalescing (micro-batches, bit-identical to serial
+  queries), bounded-queue backpressure, and per-request deadlines;
+* :class:`~repro.serve.registry.ModelRegistry` — multi-tenant model
+  catalogue with lazy, memory-mapped artifact loading;
+* :mod:`~repro.serve.protocol` — the newline-delimited-JSON TCP wire
+  format (``asyncio.start_server``);
+* :class:`~repro.serve.client.ServeClient` — a multiplexing client for
+  that protocol;
+* ``python -m repro.serve --model model.npz --port 7171`` — the server
+  CLI (:mod:`~repro.serve.cli`);
+* ``python -m repro.serve.check`` — the coalesced-vs-serial
+  bit-identity checker behind the ``serve-smoke`` CI job.
+
+Everything is standard library + numpy; there is no web framework
+dependency.
+
+Example
+-------
+>>> import asyncio, repro                                # doctest: +SKIP
+>>> from repro.serve import AsyncResolverServer
+>>> async def main():
+...     server = AsyncResolverServer(repro.load_model("model.npz"))
+...     async with server:
+...         return await server.query(records, k=5)
+>>> result = asyncio.run(main())                         # doctest: +SKIP
+"""
+
+from .client import ServeClient
+from .registry import DEFAULT_MODEL, ModelEntry, ModelRegistry
+from .server import AsyncResolverServer, ServeConfig, ServeStats
+
+__all__ = [
+    "AsyncResolverServer",
+    "DEFAULT_MODEL",
+    "ModelEntry",
+    "ModelRegistry",
+    "ServeClient",
+    "ServeConfig",
+    "ServeStats",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — run the NDJSON resolver server."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,251 @@
+"""Coalesced-vs-serial bit-identity checker (the ``serve-smoke`` job).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.pipeline fit --save-model model.npz \\
+        --query-holdout 8 --num-pairs 120 --products 10
+    PYTHONPATH=src python -m repro.serve.check --model model.npz \\
+        --query-holdout 8 --num-pairs 120 --products 10 --requests 200 \\
+        --dump-serve serve.npz --dump-serial serial.npz
+
+The checker rebuilds the benchmark holdout the ``fit`` command withheld,
+starts an in-process :class:`~repro.serve.server.AsyncResolverServer`
+on a loopback TCP port with the model **memory-mapped**, and fires
+``--requests`` concurrent single-record queries (cycling the holdout)
+through :class:`~repro.serve.client.ServeClient`.  It then replays the
+same requests serially on an **eagerly loaded** copy of the model and
+asserts, request by request:
+
+* zero transport or server errors under concurrency;
+* coalescing actually happened (``max_batch_observed > 1``);
+* every coalesced result is bit-identical to its serial counterpart —
+  which simultaneously proves the mmap load path byte-equivalent to
+  the eager one.
+
+Both result streams are dumped as deterministic ``.npz`` artifacts
+(``--dump-serve`` / ``--dump-serial``) through one shared aggregation
+helper, so CI can finish the argument with a plain ``cmp``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import statistics
+import sys
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..data.serialization import write_artifact
+from ..datasets import benchmark_names, load_benchmark
+from ..model import QueryResult, QuerySession, ResolverModel
+from .client import ServeClient
+from .server import AsyncResolverServer, ServeConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the serve checker."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.check",
+        description="Assert coalesced micro-batch queries are bit-identical to serial ones",
+    )
+    parser.add_argument("--model", required=True, help="fitted model artifact (.npz)")
+    parser.add_argument(
+        "--dataset",
+        default="amazon_mi",
+        choices=benchmark_names(),
+        help="benchmark the model was fitted on",
+    )
+    parser.add_argument("--num-pairs", type=int, default=240, help="candidate pairs")
+    parser.add_argument("--products", type=int, default=20, help="products per domain")
+    parser.add_argument("--seed", type=int, default=42, help="generator seed")
+    parser.add_argument(
+        "--query-holdout",
+        type=int,
+        default=6,
+        help="held-out record count used at fit time",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200, help="concurrent requests to fire"
+    )
+    parser.add_argument("--k", type=int, default=5, help="candidates per record")
+    parser.add_argument(
+        "--max-batch-size", type=int, default=16, help="server micro-batch cap"
+    )
+    parser.add_argument(
+        "--max-wait-us",
+        type=int,
+        default=20000,
+        help="server batching window (generous default to force coalescing)",
+    )
+    parser.add_argument(
+        "--dump-serve", default=None, help="write the coalesced result stream here"
+    )
+    parser.add_argument(
+        "--dump-serial", default=None, help="write the serial result stream here"
+    )
+    return parser
+
+
+def holdout_records(args: argparse.Namespace) -> list:
+    """The benchmark records the ``fit`` command withheld from the corpus."""
+    benchmark = load_benchmark(
+        args.dataset,
+        num_pairs=args.num_pairs,
+        products_per_domain=args.products,
+        seed=args.seed,
+    )
+    records = list(benchmark.dataset.records)
+    holdout = int(args.query_holdout)
+    if holdout < 1 or holdout >= len(records):
+        raise SystemExit(f"--query-holdout must be in [1, {len(records) - 1}]")
+    return records[-holdout:]
+
+
+def aggregate_results(results: Sequence[QueryResult]) -> tuple[dict, dict]:
+    """Deterministic ``(arrays, metadata)`` aggregate of a result stream.
+
+    Shared by the serve and serial sides so the two dumps are
+    byte-identical exactly when every per-request result is.  Timings
+    are excluded for the same reason they are excluded from
+    :meth:`~repro.model.QueryResult.as_arrays`.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    metadata: dict[str, object] = {"num_results": len(results)}
+    record_ids: list[str] = []
+    modes: list[str] = []
+    for index, result in enumerate(results):
+        part, _ = result.as_arrays()
+        for name, array in part.items():
+            arrays[f"{index:05d}::{name}"] = array
+        record_ids.append(",".join(result.record_ids))
+        modes.append(result.mode)
+    metadata["record_ids"] = record_ids
+    metadata["modes"] = modes
+    return arrays, metadata
+
+
+def _results_identical(left: QueryResult, right: QueryResult) -> bool:
+    """Bit-level equality of two query results (content, not timings)."""
+    left_arrays, left_meta = left.as_arrays()
+    right_arrays, right_meta = right.as_arrays()
+    if left_meta != right_meta or left_arrays.keys() != right_arrays.keys():
+        return False
+    for name, array in left_arrays.items():
+        other = right_arrays[name]
+        if array.dtype != other.dtype or array.shape != other.shape:
+            return False
+        if not np.array_equal(array, other):
+            return False
+    return True
+
+
+async def _fire_requests(args, records) -> tuple[list[QueryResult], dict, list[float]]:
+    """Serve ``--requests`` concurrent queries; returns (results, stats, latencies)."""
+    server = AsyncResolverServer(
+        _registry_for(args.model, mmap=True),
+        ServeConfig(
+            max_batch_size=args.max_batch_size,
+            max_wait_us=args.max_wait_us,
+            max_queue=max(2 * args.requests, 256),
+        ),
+    )
+    tcp = await server.serve_tcp(host="127.0.0.1", port=0)
+    port = tcp.sockets[0].getsockname()[1]
+    latencies: list[float] = []
+    try:
+        async with ServeClient("127.0.0.1", port) as client:
+
+            async def one(index: int) -> QueryResult:
+                """Fire one single-record query and record its latency."""
+                record = records[index % len(records)]
+                start = time.perf_counter()
+                result = await client.query([record], k=args.k, mode="online")
+                latencies.append(time.perf_counter() - start)
+                return result
+
+            results = await asyncio.gather(
+                *(one(index) for index in range(args.requests))
+            )
+            stats = await client.stats()
+    finally:
+        await server.stop()
+    return list(results), stats, latencies
+
+
+def _registry_for(path: str, mmap: bool):
+    from .registry import ModelRegistry
+
+    registry = ModelRegistry()
+    registry.add(path=path, mmap=mmap)
+    return registry
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the checker; returns 0 only if every assertion holds."""
+    args = build_parser().parse_args(argv)
+    records = holdout_records(args)
+    serve_results, stats, latencies = asyncio.run(_fire_requests(args, records))
+
+    failures: list[str] = []
+    if len(serve_results) != args.requests:
+        failures.append(
+            f"expected {args.requests} results, got {len(serve_results)}"
+        )
+    if stats.get("requests_failed") or stats.get("requests_rejected"):
+        failures.append(f"server reported errors: {stats}")
+    if args.requests > 1 and stats.get("max_batch_observed", 0) <= 1:
+        failures.append(
+            "no coalescing observed (max_batch_observed <= 1) — "
+            "the batching scheduler did not merge concurrent requests"
+        )
+
+    # Serial ground truth on an *eagerly* loaded model: one session,
+    # one query per unique record, no batching anywhere.
+    model = ResolverModel.load(args.model, mmap=False)
+    session = QuerySession(model)
+    serial_unique = [
+        session.query([record], k=args.k, mode="online") for record in records
+    ]
+    serial_results = [
+        serial_unique[index % len(records)] for index in range(args.requests)
+    ]
+
+    mismatches = sum(
+        not _results_identical(serve, serial)
+        for serve, serial in zip(serve_results, serial_results)
+    )
+    if mismatches:
+        failures.append(
+            f"{mismatches}/{args.requests} coalesced results differ from serial"
+        )
+
+    if args.dump_serve:
+        arrays, metadata = aggregate_results(serve_results)
+        write_artifact(args.dump_serve, arrays, metadata)
+    if args.dump_serial:
+        arrays, metadata = aggregate_results(serial_results)
+        write_artifact(args.dump_serial, arrays, metadata)
+
+    sorted_latencies = sorted(latencies) or [0.0]
+    print(
+        f"serve.check: {args.requests} requests over {len(records)} unique records, "
+        f"{stats.get('batches_flushed', 0)} batches "
+        f"(max {stats.get('max_batch_observed', 0)} records), "
+        f"p50 {1e3 * statistics.median(sorted_latencies):.1f} ms, "
+        f"p99 {1e3 * sorted_latencies[int(0.99 * (len(sorted_latencies) - 1))]:.1f} ms"
+    )
+    if failures:
+        for failure in failures:
+            print(f"serve.check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("serve.check OK: coalesced results bit-identical to serial (mmap == eager)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+"""Command-line entry point of the serving layer.
+
+Usage (module form)::
+
+    PYTHONPATH=src python -m repro.serve --model model.npz --port 7171
+    PYTHONPATH=src python -m repro.serve \\
+        --model products=products.npz --model people=people.npz
+
+Each ``--model`` registers one tenant; ``NAME=PATH`` names it, a bare
+``PATH`` serves as ``"default"``.  Artifacts are memory-mapped and
+loaded lazily on first query unless ``--no-mmap`` / ``--eager`` say
+otherwise, so a many-tenant server starts instantly and pays for each
+model only when traffic arrives.  The server speaks the
+newline-delimited-JSON protocol of :mod:`repro.serve.protocol`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from collections.abc import Sequence
+
+from .registry import DEFAULT_MODEL, ModelRegistry
+from .server import AsyncResolverServer, ServeConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the serve CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="Async micro-batched NDJSON-over-TCP resolver server",
+    )
+    parser.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        metavar="[NAME=]PATH",
+        help="model artifact to serve (repeatable; bare paths serve as 'default')",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=7171, help="bind port (0 = any)")
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=ServeConfig.max_batch_size,
+        help="flush a micro-batch at this many records",
+    )
+    parser.add_argument(
+        "--max-wait-us",
+        type=int,
+        default=ServeConfig.max_wait_us,
+        help="upper bound of the adaptive batching window (microseconds)",
+    )
+    parser.add_argument(
+        "--min-wait-us",
+        type=int,
+        default=ServeConfig.min_wait_us,
+        help="lower bound of the adaptive batching window (microseconds)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=ServeConfig.max_queue,
+        help="admitted-request bound before fast rejection",
+    )
+    parser.add_argument(
+        "--sessions-per-model",
+        type=int,
+        default=ServeConfig.sessions_per_model,
+        help="concurrent query sessions per tenant",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=ServeConfig.default_timeout_seconds,
+        help="default per-request deadline in seconds (0 disables)",
+    )
+    parser.add_argument(
+        "--no-mmap",
+        "--eager",
+        dest="mmap",
+        action="store_false",
+        help="materialize model arrays eagerly instead of memory-mapping",
+    )
+    return parser
+
+
+def parse_model_args(specs: Sequence[str]) -> list[tuple[str, str]]:
+    """Expand ``[NAME=]PATH`` specs into ``(name, path)`` pairs."""
+    pairs: list[tuple[str, str]] = []
+    for spec in specs:
+        name, separator, path = spec.partition("=")
+        if not separator:
+            pairs.append((DEFAULT_MODEL, spec))
+        elif name and path:
+            pairs.append((name, path))
+        else:
+            raise SystemExit(f"--model expects [NAME=]PATH, got {spec!r}")
+    return pairs
+
+
+def make_config(args: argparse.Namespace) -> ServeConfig:
+    """A :class:`ServeConfig` from parsed CLI arguments."""
+    return ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+        min_wait_us=args.min_wait_us,
+        max_queue=args.queue_size,
+        sessions_per_model=args.sessions_per_model,
+        default_timeout_seconds=args.timeout if args.timeout > 0 else None,
+    )
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    registry = ModelRegistry()
+    for name, path in parse_model_args(args.model):
+        registry.add(name, path=path, mmap=args.mmap)
+    server = AsyncResolverServer(registry, make_config(args))
+    tcp = await server.serve_tcp(host=args.host, port=args.port)
+    host, port = tcp.sockets[0].getsockname()[:2]
+    names = ", ".join(sorted(registry)) or "none"
+    print(
+        f"serving {len(registry)} model(s) [{names}] on {host}:{port} "
+        f"(batch<= {server.config.max_batch_size}, "
+        f"window {server.config.min_wait_us}-{server.config.max_wait_us}us, "
+        f"queue {server.config.max_queue}, mmap={'on' if args.mmap else 'off'})",
+        flush=True,
+    )
+    try:
+        await tcp.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the serve CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        return 0

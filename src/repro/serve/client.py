@@ -1,0 +1,196 @@
+"""Asyncio client for the NDJSON serving protocol.
+
+:class:`ServeClient` multiplexes many concurrent requests over one TCP
+connection: each request gets a monotonically increasing ``id``, a
+background reader task matches response lines back to the pending
+futures, and callers simply ``await client.query(...)``.
+
+Example
+-------
+>>> async with ServeClient("127.0.0.1", 7171) as client:   # doctest: +SKIP
+...     result = await client.query([record])
+...     print(result.predictions)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from collections.abc import Sequence
+
+from ..data.records import Record
+from ..exceptions import (
+    QueryError,
+    QueryTimeoutError,
+    ReproError,
+    ServeError,
+    ServerOverloadedError,
+)
+from ..model import QueryResult
+from .protocol import record_to_json, result_from_json
+
+__all__ = ["ServeClient"]
+
+#: Wire error ``type`` values mapped back to library exception classes.
+_ERROR_TYPES: dict[str, type[ReproError]] = {
+    "ServeError": ServeError,
+    "ServerOverloadedError": ServerOverloadedError,
+    "QueryTimeoutError": QueryTimeoutError,
+    "QueryError": QueryError,
+}
+
+
+class ServeClient:
+    """One multiplexed NDJSON connection to an :class:`AsyncResolverServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The server's TCP endpoint.
+
+    Use as an async context manager (``async with ServeClient(...)``),
+    or call :meth:`connect` / :meth:`close` explicitly.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7171) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> "ServeClient":
+        """Open the connection and start the response-reader task."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.ensure_future(self._read_responses())
+        return self
+
+    async def close(self) -> None:
+        """Close the connection; outstanding requests fail with ServeError."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_pending(ServeError("connection closed"))
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ---------------------------------------------------------------- requests
+
+    async def query(
+        self,
+        records: Sequence[Record],
+        model: str | None = None,
+        intents: Sequence[str] | None = None,
+        k: int | None = None,
+        mode: str | None = None,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Resolve ``records`` remotely; mirrors
+        :meth:`~repro.serve.server.AsyncResolverServer.query`.
+
+        Returns a rebuilt :class:`~repro.model.QueryResult` whose arrays
+        are byte-identical to the server-side result (JSON numbers
+        round-trip IEEE doubles exactly).
+
+        Raises the library exception matching the server's error
+        (:class:`~repro.exceptions.ServerOverloadedError`,
+        :class:`~repro.exceptions.QueryTimeoutError`, ...).
+        """
+        payload: dict[str, object] = {
+            "op": "query",
+            "records": [record_to_json(record) for record in records],
+        }
+        if model is not None:
+            payload["model"] = model
+        if intents is not None:
+            payload["intents"] = list(intents)
+        if k is not None:
+            payload["k"] = int(k)
+        if mode is not None:
+            payload["mode"] = mode
+        if timeout is not None:
+            payload["timeout"] = float(timeout)
+        return result_from_json(await self._request(payload))
+
+    async def ping(self) -> str:
+        """Liveness probe; returns ``"pong"``."""
+        return await self._request({"op": "ping"})
+
+    async def models(self) -> list[dict[str, object]]:
+        """The server's registry listing."""
+        return await self._request({"op": "models"})
+
+    async def stats(self) -> dict[str, object]:
+        """The server's serving counters."""
+        return await self._request({"op": "stats"})
+
+    # ---------------------------------------------------------------- plumbing
+
+    async def _request(self, payload: dict[str, object]) -> object:
+        if self._writer is None:
+            raise ServeError("client is not connected (use 'async with')")
+        request_id = next(self._ids)
+        payload["id"] = request_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        data = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        try:
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _read_responses(self) -> None:
+        reader = self._reader
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    self._fail_pending(ServeError("server closed the connection"))
+                    return
+                try:
+                    response = json.loads(line)
+                except ValueError:
+                    continue
+                future = self._pending.pop(response.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if response.get("ok"):
+                    future.set_result(response.get("result"))
+                else:
+                    error = response.get("error") or {}
+                    cls = _ERROR_TYPES.get(str(error.get("type")), ServeError)
+                    future.set_exception(cls(str(error.get("message", "error"))))
+        except (ConnectionError, asyncio.IncompleteReadError) as error:
+            self._fail_pending(ServeError(f"connection lost: {error}"))
+        except asyncio.CancelledError:
+            raise
+
+    def _fail_pending(self, error: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()

@@ -1,0 +1,252 @@
+"""Newline-delimited-JSON TCP protocol of the serving layer.
+
+One request per line, one response per line, UTF-8 JSON.  Requests are
+objects with an ``op`` field and an optional client-chosen ``id`` that
+is echoed verbatim in the response, so a client may pipeline many
+requests over one connection and match responses out of order.
+
+Operations
+----------
+``query``
+    ``{"op": "query", "id": 1, "records": [...], "model": "default",
+    "intents": null, "k": 5, "mode": "online", "timeout": 10.0}`` —
+    every field but ``records`` is optional.  Records are objects with
+    ``record_id``, ``values`` (attribute → string-or-null), and an
+    optional ``source``.
+``ping``
+    Liveness probe; responds ``{"ok": true, "result": "pong"}``.
+``models``
+    Registry listing (name, loaded, mmap, fingerprint, ...).
+``stats``
+    A :meth:`~repro.serve.server.ServeStats.snapshot` of the counters.
+
+Responses are ``{"id": ..., "ok": true, "result": ...}`` on success and
+``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}`` on
+failure, where ``type`` is the library exception class name
+(``ServerOverloadedError``, ``QueryTimeoutError``, ``QueryError``, ...).
+
+Query results serialize with full float precision (``repr``-based JSON
+floats round-trip IEEE doubles exactly), so a client that rebuilds the
+arrays with :func:`result_from_json` gets output byte-identical to an
+in-process call — the property the ``serve-smoke`` CI job pins down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from ..data.pairs import RecordPair
+from ..data.records import Record
+from ..exceptions import ReproError, ServeError
+from ..model import QueryResult
+
+__all__ = [
+    "connection_handler",
+    "record_from_json",
+    "record_to_json",
+    "result_from_json",
+    "result_to_json",
+]
+
+#: Longest accepted request line, a guard against unframed garbage.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+def record_to_json(record: Record) -> dict[str, object]:
+    """The wire form of a query record."""
+    payload: dict[str, object] = {
+        "record_id": record.record_id,
+        "values": dict(record.values),
+    }
+    if record.source is not None:
+        payload["source"] = record.source
+    return payload
+
+
+def record_from_json(payload: dict[str, object]) -> Record:
+    """Rebuild a :class:`~repro.data.records.Record` from its wire form.
+
+    Raises :class:`~repro.exceptions.ServeError` on malformed payloads
+    (missing ``record_id``, non-object ``values``).
+    """
+    if not isinstance(payload, dict):
+        raise ServeError(f"record must be an object, got {type(payload).__name__}")
+    record_id = payload.get("record_id")
+    values = payload.get("values")
+    if not isinstance(record_id, str) or not record_id:
+        raise ServeError("record.record_id must be a non-empty string")
+    if not isinstance(values, dict):
+        raise ServeError("record.values must be an object")
+    source = payload.get("source")
+    if source is not None and not isinstance(source, str):
+        raise ServeError("record.source must be a string or null")
+    return Record(record_id=record_id, values=values, source=source)
+
+
+def result_to_json(result: QueryResult) -> dict[str, object]:
+    """The wire form of a :class:`~repro.model.QueryResult`.
+
+    Probabilities ship as JSON numbers (exact for IEEE doubles) and
+    predictions as integers; :func:`result_from_json` reverses this
+    byte-identically.
+    """
+    return {
+        "pairs": [[pair.left_id, pair.right_id] for pair in result.pairs],
+        "record_ids": list(result.record_ids),
+        "intents": list(result.intents),
+        "probabilities": {
+            intent: array.tolist() for intent, array in result.probabilities.items()
+        },
+        "predictions": {
+            intent: array.tolist() for intent, array in result.predictions.items()
+        },
+        "candidates_per_record": {
+            record_id: list(ids)
+            for record_id, ids in result.candidates_per_record.items()
+        },
+        "mode": result.mode,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def result_from_json(payload: dict[str, object]) -> QueryResult:
+    """Rebuild a :class:`~repro.model.QueryResult` from its wire form."""
+    intents = tuple(payload["intents"])
+    return QueryResult(
+        pairs=[RecordPair(left, right) for left, right in payload["pairs"]],
+        record_ids=tuple(payload["record_ids"]),
+        intents=intents,
+        probabilities={
+            intent: np.asarray(payload["probabilities"][intent], dtype=np.float64)
+            for intent in intents
+        },
+        predictions={
+            intent: np.asarray(payload["predictions"][intent], dtype=np.int64)
+            for intent in intents
+        },
+        candidates_per_record={
+            record_id: list(ids)
+            for record_id, ids in payload["candidates_per_record"].items()
+        },
+        mode=str(payload["mode"]),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+    )
+
+
+async def _handle_request(server, payload: dict[str, object]) -> object:
+    """Dispatch one parsed request object; returns the ``result`` value."""
+    op = payload.get("op", "query")
+    if op == "ping":
+        return "pong"
+    if op == "models":
+        return server.registry.describe()
+    if op == "stats":
+        return server.stats.snapshot()
+    if op == "query":
+        records_payload = payload.get("records")
+        if not isinstance(records_payload, list) or not records_payload:
+            raise ServeError("query.records must be a non-empty array")
+        records = [record_from_json(item) for item in records_payload]
+        kwargs: dict[str, object] = {}
+        if payload.get("model") is not None:
+            kwargs["model"] = payload["model"]
+        for name in ("intents", "k", "mode", "timeout"):
+            if payload.get(name) is not None:
+                kwargs[name] = payload[name]
+        result = await server.query(records, **kwargs)
+        return result_to_json(result)
+    raise ServeError(f"unknown op {op!r}")
+
+
+def connection_handler(server):
+    """The per-connection callback for :func:`asyncio.start_server`.
+
+    Each request line is served by its own task so slow queries do not
+    block pipelined ones; when the client disconnects, every task still
+    outstanding for that connection is cancelled, which abandons the
+    matching server requests mid-batch.
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        """Serve one client connection until EOF or disconnect."""
+        tasks: set[asyncio.Task] = set()
+        write_lock = asyncio.Lock()
+
+        async def respond(request_id, ok: bool, body: object) -> None:
+            """Write one response line under the connection write lock."""
+            response: dict[str, object] = {"id": request_id, "ok": ok}
+            response["result" if ok else "error"] = body
+            data = json.dumps(response, separators=(",", ":")).encode() + b"\n"
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+
+        async def serve_line(payload: dict[str, object]) -> None:
+            """Dispatch one request line and send its response or error."""
+            request_id = payload.get("id")
+            try:
+                result = await _handle_request(server, payload)
+            except asyncio.CancelledError:
+                raise
+            except ReproError as error:
+                await respond(
+                    request_id,
+                    False,
+                    {"type": type(error).__name__, "message": str(error)},
+                )
+            except Exception as error:  # noqa: BLE001 - reported to the client
+                await respond(
+                    request_id,
+                    False,
+                    {"type": "InternalError", "message": str(error)},
+                )
+            else:
+                await respond(request_id, True, result)
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    await respond(
+                        None,
+                        False,
+                        {"type": "ServeError", "message": "request is not valid JSON"},
+                    )
+                    continue
+                if not isinstance(payload, dict):
+                    await respond(
+                        None,
+                        False,
+                        {"type": "ServeError", "message": "request must be an object"},
+                    )
+                    continue
+                task = asyncio.ensure_future(serve_line(payload))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            # Close without awaiting: an await here is a cancellation
+            # window during loop teardown and the transport flushes on
+            # close anyway.
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    return handle

@@ -1,0 +1,204 @@
+"""Multi-tenant model registry for the serving layer.
+
+A :class:`ModelRegistry` names the :class:`~repro.model.ResolverModel`s
+one server process exposes.  Models registered by *path* are loaded
+lazily — on the first query that names them — and memory-mapped by
+default (``mmap=True``), so a registry holding many tenants keeps
+resident memory bounded by the models actually in use, not by the sum
+of all artifact sizes.  Each entry also owns a small pool of
+:class:`~repro.model.QuerySession`s so concurrent micro-batches never
+share mutable session state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator, Mapping
+from pathlib import Path
+
+from ..exceptions import ServeError
+from ..model import QuerySession, ResolverModel
+
+__all__ = ["DEFAULT_MODEL", "ModelEntry", "ModelRegistry"]
+
+#: Name a single-model registry serves under when none is given.
+DEFAULT_MODEL = "default"
+
+
+class ModelEntry:
+    """One named model slot: a path or instance plus its session pool.
+
+    Parameters
+    ----------
+    name:
+        Registry name of the tenant.
+    path:
+        Artifact path for lazy loading (exclusive with ``model``).
+    model:
+        An already-loaded model to serve as-is (exclusive with ``path``).
+    mmap:
+        Memory-map the payload arrays when loading from ``path``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        path: str | Path | None = None,
+        model: ResolverModel | None = None,
+        mmap: bool = True,
+    ) -> None:
+        if (path is None) == (model is None):
+            raise ServeError(
+                f"model {name!r} needs exactly one of path= or model="
+            )
+        self.name = name
+        self.path = None if path is None else Path(path)
+        self.mmap = bool(mmap)
+        self._model = model
+        self._sessions: list[QuerySession] = []
+        self._lock = threading.Lock()
+
+    @property
+    def loaded(self) -> bool:
+        """Whether the model artifact has been materialized."""
+        return self._model is not None
+
+    def get(self) -> ResolverModel:
+        """The model, loading it from ``path`` on first use (thread-safe)."""
+        if self._model is None:
+            with self._lock:
+                if self._model is None:
+                    self._model = ResolverModel.load(self.path, mmap=self.mmap)
+        return self._model
+
+    def session(self) -> QuerySession:
+        """Borrow a session from the pool (create one when empty).
+
+        Sessions carry warm per-query state (frozen GNNs, layer
+        indexes, the exact-mode runner), so borrowing/returning beats
+        constructing a fresh session per batch.
+        """
+        with self._lock:
+            if self._sessions:
+                return self._sessions.pop()
+        return QuerySession(self.get())
+
+    def release(self, session: QuerySession) -> None:
+        """Return a borrowed session to the pool."""
+        with self._lock:
+            self._sessions.append(session)
+
+    def evict(self) -> bool:
+        """Drop the loaded model and its sessions; keep the registration.
+
+        Returns ``True`` when a loaded model was actually dropped.
+        Only path-backed entries can be evicted — an instance-backed
+        entry has nothing to reload from.
+        """
+        if self.path is None:
+            return False
+        with self._lock:
+            dropped = self._model is not None
+            self._model = None
+            self._sessions.clear()
+        return dropped
+
+    def describe(self) -> dict[str, object]:
+        """Summary of the entry for the ``models`` protocol op."""
+        info: dict[str, object] = {
+            "name": self.name,
+            "loaded": self.loaded,
+            "mmap": self.mmap,
+            "path": None if self.path is None else str(self.path),
+        }
+        if self.loaded:
+            model = self.get()
+            info["intents"] = list(model.intents)
+            info["corpus_records"] = len(model.corpus)
+            info["fingerprint"] = model.fingerprint()
+        return info
+
+
+class ModelRegistry(Mapping):
+    """Named collection of servable models (a :class:`Mapping` of entries).
+
+    Example
+    -------
+    >>> registry = ModelRegistry()                      # doctest: +SKIP
+    >>> registry.add("products", path="products.npz")   # doctest: +SKIP
+    >>> registry.get("products")                        # doctest: +SKIP
+    <repro.model.ResolverModel ...>
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ModelEntry] = {}
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        name: str = DEFAULT_MODEL,
+        path: str | Path | None = None,
+        model: ResolverModel | None = None,
+        mmap: bool = True,
+    ) -> ModelEntry:
+        """Register a model under ``name``.
+
+        Parameters
+        ----------
+        name:
+            Tenant name clients address the model by.
+        path:
+            Artifact to load lazily on first use (exclusive with
+            ``model``).
+        model:
+            An already-loaded model (exclusive with ``path``).
+        mmap:
+            Memory-map path-backed artifacts (default ``True``).
+
+        Raises
+        ------
+        ServeError
+            If ``name`` is already registered or neither/both of
+            ``path`` and ``model`` are given.
+        """
+        entry = ModelEntry(name, path=path, model=model, mmap=mmap)
+        with self._lock:
+            if name in self._entries:
+                raise ServeError(f"model {name!r} is already registered")
+            self._entries[name] = entry
+        return entry
+
+    def entry(self, name: str) -> ModelEntry:
+        """The :class:`ModelEntry` registered under ``name``.
+
+        Raises :class:`~repro.exceptions.ServeError` for unknown names,
+        listing the registered ones.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "none"
+            raise ServeError(
+                f"unknown model {name!r} (registered: {known})"
+            ) from None
+
+    def get(self, name: str = DEFAULT_MODEL) -> ResolverModel:
+        """The loaded model registered under ``name`` (loads lazily)."""
+        return self.entry(name).get()
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name``'s loaded model to reclaim memory (stays registered)."""
+        return self.entry(name).evict()
+
+    def describe(self) -> list[dict[str, object]]:
+        """Per-entry summaries, sorted by name (the ``models`` op payload)."""
+        return [self._entries[name].describe() for name in sorted(self._entries)]
+
+    def __getitem__(self, name: str) -> ModelEntry:
+        return self.entry(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

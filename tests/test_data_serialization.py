@@ -142,3 +142,76 @@ class TestArtifactSchemaVersion:
         arrays, metadata = read_artifact(path)
         assert metadata == {"legacy": True}
         assert np.array_equal(arrays["x"], np.arange(2))
+
+
+class TestLazyArtifactReads:
+    def _sample_arrays(self):
+        import numpy as np
+
+        return {
+            "floats": np.linspace(0.0, 1.0, 12, dtype=np.float64).reshape(3, 4),
+            "ints": np.arange(7, dtype=np.int64),
+            "empty": np.zeros((0, 5), dtype=np.float32),
+            "scalarish": np.array(3.5, dtype=np.float64),
+        }
+
+    def test_lazy_read_equals_eager_read(self, tmp_path):
+        import numpy as np
+
+        from repro.data.serialization import (
+            read_artifact,
+            read_artifact_lazy,
+            write_artifact,
+        )
+
+        path = write_artifact(tmp_path / "a", self._sample_arrays(), {"note": "hi"})
+        eager_arrays, eager_meta = read_artifact(path)
+        lazy_arrays, lazy_meta = read_artifact_lazy(path)
+        assert lazy_meta == eager_meta
+        assert sorted(lazy_arrays) == sorted(eager_arrays)
+        for key, expected in eager_arrays.items():
+            actual = lazy_arrays[key]
+            assert actual.dtype == expected.dtype, key
+            assert actual.shape == expected.shape, key
+            assert np.array_equal(np.asarray(actual), expected), key
+
+    def test_stored_members_are_memory_mapped(self, tmp_path):
+        import numpy as np
+
+        from repro.data.serialization import read_artifact_lazy, write_artifact
+
+        path = write_artifact(tmp_path / "a", self._sample_arrays(), {})
+        lazy_arrays, _ = read_artifact_lazy(path)
+        assert lazy_arrays.mapped  # np.savez members are stored uncompressed
+        assert isinstance(lazy_arrays["floats"], np.memmap)
+        assert not lazy_arrays["floats"].flags.writeable
+        # Zero-length members fall back to plain arrays (np.memmap
+        # refuses empty maps) but keep shape and dtype.
+        empty = lazy_arrays["empty"]
+        assert empty.shape == (0, 5) and empty.dtype == np.float32
+
+    def test_lazy_mapping_interface(self, tmp_path):
+        from repro.data.serialization import read_artifact_lazy, write_artifact
+
+        path = write_artifact(tmp_path / "a", self._sample_arrays(), {})
+        lazy_arrays, _ = read_artifact_lazy(path)
+        assert len(lazy_arrays) == 4
+        assert "floats" in lazy_arrays
+        assert "missing" not in lazy_arrays
+        assert lazy_arrays["ints"] is lazy_arrays["ints"]  # cached after first touch
+        import pytest
+
+        with pytest.raises(KeyError):
+            lazy_arrays["missing"]
+
+    def test_lazy_reader_rejects_non_artifacts(self, tmp_path):
+        import numpy as np
+        import pytest
+
+        from repro.data.serialization import read_artifact_lazy
+        from repro.exceptions import DataError
+
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, x=np.arange(3))
+        with pytest.raises(DataError):
+            read_artifact_lazy(bogus)
