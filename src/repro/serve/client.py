@@ -28,7 +28,7 @@ from ..exceptions import (
     ServerOverloadedError,
 )
 from ..model import QueryResult
-from .protocol import record_to_json, result_from_json
+from .protocol import MAX_LINE_BYTES, record_to_json, result_from_json
 
 __all__ = ["ServeClient"]
 
@@ -65,8 +65,11 @@ class ServeClient:
 
     async def connect(self) -> "ServeClient":
         """Open the connection and start the response-reader task."""
+        # The protocol allows response lines up to MAX_LINE_BYTES; the
+        # default 64 KiB stream limit would make readline() raise on
+        # any large batch response.
         self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
+            self.host, self.port, limit=MAX_LINE_BYTES
         )
         self._reader_task = asyncio.ensure_future(self._read_responses())
         return self
@@ -184,10 +187,17 @@ class ServeClient:
                     error = response.get("error") or {}
                     cls = _ERROR_TYPES.get(str(error.get("type")), ServeError)
                     future.set_exception(cls(str(error.get("message", "error"))))
-        except (ConnectionError, asyncio.IncompleteReadError) as error:
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ValueError,  # readline() raises it past the stream limit
+        ) as error:
             self._fail_pending(ServeError(f"connection lost: {error}"))
         except asyncio.CancelledError:
             raise
+        except Exception as error:  # noqa: BLE001 - a dead reader must not hang callers
+            self._fail_pending(ServeError(f"response reader failed: {error}"))
 
     def _fail_pending(self, error: Exception) -> None:
         for future in self._pending.values():

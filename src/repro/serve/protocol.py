@@ -212,6 +212,24 @@ def connection_handler(server):
                     line = await reader.readline()
                 except (ConnectionError, asyncio.IncompleteReadError):
                     break
+                except (ValueError, asyncio.LimitOverrunError):
+                    # readline() raises past the stream limit.  There is
+                    # no way to resync mid-line, so report and close.
+                    try:
+                        await respond(
+                            None,
+                            False,
+                            {
+                                "type": "ServeError",
+                                "message": (
+                                    "request line exceeds "
+                                    f"{MAX_LINE_BYTES} bytes"
+                                ),
+                            },
+                        )
+                    except (ConnectionError, OSError):
+                        pass
+                    break
                 if not line:
                     break
                 if len(line) > MAX_LINE_BYTES:

@@ -57,6 +57,10 @@ class ModelEntry:
         self._model = model
         self._sessions: list[QuerySession] = []
         self._lock = threading.Lock()
+        # Bumped by evict(); sessions borrowed before an eviction carry
+        # an older generation and are dropped on release instead of
+        # re-entering the pool still wrapping the evicted model.
+        self._generation = 0
 
     @property
     def loaded(self) -> bool:
@@ -81,12 +85,21 @@ class ModelEntry:
         with self._lock:
             if self._sessions:
                 return self._sessions.pop()
-        return QuerySession(self.get())
+            generation = self._generation
+        session = QuerySession(self.get())
+        session._registry_generation = generation
+        return session
 
     def release(self, session: QuerySession) -> None:
-        """Return a borrowed session to the pool."""
+        """Return a borrowed session to the pool.
+
+        A session borrowed before an :meth:`evict` is stale — it still
+        wraps the evicted model instance — and is silently dropped
+        instead of being pooled for reuse.
+        """
         with self._lock:
-            self._sessions.append(session)
+            if getattr(session, "_registry_generation", None) == self._generation:
+                self._sessions.append(session)
 
     def evict(self) -> bool:
         """Drop the loaded model and its sessions; keep the registration.
@@ -101,6 +114,7 @@ class ModelEntry:
             dropped = self._model is not None
             self._model = None
             self._sessions.clear()
+            self._generation += 1
         return dropped
 
     def describe(self) -> dict[str, object]:

@@ -160,15 +160,23 @@ class ServeStats:
 
 
 class _Pending:
-    """One admitted request waiting in a batch group."""
+    """One admitted request waiting in a batch group.
 
-    __slots__ = ("records", "intents", "k", "future", "started")
+    ``release`` is the request's one-shot admission release: the slot it
+    claimed under ``max_queue`` stays held until the request's work is
+    actually finished (batch executed, or the request dropped from its
+    batch), not merely until the caller stops waiting — so abandoned
+    requests cannot let queued work grow past the admission bound.
+    """
 
-    def __init__(self, records, intents, k, future):
+    __slots__ = ("records", "intents", "k", "future", "release", "started")
+
+    def __init__(self, records, intents, k, future, release):
         self.records = records
         self.intents = intents
         self.k = k
         self.future = future
+        self.release = release
         self.started = time.perf_counter()
 
 
@@ -249,6 +257,7 @@ class AsyncResolverServer:
             for item in group.pending:
                 if not item.future.done():
                     item.future.set_exception(ServeError("server stopped"))
+                item.release()
             group.pending.clear()
             group.records = 0
         self._groups.clear()
@@ -266,11 +275,13 @@ class AsyncResolverServer:
         Returns the listening :class:`asyncio.Server`; the bound port is
         ``server.sockets[0].getsockname()[1]`` (useful with ``port=0``).
         """
-        from .protocol import connection_handler
+        from .protocol import MAX_LINE_BYTES, connection_handler
 
         await self.start()
+        # Raise the stream limit to the protocol's line bound; the
+        # default 64 KiB would make readline() raise on modest batches.
         self._tcp_server = await asyncio.start_server(
-            connection_handler(self), host=host, port=port
+            connection_handler(self), host=host, port=port, limit=MAX_LINE_BYTES
         )
         return self._tcp_server
 
@@ -343,6 +354,11 @@ class AsyncResolverServer:
                 f"request queue is full ({config.max_queue} in flight)"
             )
         entry = self.registry.entry(model)
+        if not entry.loaded:
+            # First use of a path-registered tenant: materialize the
+            # artifact in a worker thread so the event loop (and every
+            # pending batch timer) is not stalled for the load duration.
+            await asyncio.get_running_loop().run_in_executor(None, entry.get)
         # Validate on the caller's coroutine so one bad request fails
         # alone instead of poisoning the batch it would have joined.
         session = entry.session()
@@ -351,8 +367,7 @@ class AsyncResolverServer:
         finally:
             entry.release(session)
 
-        self._admitted += 1
-        self.stats.queue_depth = self._admitted
+        release = self._admit()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
             if mode == "exact":
@@ -361,8 +376,14 @@ class AsyncResolverServer:
                     self._run_exact(entry, records, intents, k)
                 )
                 task.add_done_callback(_transfer(future))
+                task.add_done_callback(lambda _task: release())
             else:
-                self._enqueue(entry, records, intents, k, future)
+                self._enqueue(entry, records, intents, k, future, release)
+        except BaseException:
+            # Ownership of the admission slot was never handed off.
+            release()
+            raise
+        try:
             try:
                 if timeout is None:
                     return await asyncio.shield(future)
@@ -376,16 +397,38 @@ class AsyncResolverServer:
             except asyncio.CancelledError:
                 # Caller went away (e.g. client disconnect): abandon the
                 # request so an in-flight batch skips it on completion.
+                # Its admission slot stays held until the batch task
+                # drops or finishes it, keeping max_queue a bound on
+                # real outstanding work.
                 future.cancel()
                 raise
         finally:
-            self._admitted -= 1
-            self.stats.queue_depth = self._admitted
             if future.done() and not future.cancelled():
                 if future.exception() is None:
                     self.stats.requests_completed += 1
                 elif not isinstance(future.exception(), QueryTimeoutError):
                     self.stats.requests_failed += 1
+
+    def _admit(self):
+        """Claim one ``max_queue`` admission slot; returns its one-shot release.
+
+        The slot counts *outstanding work*, so it is released when the
+        request's execution finishes or the request is dropped from its
+        batch — not when the caller stops waiting.
+        """
+        self._admitted += 1
+        self.stats.queue_depth = self._admitted
+        released = False
+
+        def release() -> None:
+            nonlocal released
+            if released:
+                return
+            released = True
+            self._admitted -= 1
+            self.stats.queue_depth = self._admitted
+
+        return release
 
     # -------------------------------------------------------------- exact path
 
@@ -403,14 +446,14 @@ class AsyncResolverServer:
 
     # ---------------------------------------------------------------- batching
 
-    def _enqueue(self, entry, records, intents, k, future) -> None:
+    def _enqueue(self, entry, records, intents, k, future, release) -> None:
         """Add an online request to its batch group and arm/advance flushing."""
         key = (entry.name, None if intents is None else tuple(intents), k)
         group = self._groups.get(key)
         if group is None:
             group = _BatchGroup(key, window_us=self.stats.wait_window_us)
             self._groups[key] = group
-        group.pending.append(_Pending(records, intents, k, future))
+        group.pending.append(_Pending(records, intents, k, future, release))
         group.records += len(records)
         if group.records >= self.config.max_batch_size:
             self._flush(group, entry, reason="size")
@@ -425,7 +468,12 @@ class AsyncResolverServer:
         if group.timer is not None:
             group.timer.cancel()
             group.timer = None
-        pending = [item for item in group.pending if not item.future.done()]
+        pending: list[_Pending] = []
+        for item in group.pending:
+            if item.future.done():
+                item.release()  # abandoned while queued: free its slot now
+            else:
+                pending.append(item)
         group.pending = []
         group.records = 0
         if not pending:
@@ -456,14 +504,17 @@ class AsyncResolverServer:
     async def _run_batch(self, entry, key, sub_batch: list[_Pending]) -> None:
         """Execute one coalesced sub-batch and split results per request."""
         _, intents, k = key
-        records: list[Record] = []
-        for item in sub_batch:
-            records.extend(item.records)
         try:
             async with self._slot(entry.name):
+                # Requests abandoned (timed out / disconnected) while
+                # waiting on the session slot are dropped here, so their
+                # records never reach the executor.
                 live = [item for item in sub_batch if not item.future.done()]
                 if not live:
                     return
+                records: list[Record] = []
+                for item in live:
+                    records.extend(item.records)
                 session = entry.session()
                 try:
                     result = await asyncio.get_running_loop().run_in_executor(
@@ -474,15 +525,17 @@ class AsyncResolverServer:
                     )
                 finally:
                     entry.release(session)
+                for item, part in zip(live, _split_result(result, live)):
+                    if not item.future.done():
+                        part.elapsed_seconds = time.perf_counter() - item.started
+                        item.future.set_result(part)
         except Exception as error:  # noqa: BLE001 - forwarded to every waiter
             for item in sub_batch:
                 if not item.future.done():
                     item.future.set_exception(error)
-            return
-        for item, part in zip(sub_batch, _split_result(result, sub_batch)):
-            if not item.future.done():
-                part.elapsed_seconds = time.perf_counter() - item.started
-                item.future.set_result(part)
+        finally:
+            for item in sub_batch:
+                item.release()
 
     def _slot(self, model_name: str) -> asyncio.Semaphore:
         """The tenant's concurrency gate (one permit per pooled session)."""

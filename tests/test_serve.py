@@ -213,6 +213,31 @@ class TestBackpressure:
         expected = serial_results(model, [holdout[1]])[0]
         assert_results_identical(result, expected)
 
+    def test_abandoned_request_holds_its_slot_until_flush(self, serve_world):
+        model, holdout, _ = serve_world
+        config = ServeConfig(
+            max_batch_size=16, max_wait_us=400_000, min_wait_us=400_000, max_queue=1
+        )
+
+        async def fire():
+            server = AsyncResolverServer(model, config)
+            async with server:
+                with pytest.raises(QueryTimeoutError):
+                    await server.query([holdout[0]], mode="online", timeout=0.02)
+                # The timed-out request's records still sit in the batch
+                # window: its admission slot must stay held so max_queue
+                # keeps bounding real outstanding work.
+                with pytest.raises(ServerOverloadedError):
+                    await server.query([holdout[1]], mode="online")
+                await asyncio.sleep(0.5)  # window elapses, dropped item frees slot
+                assert server.stats.queue_depth == 0
+                result = await server.query([holdout[1]], mode="online", timeout=5.0)
+            return result
+
+        result = run(fire())
+        expected = serial_results(model, [holdout[1]])[0]
+        assert_results_identical(result, expected)
+
     def test_query_on_stopped_server_raises(self, serve_world):
         model, holdout, _ = serve_world
 
@@ -298,6 +323,20 @@ class TestRegistryAndMmap:
         assert not entry.loaded
         assert registry.get("products") is not None
 
+    def test_session_borrowed_before_evict_is_not_pooled_again(self, serve_world):
+        _, _, path = serve_world
+        registry = ModelRegistry()
+        registry.add("products", path=path, mmap=True)
+        entry = registry.entry("products")
+        stale = entry.session()  # borrowed, e.g. mid-batch
+        assert registry.evict("products")
+        entry.release(stale)  # released after the eviction: must be dropped
+        fresh = entry.session()
+        assert fresh is not stale, "evicted-generation session re-entered the pool"
+        # Current-generation sessions still pool normally.
+        entry.release(fresh)
+        assert entry.session() is fresh
+
 
 class TestRetrievalDedupe:
     def test_duplicate_content_in_one_batch_retrieves_once(self, serve_world):
@@ -381,6 +420,73 @@ class TestTcpProtocol:
                 await server.stop()
 
         run(fire())
+
+    def test_lines_beyond_default_stream_limit_round_trip(self, serve_world):
+        """Request and response lines over 64 KiB must be served, not hang.
+
+        asyncio streams default to a 64 KiB readline limit; both sides
+        must raise it to the protocol's MAX_LINE_BYTES or a modest batch
+        kills the connection (and, pre-fix, hung every pending caller).
+        """
+        model, holdout, _ = serve_world
+        template = holdout[0]
+        # Identical-content twins: retrieval dedupes to one ranking pass,
+        # while the shared padding pushes the request line past 64 KiB.
+        values = dict(template.values)
+        attribute = next(iter(values))
+        values[attribute] = (values[attribute] or "") + "x" * 400
+        twins = [
+            Record(record_id=f"big-{i}", values=dict(values), source=template.source)
+            for i in range(300)
+        ]
+        request = {
+            "op": "query",
+            "id": 1,
+            "records": [
+                {"record_id": r.record_id, "values": dict(r.values), "source": r.source}
+                for r in twins
+            ],
+            "k": 5,
+            "mode": "online",
+        }
+        line = json.dumps(request).encode() + b"\n"
+        assert len(line) > 64 * 1024  # the request side exceeds the default limit
+
+        async def fire():
+            from repro.serve.protocol import MAX_LINE_BYTES
+
+            server = AsyncResolverServer(model)
+            tcp = await server.serve_tcp(host="127.0.0.1", port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            try:
+                # Raw connection first: prove the server both reads and
+                # writes single lines larger than 64 KiB.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port, limit=MAX_LINE_BYTES
+                )
+                writer.write(line)
+                await writer.drain()
+                response_line = await asyncio.wait_for(reader.readline(), 60)
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+                assert len(response_line) > 64 * 1024
+                response = json.loads(response_line)
+                assert response["ok"], response.get("error")
+                # Then the bundled client, whose reader must survive the
+                # same oversized response line.
+                async with ServeClient("127.0.0.1", port) as client:
+                    result = await asyncio.wait_for(
+                        client.query(twins, k=5, mode="online"), 60
+                    )
+            finally:
+                await server.stop()
+            return result
+
+        result = run(fire())
+        session = model.session()
+        expected = session.query(twins, k=5, mode="online")
+        assert_results_identical(result, expected)
 
     def test_client_disconnect_during_flush_does_not_poison_server(self, serve_world):
         model, holdout, _ = serve_world
