@@ -395,3 +395,82 @@ def read_artifact_lazy(
         raise DataError(f"cannot read artifact {path}: {error}") from error
     check_artifact_schema(metadata.pop(SCHEMA_VERSION_KEY, None), path)
     return arrays, metadata
+
+
+# ------------------------------------------------------- update segments
+
+#: Filename pattern of sidecar update segments: ``model.upd-0001.npz``,
+#: ``model.upd-0002.npz``, ... next to the base artifact ``model.npz``.
+#: Segments are ordinary artifacts (same container format, mmap-capable),
+#: numbered consecutively from 1; readers replay them in index order.
+UPDATE_SEGMENT_INFIX = ".upd-"
+
+#: Zero-padded digits in a segment index (bounds the chain at 9999 —
+#: far beyond the point where compaction should have rebased anyway).
+_SEGMENT_INDEX_DIGITS = 4
+
+
+def artifact_base_path(path: str | Path) -> Path:
+    """Normalize ``path`` to the base artifact path (suffix appended)."""
+    path = Path(path)
+    if path.suffix != ARTIFACT_SUFFIX:
+        path = path.with_name(path.name + ARTIFACT_SUFFIX)
+    return path
+
+
+def segment_path(path: str | Path, index: int) -> Path:
+    """The sidecar path of update segment ``index`` (1-based) for ``path``.
+
+    >>> segment_path("model.npz", 3).name
+    'model.upd-0003.npz'
+    """
+    if index < 1:
+        raise DataError(f"segment index must be >= 1, got {index}")
+    base = artifact_base_path(path)
+    stem = base.name[: -len(ARTIFACT_SUFFIX)]
+    name = (
+        f"{stem}{UPDATE_SEGMENT_INFIX}"
+        f"{index:0{_SEGMENT_INDEX_DIGITS}d}{ARTIFACT_SUFFIX}"
+    )
+    return base.with_name(name)
+
+
+def list_segment_paths(path: str | Path) -> list[Path]:
+    """Existing update-segment files of ``path``, in replay order.
+
+    Only the *consecutive* chain starting at index 1 is returned; a gap
+    (e.g. a deleted middle segment) truncates the chain there so a
+    partially cleaned directory never replays out-of-order state.  Files
+    past a gap are ignored, not errors — :func:`clear_segment_paths`
+    removes them wholesale.
+    """
+    paths: list[Path] = []
+    index = 1
+    while True:
+        candidate = segment_path(path, index)
+        if not candidate.exists():
+            break
+        paths.append(candidate)
+        index += 1
+    return paths
+
+
+def clear_segment_paths(path: str | Path) -> list[Path]:
+    """Delete every ``*.upd-NNNN.npz`` sidecar of ``path`` (gaps included).
+
+    Used when a full (rebased) artifact is rewritten: stale segments from
+    the previous chain must not be replayed over the new base.  Returns
+    the removed paths.
+    """
+    base = artifact_base_path(path)
+    stem = base.name[: -len(ARTIFACT_SUFFIX)]
+    prefix = f"{stem}{UPDATE_SEGMENT_INFIX}"
+    removed: list[Path] = []
+    if not base.parent.exists():
+        return removed
+    for candidate in sorted(base.parent.glob(f"{prefix}*{ARTIFACT_SUFFIX}")):
+        suffix_part = candidate.name[len(prefix) : -len(ARTIFACT_SUFFIX)]
+        if suffix_part.isdigit():
+            candidate.unlink()
+            removed.append(candidate)
+    return removed

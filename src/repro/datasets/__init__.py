@@ -34,6 +34,7 @@ from .registry import (
     benchmark_names,
     load_benchmark,
 )
+from .stream import CorpusChunk, stream_chunks
 
 __all__ = [
     "Product",
@@ -74,4 +75,6 @@ __all__ = [
     "PAPER_TABLE4_TEST_POSITIVE_RATES",
     "benchmark_names",
     "load_benchmark",
+    "CorpusChunk",
+    "stream_chunks",
 ]

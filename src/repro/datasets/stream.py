@@ -1,0 +1,88 @@
+"""Replay a corpus as a timestamped stream of record chunks.
+
+Incremental maintenance (:meth:`~repro.model.ResolverModel.update`) is
+driven by batches of records arriving over time.  :func:`stream_chunks`
+turns any record collection into that shape deterministically: fixed
+chunk sizes, evenly spaced synthetic timestamps, original record order
+preserved.  The same sampled benchmark therefore replays identically
+across processes — the property the ``update`` CLI subcommand and the
+streaming tests rely on.
+
+Example
+-------
+>>> for chunk in stream_chunks(records, chunk_size=50):   # doctest: +SKIP
+...     model.update(upserts=chunk.records)
+...     model.query(probes, k=4)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from ..data.records import Dataset, Record
+from ..exceptions import DataError
+
+__all__ = ["CorpusChunk", "stream_chunks"]
+
+
+@dataclass(frozen=True)
+class CorpusChunk:
+    """One timestamped batch of a replayed corpus stream.
+
+    Attributes
+    ----------
+    index:
+        Zero-based position of the chunk in the stream.
+    timestamp:
+        Synthetic arrival time, ``start_time + index * interval``.
+    records:
+        The chunk's records, in original corpus order.
+    """
+
+    index: int
+    timestamp: float
+    records: tuple[Record, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def stream_chunks(
+    records: Sequence[Record] | Dataset,
+    chunk_size: int,
+    *,
+    start_time: float = 0.0,
+    interval: float = 1.0,
+) -> Iterator[CorpusChunk]:
+    """Yield ``records`` as consecutive timestamped :class:`CorpusChunk`\\ s.
+
+    Parameters
+    ----------
+    records:
+        The records to replay — a sequence or a whole
+        :class:`~repro.data.records.Dataset`.  Order is preserved; the
+        final chunk may be short.
+    chunk_size:
+        Records per chunk (the last chunk holds the remainder).
+    start_time:
+        Timestamp of the first chunk.
+    interval:
+        Spacing between consecutive chunk timestamps (must be ``>= 0``).
+
+    Raises
+    ------
+    DataError
+        If ``chunk_size`` is not positive or ``interval`` is negative.
+    """
+    if chunk_size < 1:
+        raise DataError(f"chunk_size must be >= 1, got {chunk_size}")
+    if interval < 0:
+        raise DataError(f"interval must be >= 0, got {interval}")
+    items = tuple(records.records if isinstance(records, Dataset) else records)
+    for index, offset in enumerate(range(0, len(items), chunk_size)):
+        yield CorpusChunk(
+            index=index,
+            timestamp=float(start_time) + index * float(interval),
+            records=items[offset : offset + chunk_size],
+        )

@@ -86,6 +86,15 @@ class QueryError(ReproError):
     """
 
 
+class UpdateError(ReproError):
+    """Raised for invalid incremental corpus updates.
+
+    Covers malformed deltas (unknown delete ids, records that do not fit
+    the corpus schema, empty updates) and update state that cannot be
+    persisted or replayed (broken segment chains).
+    """
+
+
 class ServeError(ReproError):
     """Raised for failures of the :mod:`repro.serve` serving layer.
 
@@ -108,4 +117,12 @@ class QueryTimeoutError(ServeError):
 
     The deadline covers the whole request lifetime: waiting in the
     micro-batch window, queueing for a session, and executing.
+    """
+
+
+class ReloadError(ServeError):
+    """Raised when a registry entry cannot pick up an updated artifact.
+
+    Instance-backed entries have no path to reload from, so a ``reload``
+    request against one is a caller error, not a server fault.
     """

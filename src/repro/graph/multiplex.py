@@ -31,6 +31,25 @@ from scipy import sparse as sp
 from ..exceptions import GraphConstructionError
 
 
+def renumber_pair_nodes(
+    nodes: np.ndarray | Iterable[int], old_num_pairs: int, new_num_pairs: int
+) -> np.ndarray:
+    """Translate layer-major node ids after growing the pair axis.
+
+    Node ids encode ``layer * num_pairs + pair``; appending pairs changes
+    the stride, so every stored node array (the edge log of a persisted
+    graph payload) must be renumbered when the incremental update path
+    grows ``num_pairs``.  Vectorized; preserves array order.
+    """
+    if old_num_pairs <= 0 or new_num_pairs < old_num_pairs:
+        raise GraphConstructionError(
+            f"cannot renumber nodes from {old_num_pairs} to {new_num_pairs} pairs"
+        )
+    node_array = np.asarray(nodes, dtype=np.int64)
+    layers, pairs = np.divmod(node_array, old_num_pairs)
+    return layers * new_num_pairs + pairs
+
+
 class MultiplexGraph:
     """A multiplex intent graph over candidate record pairs.
 

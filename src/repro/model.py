@@ -54,13 +54,17 @@ from .core.flexer import compute_representations
 from .data.pairs import CandidateSet, LabeledPair, RecordPair
 from .data.records import Dataset, Record
 from .data.serialization import (
+    artifact_base_path,
+    clear_segment_paths,
+    list_segment_paths,
     read_artifact,
     read_artifact_lazy,
+    segment_path,
     serialize_record,
     write_artifact,
 )
 from .data.splits import DatasetSplit
-from .exceptions import IntentError, ModelError, QueryError, SchemaError
+from .exceptions import IntentError, ModelError, QueryError, SchemaError, UpdateError
 from .graph.multiplex import MultiplexGraph
 from .graph.sage import FrozenSAGE, GraphAggregation, GraphSAGE
 from .ann.knn import ExactNearestNeighbors
@@ -247,9 +251,31 @@ class ResolverModel:
         #: that produced this model (``None`` on a loaded model).
         self.fit_result = None
         self._default_session: QuerySession | None = None
-        # Models are immutable after construction, so the fingerprint —
-        # a hash over every payload array — is computed at most once.
+        # The fingerprint — a hash over every payload array — is
+        # memoized; incremental updates (the only mutation path) reset
+        # it along with every other derived cache.
         self._fingerprint: str | None = None
+        # ----- incremental-update state (see repro.update) -----
+        #: Deleted record ids still occupying corpus/index rows.
+        self.tombstones: set[str] = set()
+        #: Pairs appended by updates, after the canonical split order.
+        self.update_pairs: list[RecordPair] = []
+        #: Fingerprint-chained deltas applied since the last full save
+        #: (or load); ``save()`` persists the yet-unwritten suffix.
+        self.update_segments: list = []
+        self._touched_ids: set[str] = set()
+        self._stale_supervision = 0
+        self._update_generation = 0
+        #: Fingerprint of the base artifact the segment chain anchors to
+        #: (set by ``load()``/full ``save()``; captured lazily on the
+        #: first ``update()`` of a never-saved model).
+        self._base_fingerprint: str | None = None
+        #: How many of ``update_segments`` already exist on disk.
+        self._persisted_segments = 0
+        #: Set by compaction: the next ``save()`` must write a full
+        #: artifact (and clear stale sidecar segments) instead of
+        #: appending.
+        self._rebased = False
 
     # ------------------------------------------------------------ construction
 
@@ -350,6 +376,13 @@ class ResolverModel:
                 "gnn_hidden_levels": {
                     intent: len(hiddens) for intent, hiddens in self.gnn_hiddens.items()
                 },
+                "update": {
+                    "tombstones": sorted(self.tombstones),
+                    "pairs": [list(pair.as_tuple()) for pair in self.update_pairs],
+                    "touched": sorted(self._touched_ids),
+                    "stale_supervision": int(self._stale_supervision),
+                    "generation": int(self._update_generation),
+                },
             }
         )
 
@@ -431,9 +464,65 @@ class ResolverModel:
     # ------------------------------------------------------------- persistence
 
     def save(self, path: str | Path) -> Path:
-        """Persist the model as one fingerprinted ``.npz`` artifact."""
+        """Persist the model as a fingerprinted ``.npz`` artifact.
+
+        A model that has absorbed incremental updates since it was
+        loaded from (or fully saved to) ``path`` does **not** rewrite
+        the base artifact: the pending
+        :class:`~repro.update.UpdateSegment`\\ s are appended as tiny
+        ``<stem>.upd-NNNN.npz`` sidecar files instead, leaving the base
+        bytes untouched.  :meth:`load` replays the chain
+        deterministically, so the round-trip is bit-identical to the
+        in-memory state.  A full artifact is written whenever appending
+        is not provably safe — new path, missing/mismatched base, a
+        compaction rebase — and stale sidecars are cleared.
+        """
+        base = artifact_base_path(path)
+        if self._can_append_segments(base):
+            for segment in self.update_segments[self._persisted_segments :]:
+                write_artifact(segment_path(base, segment.index), {}, segment.to_metadata())
+            self._persisted_segments = len(self.update_segments)
+            return base
         arrays, metadata = self.to_payload()
-        return write_artifact(path, arrays, metadata)
+        result = write_artifact(base, arrays, metadata)
+        clear_segment_paths(base)
+        # The written artifact *contains* every applied delta, so the
+        # chain restarts from this file as the new base.
+        self._base_fingerprint = str(metadata["fingerprint"])
+        self.update_segments = []
+        self._persisted_segments = 0
+        self._rebased = False
+        return result
+
+    def _can_append_segments(self, base: Path) -> bool:
+        """Whether ``save(base)`` may append segments instead of rewriting.
+
+        Requires an un-rebased model whose known base fingerprint
+        matches the artifact on disk, with the on-disk segment chain
+        exactly matching the already-persisted prefix of
+        ``update_segments`` — anything else falls back to a full write.
+        """
+        if self._rebased or self._base_fingerprint is None:
+            return False
+        if not base.exists():
+            return False
+        try:
+            _, metadata = read_artifact_lazy(base)
+        except Exception:
+            return False
+        if metadata.get("fingerprint") != self._base_fingerprint:
+            return False
+        on_disk = list_segment_paths(base)
+        if len(on_disk) != self._persisted_segments:
+            return False
+        for position, segment_file in enumerate(on_disk):
+            try:
+                _, segment_meta = read_artifact(segment_file)
+            except Exception:
+                return False
+            if segment_meta.get("fingerprint") != self.update_segments[position].fingerprint:
+                return False
+        return True
 
     @classmethod
     def load(
@@ -511,7 +600,49 @@ class ResolverModel:
                     f"(stored {str(expected)[:12]}…, recomputed {actual[:12]}…); "
                     f"the file is corrupt or was modified after saving"
                 )
-        return cls.from_payload(arrays, metadata, source=str(path))
+        model = cls.from_payload(arrays, metadata, source=str(path))
+        model._base_fingerprint = str(expected)
+        model._replay_segments(artifact_base_path(path))
+        return model
+
+    def _replay_segments(self, base: Path) -> None:
+        """Replay the on-disk update-segment chain over the base state.
+
+        Each sidecar is fingerprint-verified and must anchor to this
+        base and chain to its predecessor; the recorded deltas are then
+        re-applied through the deterministic update engine, so the
+        restored model is bit-identical to the one that wrote the
+        segments.  Legacy artifacts (no sidecars) skip this entirely.
+        """
+        from .update import UpdateSegment
+        from .update.engine import apply_delta_to_model
+
+        segment_files = list_segment_paths(base)
+        previous = self._base_fingerprint
+        for position, segment_file in enumerate(segment_files, start=1):
+            _, segment_meta = read_artifact(segment_file)
+            segment = UpdateSegment.from_metadata(segment_meta, source=str(segment_file))
+            if segment.index != position:
+                raise ModelError(
+                    f"update segment {segment_file} carries index {segment.index}, "
+                    f"expected {position}"
+                )
+            if segment.base_fingerprint != self._base_fingerprint:
+                raise ModelError(
+                    f"update segment {segment_file} anchors to base "
+                    f"{segment.base_fingerprint[:12]}…, but {base} has fingerprint "
+                    f"{str(self._base_fingerprint)[:12]}…"
+                )
+            if segment.parent_fingerprint != previous:
+                raise ModelError(
+                    f"update segment {segment_file} does not chain to its "
+                    f"predecessor (expected parent {str(previous)[:12]}…, found "
+                    f"{segment.parent_fingerprint[:12]}…)"
+                )
+            apply_delta_to_model(self, segment.delta)
+            self.update_segments.append(segment)
+            previous = segment.fingerprint
+        self._persisted_segments = len(segment_files)
 
     @classmethod
     def from_payload(
@@ -640,7 +771,12 @@ class ResolverModel:
             },
             corpus,
         )
-        return cls(
+        # Incremental-update state (absent on legacy artifacts).
+        update_doc = document.get("update") or {}
+        tombstones = set(update_doc.get("tombstones", ()))
+        if tombstones:
+            retriever.set_tombstones(tombstones)
+        model = cls(
             config=config,
             intents=intents,
             corpus=corpus,
@@ -655,6 +791,15 @@ class ResolverModel:
             augment_with_scores=bool(document["augment_with_scores"]),
             feature_config=feature_config,
         )
+        model.tombstones = tombstones
+        model.update_pairs = [
+            RecordPair(str(left), str(right))
+            for left, right in update_doc.get("pairs", ())
+        ]
+        model._touched_ids = set(update_doc.get("touched", ()))
+        model._stale_supervision = int(update_doc.get("stale_supervision", 0))
+        model._update_generation = int(update_doc.get("generation", 0))
+        return model
 
     # ------------------------------------------------------------------ query
 
@@ -682,21 +827,126 @@ class ResolverModel:
             records, intents=intents, k=k, mode=mode, executor=executor
         )
 
+    # ----------------------------------------------------------------- update
+
+    def drift_metrics(self):
+        """Current :class:`~repro.update.DriftMetrics` snapshot."""
+        # Imported lazily: repro.update reaches back into the pipeline
+        # (and hence this module) at import time.
+        from .update import DriftMetrics
+
+        return DriftMetrics(
+            corpus_records=len(self.corpus),
+            tombstone_records=len(self.tombstones),
+            touched_records=len(self._touched_ids),
+            update_generations=self._update_generation,
+            stale_supervision=self._stale_supervision,
+        )
+
+    def update(
+        self,
+        upserts: Sequence[Record] = (),
+        deletes: Sequence[str] = (),
+        *,
+        policy=None,
+        compact: str = "auto",
+    ):
+        """Absorb corpus upserts and deletes without refitting.
+
+        Modified records are re-encoded in place, new records are
+        indexed and paired against the corpus (their pairs join the
+        multiplex graph), deleted records become tombstones filtered
+        from retrieval, and the per-intent GraphSAGE hidden states are
+        refreshed only for the touched neighbourhoods.  Each applied
+        delta is recorded as a fingerprint-chained segment so
+        :meth:`save` can append it next to the unchanged base artifact.
+
+        Parameters
+        ----------
+        upserts:
+            Records to insert (new ids) or replace (existing ids).
+        deletes:
+            Existing record ids to delete.
+        policy:
+            :class:`~repro.update.CompactionPolicy` deciding when
+            accumulated drift triggers a full refit; ``None`` uses the
+            default thresholds.
+        compact:
+            ``"auto"`` (refit when the policy says so), ``"never"``
+            (only incremental maintenance), or ``"force"`` (refit after
+            applying this delta regardless of drift).
+
+        Returns the :class:`~repro.update.UpdateResult` of the applied
+        delta.  Raises :class:`~repro.exceptions.UpdateError` for
+        invalid deltas (unknown deletes, duplicate ids, schema
+        violations, ...).
+        """
+        from .update import CompactionPolicy, UpdateSegment, build_delta
+        from .update.engine import apply_delta_to_model, compact_model
+
+        if compact not in ("auto", "never", "force"):
+            raise UpdateError(f"unknown compact setting: {compact!r}")
+        delta = build_delta(self.corpus, self.tombstones, upserts=upserts, deletes=deletes)
+        if self._base_fingerprint is None:
+            # Never persisted: anchor the chain to the pre-update state
+            # (what save() would have stamped before this delta).
+            self._base_fingerprint = self.fingerprint()
+        parent = (
+            self.update_segments[-1].fingerprint
+            if self.update_segments
+            else self._base_fingerprint
+        )
+        index = len(self.update_segments) + 1
+        result = apply_delta_to_model(self, delta)
+        self.update_segments.append(
+            UpdateSegment.build(index, delta, self._base_fingerprint, parent)
+        )
+        if compact != "never":
+            effective_policy = policy if policy is not None else CompactionPolicy()
+            reasons = (
+                ["forced"]
+                if compact == "force"
+                else effective_policy.reasons(result.drift)
+            )
+            if reasons:
+                compact_model(self)
+                result.compacted = True
+                result.compaction_reasons = reasons
+                result.drift = self.drift_metrics()
+        return result
+
+    def compact(self) -> None:
+        """Refit over the live corpus, discarding all incremental state.
+
+        See :func:`repro.update.compact_model`; the next :meth:`save`
+        writes a full (rebased) artifact.
+        """
+        from .update.engine import compact_model
+
+        compact_model(self)
+
     def describe(self) -> dict[str, object]:
-        """Summary of the fitted model (sizes, components, fingerprint)."""
+        """Summary of the fitted model (sizes, components, update state)."""
+        drift = self.drift_metrics()
         return {
             "intents": list(self.intents),
             "corpus_records": len(self.corpus),
+            "corpus_live_records": drift.live_records,
             "corpus_pairs": {
                 "train": len(self.split.train),
                 "valid": len(self.split.valid),
                 "test": len(self.split.test),
             },
+            "update_pairs": len(self.update_pairs),
             "solver": str(SOLVERS.normalize(self.config.solver)["type"]),
             "retriever": str(self.retriever_spec["type"]),
             "graph_nodes": int(self.graph_payload["num_pairs"]) * len(self.intents),
             "schema_version": MODEL_SCHEMA_VERSION,
             "fingerprint": self.fingerprint(),
+            "base_fingerprint": self._base_fingerprint,
+            "update_generations": drift.update_generations,
+            "tombstone_ratio": drift.tombstone_ratio,
+            "stale_supervision": drift.stale_supervision,
         }
 
 
@@ -737,8 +987,25 @@ class QuerySession:
         self._runner: PipelineRunner | None = None
         self._layer_indexes: dict[str, ExactNearestNeighbors] = {}
         self._frozen: dict[str, FrozenSAGE] = {}
+        self._model_generation = model._update_generation
 
     # -------------------------------------------------------------- plumbing
+
+    def _sync_generation(self) -> None:
+        """Drop caches derived from model state an update has replaced.
+
+        Incremental updates (and compaction refits) mutate the model in
+        place and bump its generation counter; a long-lived session must
+        then rebuild its seeded exact-mode runner, per-layer kNN
+        indexes, and frozen GNN states from the current state.  In-flight
+        queries are unaffected — they hold references to the arrays they
+        started with.
+        """
+        if self._model_generation != self.model._update_generation:
+            self._runner = None
+            self._layer_indexes.clear()
+            self._frozen.clear()
+            self._model_generation = self.model._update_generation
 
     def _exact_runner(self) -> PipelineRunner:
         """The seeded pipeline runner of the exact replay path."""
@@ -923,6 +1190,7 @@ class QuerySession:
         if mode not in ("exact", "online"):
             raise QueryError(f"unknown query mode: {mode!r}")
         start = time.perf_counter()
+        self._sync_generation()
         records = self._validate_records(records)
         requested = self._resolve_intents(intents)
         if executor is not None and mode == "online":

@@ -6,6 +6,7 @@ Usage (module form)::
     PYTHONPATH=src python -m repro.pipeline resolve --dataset amazon_mi --blocker token
     PYTHONPATH=src python -m repro.pipeline fit --save-model model.npz --query-holdout 6
     PYTHONPATH=src python -m repro.pipeline query --model model.npz --query-holdout 6
+    PYTHONPATH=src python -m repro.pipeline update --model model.npz --upsert 3
     PYTHONPATH=src python -m repro.pipeline sweep-k --k-values 0,2,4,6
     PYTHONPATH=src python -m repro.pipeline cache --cache-dir .repro-cache
 
@@ -16,7 +17,10 @@ through :func:`repro.resolve`); ``fit`` trains on the benchmark's raw
 records (optionally holding out the last N records) and persists a
 :class:`~repro.model.ResolverModel`; ``query`` loads a persisted model
 in a fresh process and resolves the held-out records against the fitted
-corpus online; ``sweep-k`` executes a Table-8-style grid through the
+corpus online; ``update`` absorbs held-out records (and optional
+deletes) into a persisted model without a refit, appending update
+segments next to the unchanged base artifact;
+``sweep-k`` executes a Table-8-style grid through the
 :class:`~repro.pipeline.batch.BatchRunner`; ``cache`` inspects (or
 clears) an on-disk artifact cache.  All components are named by registry
 keys (``--solver``, ``--blocker``, ``--retriever``) and constructed
@@ -209,6 +213,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the query result as a deterministic .npz artifact",
+    )
+
+    update = commands.add_parser(
+        "update",
+        help="absorb corpus upserts/deletes into a persisted ResolverModel without refit",
+    )
+    _add_common_options(update)
+    update.add_argument(
+        "--model",
+        required=True,
+        metavar="PATH",
+        help="path of a ResolverModel artifact written by fit --save-model",
+    )
+    _add_query_options(update)
+    update.add_argument(
+        "--upsert",
+        type=int,
+        default=3,
+        metavar="M",
+        help="absorb the first M held-out benchmark records into the corpus",
+    )
+    update.add_argument(
+        "--delete-unreferenced",
+        type=int,
+        default=0,
+        metavar="D",
+        help="tombstone D corpus records no split pair references",
+    )
+    update.add_argument(
+        "--chunks",
+        type=int,
+        default=1,
+        help="replay the upserts as this many timestamped stream chunks "
+        "(one update per chunk)",
+    )
+    update.add_argument(
+        "--compact",
+        default="auto",
+        choices=("auto", "never", "force"),
+        help="compaction: 'auto' follows the drift policy, 'never' pins "
+        "segment-only persistence, 'force' refits immediately",
+    )
+    update.add_argument(
+        "--dump-result",
+        default=None,
+        metavar="PATH",
+        help="query the remaining held-out records after the updates and "
+        "write the result as a deterministic .npz artifact",
+    )
+    update.add_argument(
+        "--parity-dump",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also fit a fresh model on the union corpus (same split) and dump "
+            "its query over the same records; in --query-mode exact the two "
+            "dumps must be cmp-identical (the update-smoke CI contract)"
+        ),
+    )
+    update.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not persist the update segments back next to --model",
     )
 
     sweep = commands.add_parser(
@@ -609,6 +676,160 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_update(args: argparse.Namespace) -> int:
+    """Absorb held-out records (and deletes) into a persisted model."""
+    from ..data.pairs import CandidateSet
+    from ..data.records import Dataset
+    from ..data.splits import DatasetSplit
+    from ..datasets import stream_chunks
+    from ..model import ResolverModel
+
+    benchmark = load_benchmark(
+        args.dataset,
+        num_pairs=args.num_pairs,
+        products_per_domain=args.products,
+        seed=args.seed,
+    )
+    _, holdout_records = _holdout_corpus(args, benchmark)
+    upsert_count = int(args.upsert)
+    if upsert_count < 0 or upsert_count > len(holdout_records):
+        raise SystemExit(
+            f"--upsert must be in [0, {len(holdout_records)}] "
+            f"(the --query-holdout size)"
+        )
+    upserts = holdout_records[:upsert_count]
+
+    # Updates mutate model state, so load eagerly; existing update
+    # segments next to the artifact replay automatically.
+    model = ResolverModel.load(args.model, mmap=False)
+
+    # A prior update run may already have absorbed leading holdout
+    # records; only still-unseen records remain valid query probes.
+    probes = [
+        record
+        for record in holdout_records[upsert_count:]
+        if record.record_id not in model.corpus
+    ]
+
+    deletes: list[str] = []
+    if args.delete_unreferenced:
+        referenced = {
+            record_id
+            for part in (model.split.train, model.split.valid, model.split.test)
+            for pair in part.pairs
+            for record_id in (pair.left_id, pair.right_id)
+        }
+        removable = [
+            record.record_id
+            for record in model.corpus
+            if record.record_id not in referenced
+            and record.record_id not in model.tombstones
+        ]
+        if len(removable) < args.delete_unreferenced:
+            raise SystemExit(
+                f"only {len(removable)} unreferenced corpus records are "
+                f"deletable, asked for {args.delete_unreferenced}"
+            )
+        deletes = removable[: args.delete_unreferenced]
+
+    if not upserts and not deletes:
+        raise SystemExit("update requires --upsert > 0 or --delete-unreferenced > 0")
+
+    chunk_size = -(-len(upserts) // max(int(args.chunks), 1)) if upserts else 0
+    batches = (
+        [list(chunk.records) for chunk in stream_chunks(upserts, chunk_size)]
+        if upserts
+        else [[]]
+    )
+    compacted_reasons: list[str] = []
+    for position, batch in enumerate(batches):
+        last = position == len(batches) - 1
+        result = model.update(
+            upserts=batch,
+            deletes=deletes if last else (),
+            compact=args.compact,
+        )
+        note = (
+            f" (compacted: {', '.join(result.compaction_reasons)})"
+            if result.compacted
+            else ""
+        )
+        print(
+            f"update {position + 1}/{len(batches)}: +{result.upserts} records, "
+            f"-{result.deletes} tombstoned, {len(result.new_pairs)} new pairs, "
+            f"{len(result.refreshed_pairs)} refreshed pairs{note}"
+        )
+        if result.compacted:
+            compacted_reasons.extend(result.compaction_reasons)
+
+    description = model.describe()
+    print(
+        f"model: generation {description['update_generations']}, "
+        f"{description['corpus_live_records']}/{description['corpus_records']} "
+        f"live records, tombstone ratio {description['tombstone_ratio']:.3f}, "
+        f"stale supervision {description['stale_supervision']}"
+    )
+
+    if probes and (args.dump_result or args.parity_dump):
+        result = model.query(probes, k=args.query_k, mode=args.query_mode)
+        _print_query_result(result)
+        if args.dump_result:
+            _dump_query_result(result, args.dump_result)
+            print(f"post-update query artifact written to {args.dump_result}")
+    elif args.dump_result or args.parity_dump:
+        raise SystemExit("--dump-result/--parity-dump need remaining holdout probes")
+
+    if args.parity_dump:
+        # The strict contract: a fresh fit on the union corpus — same
+        # supervision pairs, re-anchored over the live records — must
+        # answer exact-mode queries byte-identically.
+        live = Dataset(
+            records=[
+                record
+                for record in model.corpus
+                if record.record_id not in model.tombstones
+            ],
+            name=model.corpus.name,
+            attributes=model.corpus.attributes,
+        )
+
+        def reanchor(part):
+            """Re-anchor a split part's pairs over the union corpus."""
+            return CandidateSet(live, pairs=list(part), intents=model.intents)
+
+        fresh_split = DatasetSplit(
+            train=reanchor(model.split.train),
+            valid=reanchor(model.split.valid),
+            test=reanchor(model.split.test),
+        )
+        runner = PipelineRunner(
+            cache=_make_cache(args),
+            augment_with_scores=model.augment_with_scores,
+            feature_config=model.feature_config,
+        )
+        fresh = runner.fit_model(
+            fresh_split,
+            model.intents,
+            config=model.config,
+            retriever=model.retriever_spec,
+        ).model
+        parity = fresh.query(probes, k=args.query_k, mode=args.query_mode)
+        _dump_query_result(parity, args.parity_dump)
+        print(f"fresh-fit parity artifact written to {args.parity_dump}")
+
+    if not args.no_save:
+        path = model.save(args.model)
+        if model.update_segments:
+            print(
+                f"model saved to {path} "
+                f"(+{len(model.update_segments)} update segment(s), base unchanged)"
+            )
+        else:
+            reasons = ", ".join(compacted_reasons) or "compaction"
+            print(f"model rewritten at {path} after {reasons}")
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     if not args.cache_dir:
         print("no cache directory given (use --cache-dir or $REPRO_CACHE_DIR)")
@@ -634,6 +855,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_fit(args)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "update":
+        return _command_update(args)
     if args.command == "sweep-k":
         return _command_sweep_k(args)
     return _command_cache(args)

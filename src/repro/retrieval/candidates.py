@@ -102,6 +102,39 @@ class CandidateRetriever(abc.ABC):
         del arrays
         self.fit(dataset)
 
+    @property
+    def tombstones(self) -> frozenset[str]:
+        """Corpus record ids excluded from retrieval (deleted, not compacted)."""
+        return frozenset(getattr(self, "_tombstones", ()))
+
+    def set_tombstones(self, record_ids: Sequence[str] | frozenset[str]) -> None:
+        """Install the set of deleted-but-still-indexed record ids.
+
+        Tombstoned records stay in the index (their rows keep every
+        other record's position stable) but are filtered out of every
+        ranked candidate list, so retrieval behaves as if they were
+        gone.  Compaction removes them for real.
+        """
+        self._tombstones = set(record_ids)
+
+    def apply_delta(
+        self,
+        dataset: Dataset,
+        upserted_ids: Sequence[str],
+        tombstones: Sequence[str] | frozenset[str] = (),
+    ) -> None:
+        """Absorb a corpus delta into the fitted index.
+
+        ``dataset`` is the post-update corpus: previously indexed records
+        keep their position (modified ones replaced in place), new ones
+        appended at the end.  The default implementation refits from
+        scratch — indexing is deterministic, so subclass fast paths and
+        this fallback produce identical retrieval state.
+        """
+        del upserted_ids
+        self.fit(dataset)
+        self.set_tombstones(tombstones)
+
     def _require_fitted(self) -> None:
         if not getattr(self, "_fitted", False):
             raise NotFittedError(f"{type(self).__name__} must be fitted before retrieving")
@@ -142,6 +175,7 @@ class AnnKnnRetriever(CandidateRetriever):
         self._index = ExactNearestNeighbors(metric=metric)
         self._record_ids: list[str] = []
         self._sources: list[str | None] = []
+        self._tombstones: set[str] = set()
         self._fitted = False
 
     def to_spec(self) -> dict[str, object]:
@@ -165,8 +199,48 @@ class AnnKnnRetriever(CandidateRetriever):
         self._record_ids = list(dataset.record_ids)
         self._sources = [record.source for record in dataset]
         self._index.fit(self._vectorize(list(dataset)))
+        self._tombstones = set()
         self._fitted = True
         return self
+
+    def apply_delta(
+        self,
+        dataset: Dataset,
+        upserted_ids: Sequence[str],
+        tombstones: Sequence[str] | frozenset[str] = (),
+    ) -> None:
+        """Re-vectorize only the upserted records; keep every other row.
+
+        Modified records overwrite their existing vector row, new
+        records append rows in corpus order, so the resulting matrix is
+        bit-identical to a fresh :meth:`fit` over ``dataset`` (each row
+        is the deterministic hash of that record's text alone) at the
+        cost of vectorizing only the delta.
+        """
+        self._require_fitted()
+        positions = {rid: row for row, rid in enumerate(self._record_ids)}
+        new_ids = list(dataset.record_ids)
+        if new_ids[: len(positions)] != self._record_ids:
+            # Indexed prefix moved (should not happen via the update
+            # engine); a full refit is deterministic and always correct.
+            self.fit(dataset)
+            self.set_tombstones(tombstones)
+            return
+        assert self._index._data is not None
+        vectors = np.array(self._index._data, dtype=np.float64)
+        changed = [rid for rid in upserted_ids if rid in positions]
+        added = [rid for rid in new_ids[len(positions) :]]
+        if changed:
+            rows = self._vectorize([dataset[rid] for rid in changed])
+            for offset, rid in enumerate(changed):
+                vectors[positions[rid]] = rows[offset]
+        if added:
+            appended = self._vectorize([dataset[rid] for rid in added])
+            vectors = np.concatenate([vectors, appended], axis=0)
+        self._record_ids = new_ids
+        self._sources = [record.source for record in dataset]
+        self._index.fit(vectors)
+        self.set_tombstones(tombstones)
 
     def state_arrays(self) -> dict[str, np.ndarray]:
         """The corpus vector matrix (row order = corpus record order)."""
@@ -183,6 +257,7 @@ class AnnKnnRetriever(CandidateRetriever):
         self._record_ids = list(dataset.record_ids)
         self._sources = [record.source for record in dataset]
         self._index.fit(np.asarray(vectors, dtype=np.float64))
+        self._tombstones = set()
         self._fitted = True
 
     def retrieve(self, records: Sequence[Record], k: int) -> list[list[str]]:
@@ -202,8 +277,14 @@ class AnnKnnRetriever(CandidateRetriever):
         queries = self._vectorize(records)
         # With source filtering the post-filter cut can eat arbitrarily
         # many of the top results, so rank the full corpus; the search is
-        # exact (O(n) per query) either way.
-        search_k = self._index.num_indexed if self.cross_source_only else k
+        # exact (O(n) per query) either way.  Without it, over-fetch by
+        # the self-match slot plus the tombstone count — the search is
+        # exact with index-stable tie-breaking, so extending the ranked
+        # prefix never reorders it.
+        if self.cross_source_only:
+            search_k = self._index.num_indexed
+        else:
+            search_k = k + 1 + len(self._tombstones)
         search_k = max(min(search_k, self._index.num_indexed), 1)
         candidates: list[list[str]] = []
         for row, record in enumerate(records):
@@ -212,6 +293,8 @@ class AnnKnnRetriever(CandidateRetriever):
             for position in result.indices[0].tolist():
                 corpus_id = self._record_ids[position]
                 if corpus_id == record.record_id:
+                    continue
+                if corpus_id in self._tombstones:
                     continue
                 if (
                     self.cross_source_only
@@ -259,6 +342,7 @@ class BlockerRetriever(CandidateRetriever):
             )
         self._index: dict[str, list[str]] = {}
         self._dataset: Dataset | None = None
+        self._tombstones: set[str] = set()
         self._fitted = False
 
     def to_spec(self) -> dict[str, object]:
@@ -269,8 +353,44 @@ class BlockerRetriever(CandidateRetriever):
         """Build the wrapped blocker's inverted index over the corpus."""
         self._dataset = dataset
         self._index = dict(self.blocker._index(dataset))
+        self._tombstones = set()
         self._fitted = True
         return self
+
+    def apply_delta(
+        self,
+        dataset: Dataset,
+        upserted_ids: Sequence[str],
+        tombstones: Sequence[str] | frozenset[str] = (),
+    ) -> None:
+        """Patch only the postings of the upserted records.
+
+        A modified record's old keys are recomputed from the previous
+        corpus snapshot and its id removed from those postings before
+        the new keys are added, so the index ends up key-for-key
+        equivalent to a fresh fit over ``dataset`` (member order within
+        a posting may differ; ranking sorts by count then id, so
+        retrieval is unaffected).
+        """
+        self._require_fitted()
+        assert self._dataset is not None
+        previous = self._dataset
+        for record_id in upserted_ids:
+            if record_id in previous:
+                for key in self._query_keys(previous[record_id]):
+                    members = self._index.get(key)
+                    if members is None or record_id not in members:
+                        continue
+                    members.remove(record_id)
+                    if not members:
+                        del self._index[key]
+            record = dataset[record_id]
+            for key in sorted(self._query_keys(record)):
+                members = self._index.setdefault(key, [])
+                if record_id not in members:
+                    members.append(record_id)
+        self._dataset = dataset
+        self.set_tombstones(tombstones)
 
     def _query_keys(self, record: Record) -> frozenset[str]:
         """The blocking keys of one query record (same derivation as fit)."""
@@ -311,6 +431,7 @@ class BlockerRetriever(CandidateRetriever):
                     for corpus_id, count in counts.items()
                     if count >= min_shared
                     and corpus_id != record.record_id
+                    and corpus_id not in self._tombstones
                     and _sources_admissible(
                         record, self._dataset[corpus_id], cross_source_only
                     )

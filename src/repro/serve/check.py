@@ -31,17 +31,22 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
-from ..data.serialization import write_artifact
+from ..data.serialization import artifact_base_path, write_artifact
 from ..datasets import benchmark_names, load_benchmark
+from ..exceptions import ReloadError
 from ..model import QueryResult, QuerySession, ResolverModel
 from .client import ServeClient
+from .registry import DEFAULT_MODEL, ModelRegistry
 from .server import AsyncResolverServer, ServeConfig
 
 __all__ = ["build_parser", "main"]
@@ -87,6 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--dump-serial", default=None, help="write the serial result stream here"
+    )
+    parser.add_argument(
+        "--upserted",
+        type=int,
+        default=0,
+        help=(
+            "leading holdout records a prior 'repro.pipeline update' run "
+            "absorbed into the corpus; they are skipped as query probes"
+        ),
+    )
+    parser.add_argument(
+        "--reload-check",
+        action="store_true",
+        help=(
+            "also exercise the reload op: stage a copy of the base artifact, "
+            "append an update segment offline, reload over TCP and assert the "
+            "server picked up the grown corpus"
+        ),
     )
     return parser
 
@@ -178,17 +201,97 @@ async def _fire_requests(args, records) -> tuple[list[QueryResult], dict, list[f
 
 
 def _registry_for(path: str, mmap: bool):
-    from .registry import ModelRegistry
-
     registry = ModelRegistry()
     registry.add(path=path, mmap=mmap)
     return registry
 
 
+async def _reload_roundtrip(args, records) -> list[str]:
+    """Exercise the ``reload`` op over TCP; returns failure descriptions.
+
+    Stages a copy of the *base* artifact (no update segments), serves it
+    memory-mapped, then plays the production sequence: an offline
+    process appends an update segment next to the served path, the
+    client sends ``reload``, and the next query must see the grown
+    corpus — bit-identical to an in-process query on the updated model.
+    Also asserts the typed :class:`~repro.exceptions.ReloadError` for
+    instance-backed entries.
+    """
+    failures: list[str] = []
+    upserts = records[: max(1, int(args.upserted))]
+    probe = records[-1]
+    if probe.record_id in {record.record_id for record in upserts}:
+        return ["--reload-check needs at least one holdout record beyond --upserted"]
+    with tempfile.TemporaryDirectory() as tmp:
+        base = artifact_base_path(Path(args.model))
+        staged = Path(tmp) / base.name
+        shutil.copyfile(base, staged)
+        registry = ModelRegistry()
+        registry.add(path=staged, mmap=True)
+        registry.add("pinned", model=ResolverModel.load(staged, mmap=False))
+        server = AsyncResolverServer(
+            registry,
+            ServeConfig(max_batch_size=args.max_batch_size, max_wait_us=1000),
+        )
+        tcp = await server.serve_tcp(host="127.0.0.1", port=0)
+        port = tcp.sockets[0].getsockname()[1]
+        try:
+            async with ServeClient("127.0.0.1", port) as client:
+                # Force the lazy load so the later reload has an
+                # instance to drop.
+                await client.query([probe], k=args.k, mode="online")
+                listing = {entry["name"]: entry for entry in await client.models()}
+                base_count = listing[DEFAULT_MODEL]["corpus_records"]
+
+                # The offline maintenance step: absorb the upserts and
+                # append a sidecar segment next to the served base.
+                offline = ResolverModel.load(staged, mmap=False)
+                offline.update(upserts=upserts, compact="never")
+                offline.save(staged)
+
+                reply = await client.reload()
+                if not reply.get("dropped"):
+                    failures.append(
+                        f"reload did not drop the loaded model: {reply}"
+                    )
+                after = await client.query([probe], k=args.k, mode="online")
+                listing = {entry["name"]: entry for entry in await client.models()}
+                count = listing[DEFAULT_MODEL]["corpus_records"]
+                if count != base_count + len(upserts):
+                    failures.append(
+                        f"reloaded corpus has {count} records, expected "
+                        f"{base_count} + {len(upserts)} upserts"
+                    )
+                serial = QuerySession(offline).query(
+                    [probe], k=args.k, mode="online"
+                )
+                if not _results_identical(after, serial):
+                    failures.append(
+                        "post-reload query differs from the updated model"
+                    )
+                try:
+                    await client.reload("pinned")
+                except ReloadError:
+                    pass
+                else:
+                    failures.append(
+                        "reload of an instance-backed entry did not raise ReloadError"
+                    )
+        finally:
+            await server.stop()
+    return failures
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the checker; returns 0 only if every assertion holds."""
     args = build_parser().parse_args(argv)
-    records = holdout_records(args)
+    holdout = holdout_records(args)
+    upserted = int(args.upserted)
+    if upserted < 0 or upserted >= len(holdout):
+        raise SystemExit(f"--upserted must be in [0, {len(holdout) - 1}]")
+    # Records a prior update run absorbed into the corpus stop being
+    # interesting probes; query the still-unseen remainder.
+    records = holdout[upserted:]
     serve_results, stats, latencies = asyncio.run(_fire_requests(args, records))
 
     failures: list[str] = []
@@ -230,6 +333,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.dump_serial:
         arrays, metadata = aggregate_results(serial_results)
         write_artifact(args.dump_serial, arrays, metadata)
+
+    if args.reload_check:
+        reload_failures = asyncio.run(_reload_roundtrip(args, holdout))
+        failures.extend(reload_failures)
+        if not reload_failures:
+            print(
+                "serve.check: reload round-trip OK "
+                "(segment appended offline, picked up over TCP)"
+            )
 
     sorted_latencies = sorted(latencies) or [0.0]
     print(

@@ -23,6 +23,7 @@ from ..data.records import Record
 from ..exceptions import (
     QueryError,
     QueryTimeoutError,
+    ReloadError,
     ReproError,
     ServeError,
     ServerOverloadedError,
@@ -35,6 +36,7 @@ __all__ = ["ServeClient"]
 #: Wire error ``type`` values mapped back to library exception classes.
 _ERROR_TYPES: dict[str, type[ReproError]] = {
     "ServeError": ServeError,
+    "ReloadError": ReloadError,
     "ServerOverloadedError": ServerOverloadedError,
     "QueryTimeoutError": QueryTimeoutError,
     "QueryError": QueryError,
@@ -147,6 +149,22 @@ class ServeClient:
     async def stats(self) -> dict[str, object]:
         """The server's serving counters."""
         return await self._request({"op": "stats"})
+
+    async def reload(self, model: str | None = None) -> dict[str, object]:
+        """Ask the server to re-read ``model``'s artifact from disk.
+
+        The server evicts the entry (in-flight queries finish on the old
+        instance) and lazily re-loads on the next query, picking up any
+        update segments appended by ``python -m repro.pipeline update``.
+        Returns ``{"model": ..., "reloaded": True, "dropped": bool}``.
+
+        Raises :class:`~repro.exceptions.ReloadError` when the entry is
+        instance-backed (nothing on disk to re-read).
+        """
+        payload: dict[str, object] = {"op": "reload"}
+        if model is not None:
+            payload["model"] = model
+        return await self._request(payload)
 
     # ---------------------------------------------------------------- plumbing
 

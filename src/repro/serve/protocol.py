@@ -19,6 +19,12 @@ Operations
     Registry listing (name, loaded, mmap, fingerprint, ...).
 ``stats``
     A :meth:`~repro.serve.server.ServeStats.snapshot` of the counters.
+``reload``
+    ``{"op": "reload", "model": "default"}`` — evict the named
+    path-backed model so the next query lazily re-reads its artifact
+    (including any update segments appended since).  In-flight queries
+    finish on the old instance.  Instance-backed entries answer with a
+    ``ReloadError``.
 
 Responses are ``{"id": ..., "ok": true, "result": ...}`` on success and
 ``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}`` on
@@ -42,6 +48,7 @@ from ..data.pairs import RecordPair
 from ..data.records import Record
 from ..exceptions import ReproError, ServeError
 from ..model import QueryResult
+from .registry import DEFAULT_MODEL
 
 __all__ = [
     "connection_handler",
@@ -145,6 +152,12 @@ async def _handle_request(server, payload: dict[str, object]) -> object:
         return server.registry.describe()
     if op == "stats":
         return server.stats.snapshot()
+    if op == "reload":
+        name = payload.get("model", DEFAULT_MODEL)
+        if not isinstance(name, str) or not name:
+            raise ServeError("reload.model must be a non-empty string")
+        dropped = server.registry.reload(name)
+        return {"model": name, "reloaded": True, "dropped": dropped}
     if op == "query":
         records_payload = payload.get("records")
         if not isinstance(records_payload, list) or not records_payload:

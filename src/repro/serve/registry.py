@@ -16,7 +16,7 @@ import threading
 from collections.abc import Iterator, Mapping
 from pathlib import Path
 
-from ..exceptions import ServeError
+from ..exceptions import ReloadError, ServeError
 from ..model import QuerySession, ResolverModel
 
 __all__ = ["DEFAULT_MODEL", "ModelEntry", "ModelRegistry"]
@@ -117,6 +117,31 @@ class ModelEntry:
             self._generation += 1
         return dropped
 
+    def reload(self) -> bool:
+        """Pick up an updated artifact: evict now, re-load lazily.
+
+        The serving pattern behind ``python -m repro.pipeline update``:
+        an offline process appends update segments (or rewrites the
+        artifact) next to the served path, then asks the server to
+        reload.  Eviction bumps the entry generation, so sessions
+        borrowed before the reload finish their in-flight queries
+        against the old instance and are dropped on release — no query
+        is interrupted, and the next borrowed session wraps the freshly
+        loaded state.
+
+        Returns whether a loaded model instance was actually dropped
+        (``False`` means the entry was not loaded yet, so the next use
+        picks up the new bytes anyway).  Raises
+        :class:`~repro.exceptions.ReloadError` for instance-backed
+        entries, which have no artifact to re-read.
+        """
+        if self.path is None:
+            raise ReloadError(
+                f"model {self.name!r} is instance-backed (no artifact path); "
+                f"re-register it to serve updated state"
+            )
+        return self.evict()
+
     def describe(self) -> dict[str, object]:
         """Summary of the entry for the ``models`` protocol op."""
         info: dict[str, object] = {
@@ -203,6 +228,15 @@ class ModelRegistry(Mapping):
     def evict(self, name: str) -> bool:
         """Drop ``name``'s loaded model to reclaim memory (stays registered)."""
         return self.entry(name).evict()
+
+    def reload(self, name: str = DEFAULT_MODEL) -> bool:
+        """Re-read ``name``'s artifact (evict + lazy load on next use).
+
+        Raises :class:`~repro.exceptions.ReloadError` when the entry is
+        instance-backed, and :class:`~repro.exceptions.ServeError` for
+        unknown names.
+        """
+        return self.entry(name).reload()
 
     def describe(self) -> list[dict[str, object]]:
         """Per-entry summaries, sorted by name (the ``models`` op payload)."""

@@ -1,0 +1,226 @@
+"""Validated corpus deltas and their persisted segment form.
+
+A :class:`CorpusDelta` is one batch of corpus maintenance — records to
+upsert (insert new or replace existing) and record ids to delete.  The
+update engine (:mod:`repro.update.engine`) applies deltas to a fitted
+:class:`~repro.model.ResolverModel`; each applied delta is recorded as an
+:class:`UpdateSegment` so ``save()`` can persist only the deltas and
+``load()`` can replay them over the base artifact.
+
+Segments are chained by content fingerprint: every segment names the
+fingerprint of its parent (the base artifact for the first segment, the
+previous segment otherwise), so a reader detects mixed-up or tampered
+sidecar files before replaying them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from ..data.records import Dataset, Record
+from ..exceptions import UpdateError
+from ..pipeline.fingerprint import digest
+
+__all__ = [
+    "UPDATE_SEGMENT_KIND",
+    "CorpusDelta",
+    "UpdateSegment",
+    "build_delta",
+    "fingerprint_segment",
+]
+
+#: Artifact ``kind`` marker of persisted update segments.
+UPDATE_SEGMENT_KIND = "resolver-model-update"
+
+
+@dataclass(frozen=True)
+class CorpusDelta:
+    """One validated batch of corpus upserts and deletes.
+
+    Attributes
+    ----------
+    upserts:
+        Records to insert (new ids) or replace (existing ids), in
+        application order.
+    deletes:
+        Existing record ids to delete (tombstone until compaction).
+    """
+
+    upserts: tuple[Record, ...]
+    deletes: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.upserts) + len(self.deletes)
+
+    @property
+    def upserted_ids(self) -> tuple[str, ...]:
+        """Record ids touched by the upserts, in application order."""
+        return tuple(record.record_id for record in self.upserts)
+
+    def to_document(self) -> dict[str, object]:
+        """JSON-plain form of the delta (persisted in segment metadata)."""
+        return {
+            "upserts": [
+                {
+                    "record_id": record.record_id,
+                    "source": record.source,
+                    "values": dict(record.values),
+                }
+                for record in self.upserts
+            ],
+            "deletes": list(self.deletes),
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, object]) -> "CorpusDelta":
+        """Rebuild a delta from :meth:`to_document` output."""
+        try:
+            upserts = tuple(
+                Record(
+                    record_id=entry["record_id"],
+                    values=entry["values"],
+                    source=entry["source"],
+                )
+                for entry in document["upserts"]
+            )
+            deletes = tuple(str(record_id) for record_id in document["deletes"])
+        except (KeyError, TypeError) as error:
+            raise UpdateError(f"malformed update-segment delta: {error}") from error
+        return cls(upserts=upserts, deletes=deletes)
+
+
+def build_delta(
+    corpus: Dataset,
+    tombstones: frozenset[str] | set[str],
+    upserts: Sequence[Record] = (),
+    deletes: Sequence[str] = (),
+) -> CorpusDelta:
+    """Validate raw upserts/deletes against the current corpus state.
+
+    Raises :class:`~repro.exceptions.UpdateError` for empty deltas,
+    non-:class:`~repro.data.records.Record` upserts, duplicate ids inside
+    one batch, records outside the corpus schema, deletes of unknown or
+    already-deleted ids, and ids both upserted and deleted at once.
+    """
+    upsert_list = list(upserts)
+    delete_list = [str(record_id) for record_id in deletes]
+    if not upsert_list and not delete_list:
+        raise UpdateError("update requires at least one upsert or delete")
+    schema = set(corpus.attributes or ())
+    seen: set[str] = set()
+    for record in upsert_list:
+        if not isinstance(record, Record):
+            raise UpdateError(
+                f"upserts accept Record objects, got {type(record).__name__}"
+            )
+        if record.record_id in seen:
+            raise UpdateError(f"duplicate upsert record id: {record.record_id!r}")
+        seen.add(record.record_id)
+        if schema:
+            unknown = set(record.attributes) - schema
+            if unknown:
+                raise UpdateError(
+                    f"upsert record {record.record_id!r} has attributes outside "
+                    f"the corpus schema: {sorted(unknown)}"
+                )
+    delete_seen: set[str] = set()
+    for record_id in delete_list:
+        if record_id in delete_seen:
+            raise UpdateError(f"duplicate delete record id: {record_id!r}")
+        delete_seen.add(record_id)
+        if record_id not in corpus:
+            raise UpdateError(f"cannot delete unknown record {record_id!r}")
+        if record_id in tombstones:
+            raise UpdateError(f"record {record_id!r} is already deleted")
+        if record_id in seen:
+            raise UpdateError(
+                f"record {record_id!r} appears in both upserts and deletes"
+            )
+    return CorpusDelta(upserts=tuple(upsert_list), deletes=tuple(delete_list))
+
+
+def fingerprint_segment(
+    index: int, parent_fingerprint: str, delta_document: Mapping[str, object]
+) -> str:
+    """Chained content fingerprint of one update segment."""
+    return digest("update-segment", index, parent_fingerprint, delta_document)
+
+
+@dataclass(frozen=True)
+class UpdateSegment:
+    """One applied delta, positioned in the fingerprint chain of a model.
+
+    Attributes
+    ----------
+    index:
+        1-based position in the chain (matches the sidecar file name).
+    delta:
+        The applied corpus delta.
+    base_fingerprint:
+        Fingerprint of the base artifact the chain anchors to.
+    parent_fingerprint:
+        Fingerprint of the previous link (the base for segment 1).
+    fingerprint:
+        This segment's own chained fingerprint.
+    """
+
+    index: int
+    delta: CorpusDelta
+    base_fingerprint: str
+    parent_fingerprint: str
+    fingerprint: str
+
+    @classmethod
+    def build(
+        cls, index: int, delta: CorpusDelta, base_fingerprint: str, parent_fingerprint: str
+    ) -> "UpdateSegment":
+        """Assemble a segment, computing its chained fingerprint."""
+        return cls(
+            index=int(index),
+            delta=delta,
+            base_fingerprint=base_fingerprint,
+            parent_fingerprint=parent_fingerprint,
+            fingerprint=fingerprint_segment(index, parent_fingerprint, delta.to_document()),
+        )
+
+    def to_metadata(self) -> dict[str, object]:
+        """The artifact metadata written to the segment's sidecar file."""
+        return {
+            "kind": UPDATE_SEGMENT_KIND,
+            "segment_index": self.index,
+            "base_fingerprint": self.base_fingerprint,
+            "parent_fingerprint": self.parent_fingerprint,
+            "fingerprint": self.fingerprint,
+            "delta": self.delta.to_document(),
+        }
+
+    @classmethod
+    def from_metadata(
+        cls, metadata: Mapping[str, object], source: str = "<segment>"
+    ) -> "UpdateSegment":
+        """Rebuild a segment from sidecar metadata, verifying its fingerprint."""
+        if metadata.get("kind") != UPDATE_SEGMENT_KIND:
+            raise UpdateError(f"{source} is not a resolver-model update segment")
+        try:
+            index = int(metadata["segment_index"])
+            base = str(metadata["base_fingerprint"])
+            parent = str(metadata["parent_fingerprint"])
+            stored = str(metadata["fingerprint"])
+            delta = CorpusDelta.from_document(metadata["delta"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise UpdateError(f"malformed update segment {source}: {error}") from error
+        expected = fingerprint_segment(index, parent, delta.to_document())
+        if stored != expected:
+            raise UpdateError(
+                f"update segment {source} failed fingerprint verification "
+                f"(stored {stored[:12]}…, recomputed {expected[:12]}…); the file "
+                f"is corrupt or was modified after saving"
+            )
+        return cls(
+            index=index,
+            delta=delta,
+            base_fingerprint=base,
+            parent_fingerprint=parent,
+            fingerprint=stored,
+        )

@@ -1,0 +1,124 @@
+"""Drift accounting for incrementally maintained models.
+
+Every applied delta moves the model further from its fitted state: the
+corpus accumulates tombstones, touched records pile up, and supervision
+may reference records whose values changed after training.  This module
+quantifies that drift (:class:`DriftMetrics`) and decides when it has
+grown large enough that the approximations of the incremental path
+should be discarded for a full compaction refit
+(:class:`CompactionPolicy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CompactionPolicy", "DriftMetrics"]
+
+
+@dataclass(frozen=True)
+class DriftMetrics:
+    """Snapshot of how far a model has drifted from its fitted state.
+
+    Attributes
+    ----------
+    corpus_records:
+        Records in the model's dataset, tombstoned ones included.
+    tombstone_records:
+        Deleted records still occupying index rows.
+    touched_records:
+        Distinct record ids modified, added, or deleted since the fit
+        (or the last compaction).
+    update_generations:
+        Number of deltas applied since the fit (or last compaction).
+    stale_supervision:
+        Count of updates that modified or deleted a record referenced by
+        a labeled split pair — the cases where exact-mode parity with a
+        fresh refit is no longer guaranteed.
+    """
+
+    corpus_records: int
+    tombstone_records: int
+    touched_records: int
+    update_generations: int
+    stale_supervision: int
+
+    @property
+    def live_records(self) -> int:
+        """Records that are not tombstoned."""
+        return self.corpus_records - self.tombstone_records
+
+    @property
+    def touched_fraction(self) -> float:
+        """Fraction of the corpus touched since the fit."""
+        if self.corpus_records == 0:
+            return 0.0
+        return self.touched_records / self.corpus_records
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Fraction of corpus rows occupied by tombstones."""
+        if self.corpus_records == 0:
+            return 0.0
+        return self.tombstone_records / self.corpus_records
+
+    def to_document(self) -> dict[str, object]:
+        """JSON-plain form (reported by ``describe()`` and the CLI)."""
+        return {
+            "corpus_records": self.corpus_records,
+            "live_records": self.live_records,
+            "tombstone_records": self.tombstone_records,
+            "tombstone_ratio": self.tombstone_ratio,
+            "touched_records": self.touched_records,
+            "touched_fraction": self.touched_fraction,
+            "update_generations": self.update_generations,
+            "stale_supervision": self.stale_supervision,
+        }
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Thresholds above which drift triggers a compaction refit.
+
+    The policy is deliberately conservative: incremental updates are
+    three orders of magnitude cheaper than a refit, so compaction should
+    fire on accumulated drift, not on every delta.
+
+    Attributes
+    ----------
+    max_touched_fraction:
+        Compact once this fraction of the corpus has been touched.
+    max_tombstone_ratio:
+        Compact once this fraction of index rows are tombstones.
+    max_stale_supervision:
+        Compact once this many updates have invalidated labeled split
+        records (0 disables the trigger only when negative).
+    """
+
+    max_touched_fraction: float = 0.5
+    max_tombstone_ratio: float = 0.2
+    max_stale_supervision: int = -1
+
+    def reasons(self, metrics: DriftMetrics) -> list[str]:
+        """Human-readable list of thresholds ``metrics`` exceeds."""
+        reasons: list[str] = []
+        if metrics.touched_fraction > self.max_touched_fraction:
+            reasons.append(
+                f"touched_fraction {metrics.touched_fraction:.3f} > "
+                f"{self.max_touched_fraction:.3f}"
+            )
+        if metrics.tombstone_ratio > self.max_tombstone_ratio:
+            reasons.append(
+                f"tombstone_ratio {metrics.tombstone_ratio:.3f} > "
+                f"{self.max_tombstone_ratio:.3f}"
+            )
+        if 0 <= self.max_stale_supervision < metrics.stale_supervision:
+            reasons.append(
+                f"stale_supervision {metrics.stale_supervision} > "
+                f"{self.max_stale_supervision}"
+            )
+        return reasons
+
+    def should_compact(self, metrics: DriftMetrics) -> bool:
+        """Whether the drift of ``metrics`` warrants a compaction refit."""
+        return bool(self.reasons(metrics))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import shutil
 
 import numpy as np
 import pytest
@@ -23,9 +24,11 @@ from repro.datasets import BENCHMARK_LABELERS, load_benchmark
 from repro.exceptions import (
     ConfigurationError,
     QueryTimeoutError,
+    ReloadError,
     ServeError,
     ServerOverloadedError,
 )
+from repro.model import ResolverModel
 from repro.serve import (
     DEFAULT_MODEL,
     AsyncResolverServer,
@@ -336,6 +339,84 @@ class TestRegistryAndMmap:
         # Current-generation sessions still pool normally.
         entry.release(fresh)
         assert entry.session() is fresh
+
+
+class TestReload:
+    def test_registry_reload_picks_up_appended_segments(self, serve_world, tmp_path):
+        _, holdout, path = serve_world
+        staged = tmp_path / "model.npz"
+        shutil.copyfile(path, staged)
+
+        registry = ModelRegistry()
+        registry.add("products", path=staged, mmap=True)
+        before = registry.get("products")
+        base_count = len(before.corpus)
+
+        # Another process appends a delta segment to the artifact.
+        offline = ResolverModel.load(staged, mmap=False)
+        offline.update(upserts=holdout[:2], compact="never")
+        offline.save(staged)
+
+        # Same instance until reload; fresh, segment-replayed one after.
+        assert registry.get("products") is before
+        assert registry.reload("products")
+        after = registry.get("products")
+        assert after is not before
+        assert len(after.corpus) == base_count + 2
+        assert after.fingerprint() == offline.fingerprint()
+
+    def test_reload_of_instance_backed_entry_is_typed_error(self, serve_world):
+        model, _, _ = serve_world
+        registry = ModelRegistry()
+        registry.add("pinned", model=model)
+        with pytest.raises(ReloadError, match="instance-backed"):
+            registry.reload("pinned")
+        # The entry itself stays usable after the refused reload.
+        assert registry.get("pinned") is model
+
+    def test_reload_over_tcp_serves_updated_corpus(self, serve_world, tmp_path):
+        model, holdout, path = serve_world
+        staged = tmp_path / "model.npz"
+        shutil.copyfile(path, staged)
+        probe = holdout[-1]
+
+        registry = ModelRegistry()
+        registry.add(DEFAULT_MODEL, path=staged, mmap=True)
+        registry.add("pinned", model=model)
+
+        def corpus_records(listing):
+            (entry,) = [d for d in listing if d["name"] == DEFAULT_MODEL]
+            return entry["corpus_records"]
+
+        async def fire():
+            server = AsyncResolverServer(registry)
+            tcp = await server.serve_tcp(host="127.0.0.1", port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            try:
+                async with ServeClient("127.0.0.1", port) as client:
+                    await client.query([probe], k=3)
+                    base_count = corpus_records(await client.models())
+
+                    offline = ResolverModel.load(staged, mmap=False)
+                    offline.update(upserts=holdout[:2], compact="never")
+                    offline.save(staged)
+
+                    reply = await client.reload()
+                    assert reply["reloaded"] and reply["dropped"]
+                    served = await client.query([probe], k=3)
+                    assert corpus_records(await client.models()) == base_count + 2
+
+                    with pytest.raises(ReloadError, match="instance-backed"):
+                        await client.reload("pinned")
+                    with pytest.raises(ServeError):
+                        await client.reload("missing-entry")
+            finally:
+                await server.stop()
+            return served, offline
+
+        served, offline = run(fire())
+        expected = offline.session().query([probe], k=3, mode="online")
+        assert_results_identical(served, expected)
 
 
 class TestRetrievalDedupe:
