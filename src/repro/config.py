@@ -15,6 +15,7 @@ from typing import Any
 
 from ._spec import normalize_spec
 from .exceptions import ConfigurationError
+from .faults.retry import RetryPolicy, as_retry_policy
 
 
 @dataclass(frozen=True)
@@ -195,6 +196,14 @@ class FlexERConfig:
         serial run — so this spec deliberately does *not* participate
         in pipeline stage fingerprints and cached artifacts stay valid
         across executor choices.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy` (or its mapping
+        form) applied to failed executor shards: each failed shard is
+        rerun after capped exponential backoff, with broken process
+        pools respawned between attempts.  ``None`` (the default)
+        disables retrying.  Like ``executor``, retry never changes
+        results — retried shards are pure functions of their payloads —
+        so it does not participate in stage fingerprints either.
     """
 
     matcher: MatcherConfig = field(default_factory=MatcherConfig)
@@ -205,11 +214,13 @@ class FlexERConfig:
     graph_builder: str | Mapping[str, Any] = "intent_graph"
     classifier: str | Mapping[str, Any] = "graphsage"
     executor: str | Mapping[str, Any] = "serial"
+    retry: RetryPolicy | Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         for name in ("solver", "blocker", "graph_builder", "classifier", "executor"):
             spec = normalize_spec(getattr(self, name), context=f"FlexERConfig.{name}")
             object.__setattr__(self, name, spec)
+        object.__setattr__(self, "retry", as_retry_policy(self.retry))
 
     def to_dict(self) -> dict[str, Any]:
         """Return a plain-dict view suitable for logging or JSON dumps."""
@@ -238,6 +249,7 @@ class FlexERConfig:
             graph_builder=document.get("graph_builder", "intent_graph"),
             classifier=document.get("classifier", "graphsage"),
             executor=document.get("executor", "serial"),
+            retry=document.get("retry"),
         )
 
     @classmethod

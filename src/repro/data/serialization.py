@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import struct
 import tempfile
 import zipfile
 from dataclasses import dataclass
@@ -30,7 +31,8 @@ from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from ..exceptions import DataError
+from ..exceptions import DataError, FaultInjectionError
+from ..faults import inject
 from .pairs import RecordPair
 from .records import Dataset, Record
 
@@ -158,9 +160,13 @@ def write_artifact(
 ) -> Path:
     """Persist named arrays plus JSON metadata as one ``.npz`` artifact.
 
-    The file is written atomically (temp file + rename) so concurrent
-    readers — e.g. parallel benchmark runs sharing a cache directory —
-    never observe a partially written artifact.
+    The file is written crash-safely: the payload goes to a temp file in
+    the destination directory, is fsynced to stable storage, and only
+    then renamed over the target (followed by a best-effort directory
+    fsync).  Concurrent readers — e.g. parallel benchmark runs sharing a
+    cache directory — never observe a partially written artifact, and a
+    process killed mid-write leaves any previous version of the file
+    untouched and loadable.
 
     Parameters
     ----------
@@ -194,12 +200,50 @@ def write_artifact(
     try:
         with os.fdopen(descriptor, "wb") as handle:
             np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault = inject("storage.artifact_write")
+        if fault is not None and fault.kind == "torn_write":
+            _tear_write(temp_name, path, fault)
         os.replace(temp_name, path)
     except BaseException:
         if os.path.exists(temp_name):
             os.unlink(temp_name)
         raise
+    _fsync_directory(path.parent)
     return path
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory so a rename survives power loss."""
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover - filesystems without dir fsync
+        pass
+    finally:
+        os.close(descriptor)
+
+
+def _tear_write(temp_name: str, path: Path, fault) -> None:
+    """Enact an injected ``torn_write``: leave a truncated file behind.
+
+    Simulates the non-atomic failure mode the tmp+rename protocol
+    prevents — a crash halfway through writing the destination — by
+    copying only a prefix of the payload (the fault's ``seconds`` field
+    reused as a 0..1 byte fraction) directly over the target, then
+    raising :class:`FaultInjectionError` as the "crash".
+    """
+    with open(temp_name, "rb") as source:
+        payload = source.read()
+    fraction = min(max(fault.seconds, 0.0), 0.99)
+    torn = payload[: max(1, int(len(payload) * fraction))]
+    with open(path, "wb") as target:
+        target.write(torn)
+    raise FaultInjectionError(f"injected torn write of {path}")
 
 
 def check_artifact_schema(version: object, path: str | Path) -> None:
@@ -224,12 +268,23 @@ def check_artifact_schema(version: object, path: str | Path) -> None:
         )
 
 
+#: Exception types a corrupt or truncated container surfaces through
+#: ``np.load`` / ``zipfile`` / JSON parsing.  Readers convert every one
+#: of these into a typed :class:`DataError` so callers see exactly one
+#: failure mode for "this file is not a readable artifact" — including
+#: files torn mid-write, which ``zipfile`` reports as ``BadZipFile`` (a
+#: plain ``Exception``) and numpy as assorted ``EOFError``/``KeyError``/
+#: ``struct.error`` variants depending on where the bytes run out.
+_READ_ERRORS = (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile, struct.error)
+
+
 def read_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, object]]:
     """Load an artifact written by :func:`write_artifact`.
 
     Returns the ``(arrays, metadata)`` pair.  Raises :class:`DataError`
-    when the file is not a valid artifact or was written by a newer
-    artifact schema than this build can read (forward-compat check).
+    when the file is not a valid artifact — corrupt, truncated, or not
+    an artifact container at all — or was written by a newer artifact
+    schema than this build can read (forward-compat check).
     """
     path = Path(path)
     if path.suffix != ARTIFACT_SUFFIX:
@@ -244,7 +299,9 @@ def read_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, ob
                 for key in data.files
                 if key.startswith(_ARRAY_PREFIX)
             }
-    except (OSError, ValueError) as error:
+    except DataError:
+        raise
+    except _READ_ERRORS as error:
         raise DataError(f"cannot read artifact {path}: {error}") from error
     check_artifact_schema(metadata.pop(SCHEMA_VERSION_KEY, None), path)
     return arrays, metadata
@@ -391,7 +448,9 @@ def read_artifact_lazy(
                 raise DataError(f"{path} is not a pipeline artifact (missing metadata)")
             metadata = json.loads(bytes(data[METADATA_KEY].tobytes()).decode("utf-8"))
         arrays = LazyArtifactArrays(path)
-    except (OSError, ValueError) as error:
+    except DataError:
+        raise
+    except _READ_ERRORS as error:
         raise DataError(f"cannot read artifact {path}: {error}") from error
     check_artifact_schema(metadata.pop(SCHEMA_VERSION_KEY, None), path)
     return arrays, metadata

@@ -95,6 +95,16 @@ class UpdateError(ReproError):
     """
 
 
+class FaultInjectionError(ReproError):
+    """Raised by an armed :mod:`repro.faults` injection point.
+
+    Deliberately injected by a :class:`~repro.faults.FaultPlan` to
+    simulate a component failure.  Production code never raises this
+    unless a fault plan is active, and fault-tolerant layers treat it
+    exactly like the organic failure it stands in for.
+    """
+
+
 class ServeError(ReproError):
     """Raised for failures of the :mod:`repro.serve` serving layer.
 
@@ -125,4 +135,27 @@ class ReloadError(ServeError):
 
     Instance-backed entries have no path to reload from, so a ``reload``
     request against one is a caller error, not a server fault.
+    """
+
+
+class ModelUnavailableError(ServeError):
+    """Raised when a model's circuit breaker is shedding load.
+
+    After a run of consecutive backend failures the registry marks the
+    model unhealthy and fails fast instead of queueing more doomed work.
+    ``retry_after`` carries the seconds until the breaker next admits a
+    probe, as a hint for client backoff.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ConnectionLostError(ServeError):
+    """Raised when a client connection dies with requests in flight.
+
+    Marks failures that happened *in transport* — the request may or may
+    not have executed server-side, so only idempotent operations are
+    safe to retry on it.
     """

@@ -26,11 +26,14 @@ from __future__ import annotations
 
 import abc
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from collections.abc import Callable, Mapping, Sequence
+from functools import partial
 
 from .._spec import normalize_spec
 from ..exceptions import ConfigurationError, ExecutionError
+from ..faults import RetryPolicy, inject
 
 #: Worker-count shorthand meaning "one worker per available CPU".
 AUTO_WORKERS = 0
@@ -66,6 +69,11 @@ class Executor(abc.ABC):
         if workers < 1:
             raise ConfigurationError("executor workers must be positive (or 0 for auto)")
         self.workers = workers
+        #: Optional :class:`~repro.faults.RetryPolicy` for failed tasks.
+        #: Carried as a mutable attribute — never part of ``to_spec()`` —
+        #: so executor specs, their canonical JSON, and the pipeline's
+        #: executor memoization keys are unchanged by retry settings.
+        self.retry: RetryPolicy | None = None
 
     @property
     def is_parallel(self) -> bool:
@@ -100,6 +108,17 @@ def _wrap_failure(executor: Executor, position: int, total: int, error: BaseExce
     )
 
 
+def _run_task(fn: Callable, payload):
+    """Executor task wrapper: arm the ``exec.task`` injection point.
+
+    Module-level (and combined with ``fn`` via :func:`functools.partial`)
+    so it pickles into process-pool workers, where the hook resolves any
+    plan inherited through ``REPRO_FAULTS``.
+    """
+    inject("exec.task")
+    return fn(payload)
+
+
 class SerialExecutor(Executor):
     """Run every task inline in the calling thread (the default executor)."""
 
@@ -110,14 +129,23 @@ class SerialExecutor(Executor):
         return False
 
     def map(self, fn: Callable, payloads: Sequence) -> list:
+        policy = self.retry
         results = []
         for position, payload in enumerate(payloads):
-            try:
-                results.append(fn(payload))
-            except ExecutionError:
-                raise
-            except Exception as error:
-                raise _wrap_failure(self, position, len(payloads), error) from error
+            attempt = 0
+            while True:
+                try:
+                    results.append(_run_task(fn, payload))
+                    break
+                except ExecutionError:
+                    # Already wrapped deeper down — a nested executor
+                    # owns (and has exhausted) its own retry budget.
+                    raise
+                except Exception as error:
+                    attempt += 1
+                    if policy is None or attempt >= policy.attempts:
+                        raise _wrap_failure(self, position, len(payloads), error) from error
+                    time.sleep(policy.delay(attempt))
         return results
 
 
@@ -158,8 +186,14 @@ class _PoolExecutor(Executor):
     def map(self, fn: Callable, payloads: Sequence) -> list:
         if not payloads:
             return []
+        task = partial(_run_task, fn)
+        if self.retry is None or self.retry.retries == 0:
+            return self._map_once(task, payloads)
+        return self._map_with_retry(task, payloads)
+
+    def _map_once(self, task: Callable, payloads: Sequence) -> list:
         pool = self._acquire_pool()
-        futures = [pool.submit(fn, payload) for payload in payloads]
+        futures = [pool.submit(task, payload) for payload in payloads]
         results = []
         for position, future in enumerate(futures):
             try:
@@ -178,6 +212,48 @@ class _PoolExecutor(Executor):
                     pending.cancel()
                 self.close()
                 raise _wrap_failure(self, position, len(payloads), error) from error
+        return results
+
+    def _map_with_retry(self, task: Callable, payloads: Sequence) -> list:
+        """Per-shard retry: rerun only the failed payloads, in place.
+
+        Every attempt waits for *all* in-flight futures (no early
+        cancel — we need to know exactly which shards failed), then
+        discards the pool so a broken process pool respawns fresh, and
+        resubmits the failed positions after the policy's backoff.
+        Because tasks are pure functions of their payloads, a retried
+        run's results are bit-identical to a fault-free one.
+        """
+        policy = self.retry
+        results: list = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        for attempt in range(policy.attempts):
+            pool = self._acquire_pool()
+            futures = [(position, pool.submit(task, payloads[position])) for position in pending]
+            failed = []
+            last_failure = None
+            for position, future in futures:
+                try:
+                    results[position] = future.result()
+                except ExecutionError:
+                    # Pre-wrapped by a nested executor: its own retry
+                    # budget is spent, so rerunning it here cannot help.
+                    self.close()
+                    raise
+                except (KeyboardInterrupt, SystemExit):
+                    self.close()
+                    raise
+                except Exception as error:
+                    failed.append(position)
+                    last_failure = (position, error)
+            if not failed:
+                return results
+            self.close()
+            if attempt + 1 >= policy.attempts:
+                position, error = last_failure
+                raise _wrap_failure(self, position, len(payloads), error) from error
+            time.sleep(policy.delay(attempt + 1))
+            pending = failed
         return results
 
 

@@ -32,6 +32,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..faults import inject
 from ..perf.instrument import observe
 from .executors import Executor
 from .plan import ShardPlan
@@ -52,6 +53,7 @@ def _encode_shard_worker(payload):
     # Imported lazily: repro.matching imports this package at start-up.
     from ..matching.features import PairFeatureEncoder
 
+    inject("exec.encode")
     feature_config, dataset, pairs = payload
     encoder = PairFeatureEncoder(feature_config, vectorized=True)
     return encoder.encode_batch(dataset, list(pairs))
@@ -91,6 +93,7 @@ def _classifier_job_worker(payload):
     # Imported lazily so spawned workers resolve the full package first.
     from ..graph.sage import run_classifier_job
 
+    inject("exec.gnn")
     graph_payload, classifier_spec, gnn_config, job = payload
     return run_classifier_job(graph_payload, classifier_spec, gnn_config, job)
 
@@ -126,6 +129,7 @@ def _query_shard_worker(payload):
     # Imported lazily so spawned workers resolve the full package first.
     from ..model import ResolverModel
 
+    inject("exec.query")
     arrays, document, records, kwargs = payload
     model = ResolverModel.from_payload(arrays, {"model": document})
     session = model.session()

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and retry policies (``repro.faults``).
+
+The robustness toolkit behind ``docs/robustness.md``:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a seeded plan of named
+  injection points (worker crashes, slow shards, raised exceptions,
+  torn writes, dropped/stalled connections), activated as a context
+  manager and inherited by subprocess workers via ``REPRO_FAULTS``.
+* :func:`inject` — the hook production code calls at fault-prone
+  points; a near-free no-op unless a plan is active.
+* :class:`RetryPolicy` — capped exponential backoff with deterministic
+  jitter, shared by the executors, the serve client, and
+  ``FlexERConfig.retry``.
+"""
+
+from ..exceptions import FaultInjectionError
+from .inject import active_plan, inject, reset
+from .plan import ENV_VAR, FAULT_KINDS, FaultPlan, FaultSpec
+from .retry import RetryPolicy, as_retry_policy
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "active_plan",
+    "as_retry_policy",
+    "inject",
+    "reset",
+]

@@ -1,0 +1,84 @@
+"""The ``inject()`` hook threaded through fault-tolerant code paths.
+
+Call :func:`inject` with a dotted point name wherever a fault could
+strike in production — executor tasks, artifact writes, serve transport.
+With no plan active it is a near-free no-op (one global read).  With a
+plan active it consults :meth:`FaultPlan.should_fire` and either enacts
+the fault in place (``exception`` raises :class:`FaultInjectionError`,
+``crash`` SIGKILLs the current process, ``slow`` sleeps) or returns the
+fired :class:`FaultSpec` for *cooperative* kinds (``torn_write``,
+``drop``, ``stall``) whose enactment only the call site can perform.
+
+Plans activate per process via :meth:`FaultPlan.__enter__` or are
+inherited from the ``REPRO_FAULTS`` environment variable, which pool
+workers read lazily on their first ``inject()`` call.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from ..exceptions import FaultInjectionError
+from .plan import ENV_VAR, FaultPlan, FaultSpec
+
+# The active plan for this process. ``False`` means "not yet resolved":
+# the first inject() checks REPRO_FAULTS so subprocess workers inherit
+# the parent's plan without any executor-specific plumbing.
+_ACTIVE: FaultPlan | None | bool = False
+
+
+def activate(plan: FaultPlan) -> None:
+    """Install ``plan`` as this process's active fault plan."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def deactivate() -> None:
+    """Remove the active fault plan (and stop consulting the env var)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def _resolve() -> FaultPlan | None:
+    global _ACTIVE
+    if _ACTIVE is False:
+        payload = os.environ.get(ENV_VAR)
+        _ACTIVE = FaultPlan.from_json(payload) if payload else None
+    return _ACTIVE
+
+
+def reset() -> None:
+    """Forget any resolved plan; the next ``inject()`` re-reads the env."""
+    global _ACTIVE
+    _ACTIVE = False
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan this process would consult right now, if any."""
+    return _resolve()
+
+
+def inject(point: str) -> FaultSpec | None:
+    """Fire any armed fault at ``point``; return cooperative specs.
+
+    Returns ``None`` when nothing fires.  ``exception``/``crash``/
+    ``slow`` faults act right here; the caller only needs to handle the
+    cooperative kinds it supports (and may ignore the return value
+    entirely at points that support none).
+    """
+    plan = _resolve()
+    if plan is None:
+        return None
+    spec = plan.should_fire(point)
+    if spec is None:
+        return None
+    if spec.kind == "exception":
+        raise FaultInjectionError(f"injected fault at {point}")
+    if spec.kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if spec.kind == "slow":
+        time.sleep(spec.seconds)
+        return None
+    return spec

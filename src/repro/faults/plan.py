@@ -1,0 +1,213 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries, each naming
+an injection point (glob pattern over ``inject("point.name")`` hooks), a
+fault kind, and trigger conditions.  Activating a plan installs it both
+as a module global *and* in the ``REPRO_FAULTS`` environment variable so
+subprocess pool workers — fork or spawn — inherit it and arm the same
+hooks.
+
+Determinism has two parts:
+
+* Probabilistic triggers draw from a hash of ``(plan seed, spec index,
+  hit index)``, so whether the N-th arrival at a point fires never
+  depends on wall clock, process id, or interleaving.
+* Counted triggers (``times``/``after``) count per process by default.
+  When the plan carries a ``state_dir``, firing additionally claims an
+  atomic marker file there, making ``times=1`` mean "once across every
+  process sharing the plan" — the right semantics for "kill exactly one
+  pool worker".
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+ENV_VAR = "REPRO_FAULTS"
+
+FAULT_KINDS = ("exception", "crash", "slow", "torn_write", "drop", "stall")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: where it fires, what it does, and how often.
+
+    ``point`` is an ``fnmatch`` pattern over injection-point names
+    (``"exec.*"`` matches every executor hook).  ``kind`` is one of
+    ``FAULT_KINDS``; ``exception``/``crash``/``slow`` act inside
+    :func:`repro.faults.inject`, while ``torn_write``/``drop``/``stall``
+    are *cooperative* — ``inject`` returns the spec and the call site
+    enacts the fault (truncate the write, abort the transport, await a
+    delay) because only it knows how.
+
+    ``probability`` gates each arrival (1.0 = always); ``after`` skips
+    the first N eligible arrivals; ``times`` caps total firings
+    (``None`` = unlimited); ``seconds`` sizes ``slow``/``stall`` delays
+    and is reused by ``torn_write`` as a 0..1 fraction of bytes to keep.
+    """
+
+    point: str
+    kind: str = "exception"
+    probability: float = 1.0
+    times: int | None = 1
+    after: int = 0
+    seconds: float = 0.05
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("fault probability must be in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ConfigurationError("fault times must be >= 1 (or None)")
+        if self.after < 0:
+            raise ConfigurationError("fault after must be >= 0")
+        if self.seconds < 0:
+            raise ConfigurationError("fault seconds must be >= 0")
+
+    def matches(self, point: str) -> bool:
+        return fnmatch.fnmatchcase(point, self.point)
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "kind": self.kind,
+            "probability": self.probability,
+            "times": self.times,
+            "after": self.after,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise ConfigurationError(f"malformed fault spec: {error}") from error
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` entries plus activation plumbing.
+
+    Use as a context manager::
+
+        plan = FaultPlan([FaultSpec("exec.task", kind="crash")], seed=7)
+        with plan:
+            repro.fit(...)
+
+    Entering installs the plan for this process and exports it through
+    ``REPRO_FAULTS`` so pool workers spawned inside the block arm the
+    same faults; exiting restores both.
+    """
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+    state_dir: str | None = None
+
+    def __post_init__(self):
+        self.specs = [
+            spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(dict(spec))
+            for spec in self.specs
+        ]
+        # Per-process arrival/firing counters, keyed by spec index.
+        self._hits: dict[int, int] = {}
+        self._fired: dict[int, int] = {}
+        self._saved_env: str | None = None
+
+    # -- serialization ------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "state_dir": self.state_dir,
+                "specs": [spec.to_dict() for spec in self.specs],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"malformed {ENV_VAR} payload: {error}") from error
+        return cls(
+            specs=[FaultSpec.from_dict(spec) for spec in data.get("specs", ())],
+            seed=int(data.get("seed", 0)),
+            state_dir=data.get("state_dir"),
+        )
+
+    # -- trigger logic ------------------------------------------------
+
+    def _draw(self, index: int, hit: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{index}:{hit}".encode("ascii")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def _claim_marker(self, index: int, slot: int) -> bool:
+        """Atomically claim one cross-process firing slot for a spec."""
+        if self.state_dir is None:
+            return True
+        os.makedirs(self.state_dir, exist_ok=True)
+        marker = os.path.join(self.state_dir, f"fired-{index}-{slot}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def should_fire(self, point: str) -> FaultSpec | None:
+        """Return the first spec firing at ``point`` this arrival, if any."""
+        for index, spec in enumerate(self.specs):
+            if not spec.matches(point):
+                continue
+            hit = self._hits.get(index, 0)
+            self._hits[index] = hit + 1
+            if hit < spec.after:
+                continue
+            if spec.probability < 1.0 and self._draw(index, hit) >= spec.probability:
+                continue
+            fired = self._fired.get(index, 0)
+            if spec.times is not None:
+                if fired >= spec.times:
+                    continue
+                if not self._claim_marker(index, fired):
+                    # Another process used this slot; mirror its claim
+                    # locally so we contend for the next slot, not this one.
+                    self._fired[index] = fired + 1
+                    continue
+            self._fired[index] = fired + 1
+            return spec
+        return None
+
+    # -- activation ---------------------------------------------------
+
+    def __enter__(self) -> "FaultPlan":
+        from .inject import activate
+
+        self._saved_env = os.environ.get(ENV_VAR)
+        os.environ[ENV_VAR] = self.to_json()
+        activate(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        from .inject import deactivate
+
+        if self._saved_env is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = self._saved_env
+        self._saved_env = None
+        deactivate()

@@ -1,0 +1,88 @@
+"""Retry policy shared by the executor, serve client, and chaos checks.
+
+One small frozen dataclass describes "how hard to try again": attempt
+budget, capped exponential backoff, and *deterministic* jitter — the
+jitter for attempt N is a pure function of ``(seed, attempt)``, so a
+retried run sleeps the same schedule every time and tests can pin it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``attempts`` counts *total* tries, so ``attempts=3`` means one
+    initial try plus up to two retries; 1 disables retrying while still
+    letting code share the "run under a policy" shape.  The delay before
+    retry ``k`` (1-based) is ``base_delay * multiplier**(k-1)`` capped at
+    ``max_delay``, scaled by a jitter factor in ``[1-jitter, 1]`` drawn
+    from ``(seed, k)``.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ConfigurationError("retry attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("retry multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("retry jitter must be in [0, 1]")
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        digest = hashlib.sha256(f"{self.seed}:{attempt}".encode("ascii")).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return raw * (1.0 - self.jitter * unit)
+
+    def to_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "multiplier": self.multiplier,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RetryPolicy":
+        try:
+            return cls(**dict(payload))
+        except TypeError as error:
+            raise ConfigurationError(f"malformed retry policy: {error}") from error
+
+
+def as_retry_policy(value: "RetryPolicy | Mapping | None") -> RetryPolicy | None:
+    """Normalize config input (policy, mapping, or None) to a policy."""
+    if value is None or isinstance(value, RetryPolicy):
+        return value
+    if isinstance(value, Mapping):
+        return RetryPolicy.from_dict(value)
+    raise ConfigurationError(
+        f"retry must be a RetryPolicy, mapping, or None, not {type(value).__name__}"
+    )

@@ -613,15 +613,19 @@ class ResolverModel:
         re-applied through the deterministic update engine, so the
         restored model is bit-identical to the one that wrote the
         segments.  Legacy artifacts (no sidecars) skip this entirely.
+
+        A torn *trailing* segment — a crash mid-append left a truncated
+        file — is quarantined by :func:`repro.update.read_segment_chain`
+        and the chain recovers at its last valid link (with a
+        :class:`~repro.update.TornSegmentWarning`) instead of failing
+        the load; tampered or out-of-order segments still raise.
         """
-        from .update import UpdateSegment
+        from .update.delta import read_segment_chain
         from .update.engine import apply_delta_to_model
 
-        segment_files = list_segment_paths(base)
+        chain, _recovered = read_segment_chain(base)
         previous = self._base_fingerprint
-        for position, segment_file in enumerate(segment_files, start=1):
-            _, segment_meta = read_artifact(segment_file)
-            segment = UpdateSegment.from_metadata(segment_meta, source=str(segment_file))
+        for position, (segment_file, segment) in enumerate(chain, start=1):
             if segment.index != position:
                 raise ModelError(
                     f"update segment {segment_file} carries index {segment.index}, "
@@ -642,7 +646,7 @@ class ResolverModel:
             apply_delta_to_model(self, segment.delta)
             self.update_segments.append(segment)
             previous = segment.fingerprint
-        self._persisted_segments = len(segment_files)
+        self._persisted_segments = len(chain)
 
     @classmethod
     def from_payload(

@@ -122,14 +122,23 @@ class ArtifactCache:
         return artifact
 
     def put(self, stage: str, digest: str, artifact: Artifact) -> None:
-        """Store an artifact under ``(stage, digest)``."""
+        """Store an artifact under ``(stage, digest)``.
+
+        Disk publication is race-free under concurrent cold starts: the
+        artifact lands via :func:`write_artifact`'s atomic tmp+rename
+        (a concurrent reader sees the old complete file or the new one,
+        never a partial write), and an already-published final file is
+        treated as a hit and left untouched — content addressing makes
+        both writers' bytes interchangeable, so the first publisher
+        wins and the second skips the redundant write.
+        """
         if not self.config.enabled:
             return
         self.stats.puts += 1
         if self.config.keep_in_memory:
             self._memory[(stage, digest)] = artifact
         path = self.artifact_path(stage, digest)
-        if path is not None:
+        if path is not None and not path.exists():
             write_artifact(path, artifact.arrays, artifact.metadata)
 
     def contains(self, stage: str, digest: str) -> bool:

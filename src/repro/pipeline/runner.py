@@ -243,12 +243,18 @@ class PipelineRunner:
         """
         source = self.executor_override if self.executor_override is not None else config.executor
         if isinstance(source, Executor):
+            if config.retry is not None:
+                source.retry = config.retry
             return source
         key = canonical_json(executor_spec(source))
         executor = self._executors.get(key)
         if executor is None:
             executor = make_executor(source)
             self._executors[key] = executor
+        # Retry is carried outside the spec (it never changes results,
+        # so it must not perturb memoization keys or fingerprints); a
+        # memoized executor picks up the current config's policy.
+        executor.retry = config.retry
         return executor
 
     # ------------------------------------------------------------------- run

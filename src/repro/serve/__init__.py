@@ -32,13 +32,14 @@ Example
 """
 
 from .client import ServeClient
-from .registry import DEFAULT_MODEL, ModelEntry, ModelRegistry
+from .registry import DEFAULT_MODEL, ModelEntry, ModelHealth, ModelRegistry
 from .server import AsyncResolverServer, ServeConfig, ServeStats
 
 __all__ = [
     "AsyncResolverServer",
     "DEFAULT_MODEL",
     "ModelEntry",
+    "ModelHealth",
     "ModelRegistry",
     "ServeClient",
     "ServeConfig",

@@ -25,25 +25,40 @@ asserts, request by request:
 Both result streams are dumped as deterministic ``.npz`` artifacts
 (``--dump-serve`` / ``--dump-serial``) through one shared aggregation
 helper, so CI can finish the argument with a plain ``cmp``.
+
+``--chaos`` (the ``fault-smoke`` job) runs a different experiment: a
+self-contained fit → update → serve round-trip executed twice — once
+fault-free and once under a seeded :class:`~repro.faults.FaultPlan`
+that SIGKILLs a pool worker mid-fit, tears the update-segment write,
+and drops the serve connection mid-response.  The chaos side leans on
+the stack's own recovery machinery (executor shard retry, torn-tail
+quarantine on load, client reconnect-and-resend) and the checker then
+asserts that **no non-typed error escaped** and that every surviving
+model artifact and query result is **byte-identical** to the
+fault-free run.  ``--model`` is not needed in this mode; the corpus is
+built in a temporary directory.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import filecmp
 import shutil
 import statistics
 import sys
 import tempfile
 import time
+import warnings
 from collections.abc import Sequence
 from pathlib import Path
 
 import numpy as np
 
-from ..data.serialization import artifact_base_path, write_artifact
+from ..data.serialization import artifact_base_path, list_segment_paths, write_artifact
 from ..datasets import benchmark_names, load_benchmark
-from ..exceptions import ReloadError
+from ..exceptions import FaultInjectionError, ReloadError, ReproError
+from ..faults import FaultPlan, FaultSpec, RetryPolicy
 from ..model import QueryResult, QuerySession, ResolverModel
 from .client import ServeClient
 from .registry import DEFAULT_MODEL, ModelRegistry
@@ -58,7 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.serve.check",
         description="Assert coalesced micro-batch queries are bit-identical to serial ones",
     )
-    parser.add_argument("--model", required=True, help="fitted model artifact (.npz)")
+    parser.add_argument(
+        "--model",
+        default=None,
+        help="fitted model artifact (.npz); required unless --chaos",
+    )
     parser.add_argument(
         "--dataset",
         default="amazon_mi",
@@ -110,6 +129,22 @@ def build_parser() -> argparse.ArgumentParser:
             "append an update segment offline, reload over TCP and assert the "
             "server picked up the grown corpus"
         ),
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "run the fault-injection round-trip instead: fit, update and "
+            "serve a throwaway model twice (fault-free vs a seeded FaultPlan "
+            "of worker kills, torn writes and dropped connections) and "
+            "assert byte-identical survivors with zero non-typed errors"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=7,
+        help="seed of the injected fault plan (--chaos only)",
     )
     return parser
 
@@ -282,9 +317,233 @@ async def _reload_roundtrip(args, records) -> list[str]:
     return failures
 
 
+# --------------------------------------------------------------------- chaos
+
+
+def _chaos_world():
+    """The throwaway corpus, holdout and pipeline config of ``--chaos``.
+
+    The config is shared verbatim by the fault-free and the faulted run
+    (models embed ``config.to_dict()`` in their artifact metadata, so
+    byte-identity requires identical configs): a processes executor so
+    a worker SIGKILL hits a real pool, plus a retry policy so the stack
+    is expected to absorb it.
+    """
+    from ..config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+    from ..data.records import Dataset
+    from ..datasets import BENCHMARK_LABELERS
+
+    benchmark = load_benchmark("amazon_mi", num_pairs=60, products_per_domain=8, seed=7)
+    labeler = BENCHMARK_LABELERS["amazon_mi"]
+    products = benchmark.record_products
+
+    def label_pair(left, right):
+        return labeler.label_pair(products[left.record_id], products[right.record_id])
+
+    records = list(benchmark.dataset.records)
+    holdout = records[-6:]
+    corpus = Dataset(
+        records=records[:-6],
+        name=benchmark.dataset.name,
+        attributes=benchmark.dataset.attributes,
+    )
+    config = FlexERConfig(
+        matcher=MatcherConfig(hidden_dims=(24, 12), n_features=96, epochs=2, seed=5),
+        graph=GraphConfig(k_neighbors=2),
+        gnn=GNNConfig(hidden_dim=16, epochs=4, seed=5),
+        blocker={"type": "qgram", "min_shared": 14},
+        executor={"type": "processes", "workers": 2},
+        retry={"attempts": 3, "base_delay": 0.05},
+    )
+    return corpus, holdout, tuple(labeler.intent_names), label_pair, config
+
+
+async def _chaos_serve(model_path: Path, probes, k: int) -> list[QueryResult]:
+    """Serve ``model_path`` and query each probe once through a retrying client."""
+    registry = ModelRegistry()
+    registry.add(path=model_path, mmap=True)
+    server = AsyncResolverServer(
+        registry, ServeConfig(max_batch_size=4, max_wait_us=1000)
+    )
+    tcp = await server.serve_tcp(host="127.0.0.1", port=0)
+    port = tcp.sockets[0].getsockname()[1]
+    results: list[QueryResult] = []
+    try:
+        client = ServeClient(
+            "127.0.0.1", port, retry=RetryPolicy(attempts=4, base_delay=0.05)
+        )
+        async with client:
+            for record in probes:
+                results.append(await client.query([record], k=k, mode="online"))
+    finally:
+        await server.stop()
+    return results
+
+
+def _chaos_lifecycle(
+    workdir: Path, corpus, holdout, intents, label_pair, config, k: int
+) -> list[QueryResult]:
+    """One fit → save → update → save → serve round-trip under ``workdir``.
+
+    The update step is written the way a restartable maintenance job
+    is: if the segment write dies mid-flight (the injected torn write
+    raises :class:`~repro.exceptions.FaultInjectionError` exactly where
+    a crash would cut the process), the job reloads the model from disk
+    — which quarantines the torn trailing segment — and redoes the
+    update.  Both runs take the same nominal path, so their surviving
+    bytes must match.
+    """
+    from ..resolver import fit
+
+    model_path = workdir / "model.npz"
+    fitted = fit(corpus, intents=intents, labeler=label_pair, config=config)
+    fitted.save(model_path)
+
+    upserts = holdout[:2]
+    probes = holdout[2:]
+    worker = ResolverModel.load(model_path, mmap=False)
+    for _attempt in range(3):
+        try:
+            worker.update(upserts=upserts, compact="never")
+            worker.save(model_path)
+            break
+        except FaultInjectionError:
+            from ..update import TornSegmentWarning
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", TornSegmentWarning)
+                worker = ResolverModel.load(model_path, mmap=False)
+    else:
+        raise ReproError("chaos update step did not survive its retry budget")
+    return asyncio.run(_chaos_serve(model_path, probes, k))
+
+
+def _artifact_files(workdir: Path) -> list[Path]:
+    """The surviving model bytes of one run: base artifact + segment chain."""
+    base = artifact_base_path(workdir / "model.npz")
+    return [base, *list_segment_paths(base)]
+
+
+def _chaos_check(args: argparse.Namespace) -> int:
+    """Run the fault-injection round-trip; returns a process exit code."""
+    corpus, holdout, intents, label_pair, config = _chaos_world()
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        clean_dir = root / "clean"
+        chaos_dir = root / "chaos"
+        faults_dir = root / "faults"
+        for directory in (clean_dir, chaos_dir, faults_dir):
+            directory.mkdir()
+
+        clean_results = _chaos_lifecycle(
+            clean_dir, corpus, holdout, intents, label_pair, config, args.k
+        )
+
+        plan = FaultPlan(
+            specs=(
+                # One pool worker dies mid-stage; shard retry must redo it.
+                FaultSpec(point="exec.task", kind="crash", times=1),
+                # after=1 skips the base-model save so the tear lands on
+                # the update segment; seconds doubles as the cut fraction.
+                FaultSpec(
+                    point="storage.artifact_write",
+                    kind="torn_write",
+                    times=1,
+                    after=1,
+                    seconds=0.5,
+                ),
+                # The server aborts the TCP transport mid-response twice;
+                # the client must reconnect and resend.
+                FaultSpec(point="serve.send", kind="drop", times=2),
+            ),
+            seed=args.chaos_seed,
+            state_dir=str(faults_dir),
+        )
+        chaos_results: list[QueryResult] | None = None
+        try:
+            with plan:
+                chaos_results = _chaos_lifecycle(
+                    chaos_dir, corpus, holdout, intents, label_pair, config, args.k
+                )
+        except ReproError as error:
+            failures.append(
+                f"typed error escaped the chaos lifecycle: "
+                f"{type(error).__name__}: {error}"
+            )
+        except Exception as error:  # noqa: BLE001 - the whole point of the job
+            failures.append(
+                f"NON-TYPED error escaped the chaos lifecycle: "
+                f"{type(error).__name__}: {error}"
+            )
+
+        # Every configured fault must actually have fired (the state_dir
+        # markers are written on each cross-process claim) — otherwise
+        # the run proved nothing.
+        fired = {int(marker.name.split("-")[1]) for marker in faults_dir.glob("fired-*")}
+        for index, spec in enumerate(plan.specs):
+            if index not in fired:
+                failures.append(
+                    f"fault {spec.point!r} ({spec.kind}) never fired — "
+                    "the chaos run was vacuous"
+                )
+
+        if chaos_results is not None:
+            torn = list(chaos_dir.glob("*.torn"))
+            if not torn:
+                failures.append(
+                    "no quarantined .torn segment found — the torn write "
+                    "was not recovered through the load path"
+                )
+            clean_files = _artifact_files(clean_dir)
+            chaos_files = _artifact_files(chaos_dir)
+            if [f.name for f in clean_files] != [f.name for f in chaos_files]:
+                failures.append(
+                    f"surviving artifact sets differ: "
+                    f"{[f.name for f in clean_files]} vs "
+                    f"{[f.name for f in chaos_files]}"
+                )
+            else:
+                for clean_file, chaos_file in zip(clean_files, chaos_files):
+                    if not filecmp.cmp(clean_file, chaos_file, shallow=False):
+                        failures.append(
+                            f"artifact {clean_file.name} differs between the "
+                            "fault-free and the faulted run"
+                        )
+            if len(chaos_results) != len(clean_results):
+                failures.append(
+                    f"expected {len(clean_results)} query results, "
+                    f"got {len(chaos_results)}"
+                )
+            else:
+                mismatches = sum(
+                    not _results_identical(chaos, clean)
+                    for chaos, clean in zip(chaos_results, clean_results)
+                )
+                if mismatches:
+                    failures.append(
+                        f"{mismatches}/{len(clean_results)} query results "
+                        "differ between the fault-free and the faulted run"
+                    )
+
+    if failures:
+        for failure in failures:
+            print(f"serve.check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "serve.check OK: fit/update/serve survived worker kill, torn segment "
+        "write and dropped connections with byte-identical artifacts and results"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the checker; returns 0 only if every assertion holds."""
     args = build_parser().parse_args(argv)
+    if args.chaos:
+        return _chaos_check(args)
+    if not args.model:
+        raise SystemExit("--model is required (unless running --chaos)")
     holdout = holdout_records(args)
     upserted = int(args.upserted)
     if upserted < 0 or upserted >= len(holdout):

@@ -21,10 +21,34 @@ import asyncio
 import sys
 from collections.abc import Sequence
 
+from ..data.serialization import artifact_base_path
 from .registry import DEFAULT_MODEL, ModelRegistry
 from .server import AsyncResolverServer, ServeConfig
 
 __all__ = ["build_parser", "main"]
+
+
+def validate_model_paths(pairs: Sequence[tuple[str, str]]) -> None:
+    """Fail fast on unusable ``--model`` paths.
+
+    Models load lazily, so without this check a typo'd path surfaces as
+    a traceback on the first query instead of at startup.  Raises
+    :class:`SystemExit` with a one-line message naming the model and
+    the problem (missing file or unreadable file).
+    """
+    for name, path in pairs:
+        artifact = artifact_base_path(path)
+        if not artifact.is_file():
+            raise SystemExit(
+                f"error: model {name!r}: artifact not found: {artifact}"
+            )
+        try:
+            with open(artifact, "rb"):
+                pass
+        except OSError as error:
+            raise SystemExit(
+                f"error: model {name!r}: cannot read {artifact}: {error.strerror or error}"
+            ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,7 +140,9 @@ def make_config(args: argparse.Namespace) -> ServeConfig:
 
 async def _serve(args: argparse.Namespace) -> int:
     registry = ModelRegistry()
-    for name, path in parse_model_args(args.model):
+    pairs = parse_model_args(args.model)
+    validate_model_paths(pairs)
+    for name, path in pairs:
         registry.add(name, path=path, mmap=args.mmap)
     server = AsyncResolverServer(registry, make_config(args))
     tcp = await server.serve_tcp(host=args.host, port=args.port)

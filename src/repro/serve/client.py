@@ -21,6 +21,8 @@ from collections.abc import Sequence
 
 from ..data.records import Record
 from ..exceptions import (
+    ConnectionLostError,
+    ModelUnavailableError,
     QueryError,
     QueryTimeoutError,
     ReloadError,
@@ -28,6 +30,7 @@ from ..exceptions import (
     ServeError,
     ServerOverloadedError,
 )
+from ..faults import RetryPolicy
 from ..model import QueryResult
 from .protocol import MAX_LINE_BYTES, record_to_json, result_from_json
 
@@ -40,7 +43,19 @@ _ERROR_TYPES: dict[str, type[ReproError]] = {
     "ServerOverloadedError": ServerOverloadedError,
     "QueryTimeoutError": QueryTimeoutError,
     "QueryError": QueryError,
+    "ModelUnavailableError": ModelUnavailableError,
 }
+
+#: Operations safe to resend when the connection dies mid-request: the
+#: failure may have struck before *or after* server-side execution, so
+#: only requests whose double execution is indistinguishable from a
+#: single one qualify.  Every current op is a read or an idempotent
+#: evict — but the gate is explicit so future mutating ops default to
+#: fail-fast.
+_IDEMPOTENT_OPS = frozenset({"query", "ping", "models", "stats", "reload"})
+
+#: Transport failures worth a reconnect-and-resend.
+_RETRYABLE_ERRORS = (ConnectionLostError, ConnectionError, OSError)
 
 
 class ServeClient:
@@ -50,20 +65,40 @@ class ServeClient:
     ----------
     host, port:
         The server's TCP endpoint.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy` for transparent
+        reconnect-and-resend when the connection dies mid-request.
+        Only idempotent operations are retried (every current op is);
+        each resend opens a fresh connection if needed, uses a fresh
+        request id, and backs off with the policy's jittered delays.
+        ``None`` (the default) fails fast with
+        :class:`~repro.exceptions.ConnectionLostError`.
 
     Use as an async context manager (``async with ServeClient(...)``),
     or call :meth:`connect` / :meth:`close` explicitly.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7171) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7171,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.host = host
         self.port = int(port)
+        self.retry = retry
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
         self._pending: dict[int, asyncio.Future] = {}
         self._ids = itertools.count(1)
         self._write_lock = asyncio.Lock()
+        self._conn_lock = asyncio.Lock()
+        # Bumped on every (re)connect; a failed request remembers the
+        # generation it failed on so concurrent retries reconnect once,
+        # not once each.
+        self._generation = 0
+        self._closed = False
 
     async def connect(self) -> "ServeClient":
         """Open the connection and start the response-reader task."""
@@ -74,10 +109,22 @@ class ServeClient:
             self.host, self.port, limit=MAX_LINE_BYTES
         )
         self._reader_task = asyncio.ensure_future(self._read_responses())
+        self._generation += 1
+        self._closed = False
         return self
 
-    async def close(self) -> None:
-        """Close the connection; outstanding requests fail with ServeError."""
+    async def _reconnect(self, failed_generation: int) -> None:
+        """Re-open the connection unless another retry already did."""
+        async with self._conn_lock:
+            if self._closed:
+                raise ServeError("client is closed")
+            if self._generation != failed_generation:
+                return
+            await self._teardown(ConnectionLostError("connection lost"))
+            await self.connect()
+
+    async def _teardown(self, error: Exception) -> None:
+        """Stop the reader, close the transport, fail anything pending."""
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
@@ -92,7 +139,15 @@ class ServeClient:
             except (ConnectionError, OSError):
                 pass
             self._writer = None
-        self._fail_pending(ServeError("connection closed"))
+        self._reader = None
+        self._fail_pending(error)
+
+    async def close(self) -> None:
+        """Close the connection; outstanding requests fail with ServeError."""
+        self._closed = True
+        # A deliberate close is not a transport fault: pending requests
+        # fail with a plain (non-retryable) ServeError.
+        await self._teardown(ServeError("connection closed"))
 
     async def __aenter__(self) -> "ServeClient":
         return await self.connect()
@@ -169,17 +224,45 @@ class ServeClient:
     # ---------------------------------------------------------------- plumbing
 
     async def _request(self, payload: dict[str, object]) -> object:
-        if self._writer is None:
-            raise ServeError("client is not connected (use 'async with')")
+        policy = self.retry
+        retryable = policy is not None and payload.get("op") in _IDEMPOTENT_OPS
+        attempts = policy.attempts if retryable else 1
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(policy.delay(attempt))
+            generation = self._generation
+            try:
+                return await self._send_once(payload)
+            except _RETRYABLE_ERRORS as error:
+                last_error = error
+                if attempt + 1 >= attempts:
+                    raise
+                try:
+                    await self._reconnect(generation)
+                except _RETRYABLE_ERRORS as reconnect_error:
+                    # The endpoint may still be coming back; keep the
+                    # remaining attempts (and their backoff) alive.
+                    last_error = reconnect_error
+        raise last_error
+
+    async def _send_once(self, payload: dict[str, object]) -> object:
+        """Send one request line (fresh id) and await its response."""
+        writer = self._writer
+        if writer is None:
+            if self._closed or self._generation == 0:
+                raise ServeError("client is not connected (use 'async with')")
+            raise ConnectionLostError("connection lost")
         request_id = next(self._ids)
+        payload = dict(payload)
         payload["id"] = request_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         data = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
         try:
             async with self._write_lock:
-                self._writer.write(data)
-                await self._writer.drain()
+                writer.write(data)
+                await writer.drain()
             return await future
         finally:
             self._pending.pop(request_id, None)
@@ -190,7 +273,9 @@ class ServeClient:
             while True:
                 line = await reader.readline()
                 if not line:
-                    self._fail_pending(ServeError("server closed the connection"))
+                    self._fail_pending(
+                        ConnectionLostError("server closed the connection")
+                    )
                     return
                 try:
                     response = json.loads(line)
@@ -204,18 +289,24 @@ class ServeClient:
                 else:
                     error = response.get("error") or {}
                     cls = _ERROR_TYPES.get(str(error.get("type")), ServeError)
-                    future.set_exception(cls(str(error.get("message", "error"))))
+                    message = str(error.get("message", "error"))
+                    if cls is ModelUnavailableError:
+                        future.set_exception(
+                            cls(message, retry_after=error.get("retry_after"))
+                        )
+                    else:
+                        future.set_exception(cls(message))
         except (
             ConnectionError,
             asyncio.IncompleteReadError,
             asyncio.LimitOverrunError,
             ValueError,  # readline() raises it past the stream limit
         ) as error:
-            self._fail_pending(ServeError(f"connection lost: {error}"))
+            self._fail_pending(ConnectionLostError(f"connection lost: {error}"))
         except asyncio.CancelledError:
             raise
         except Exception as error:  # noqa: BLE001 - a dead reader must not hang callers
-            self._fail_pending(ServeError(f"response reader failed: {error}"))
+            self._fail_pending(ConnectionLostError(f"response reader failed: {error}"))
 
     def _fail_pending(self, error: Exception) -> None:
         for future in self._pending.values():

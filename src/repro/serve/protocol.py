@@ -30,6 +30,9 @@ Responses are ``{"id": ..., "ok": true, "result": ...}`` on success and
 ``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}`` on
 failure, where ``type`` is the library exception class name
 (``ServerOverloadedError``, ``QueryTimeoutError``, ``QueryError``, ...).
+Errors carrying a backoff hint (``ModelUnavailableError`` from an open
+circuit breaker) add a ``retry_after`` field with the seconds a client
+should wait before retrying.
 
 Query results serialize with full float precision (``repr``-based JSON
 floats round-trip IEEE doubles exactly), so a client that rebuilds the
@@ -47,6 +50,7 @@ import numpy as np
 from ..data.pairs import RecordPair
 from ..data.records import Record
 from ..exceptions import ReproError, ServeError
+from ..faults import inject
 from ..model import QueryResult
 from .registry import DEFAULT_MODEL
 
@@ -193,6 +197,16 @@ def connection_handler(server):
             response: dict[str, object] = {"id": request_id, "ok": ok}
             response["result" if ok else "error"] = body
             data = json.dumps(response, separators=(",", ":")).encode() + b"\n"
+            fault = inject("serve.send")
+            if fault is not None:
+                if fault.kind == "stall":
+                    await asyncio.sleep(fault.seconds)
+                elif fault.kind == "drop":
+                    # Simulate the connection dying mid-response: abort
+                    # the transport (RST, nothing flushed) so the client
+                    # sees a dead connection, not a clean close.
+                    writer.transport.abort()
+                    return
             async with write_lock:
                 writer.write(data)
                 await writer.drain()
@@ -205,11 +219,11 @@ def connection_handler(server):
             except asyncio.CancelledError:
                 raise
             except ReproError as error:
-                await respond(
-                    request_id,
-                    False,
-                    {"type": type(error).__name__, "message": str(error)},
-                )
+                body = {"type": type(error).__name__, "message": str(error)}
+                retry_after = getattr(error, "retry_after", None)
+                if retry_after is not None:
+                    body["retry_after"] = float(retry_after)
+                await respond(request_id, False, body)
             except Exception as error:  # noqa: BLE001 - reported to the client
                 await respond(
                     request_id,

@@ -13,16 +13,139 @@ share mutable session state.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterator, Mapping
 from pathlib import Path
 
 from ..exceptions import ReloadError, ServeError
 from ..model import QuerySession, ResolverModel
 
-__all__ = ["DEFAULT_MODEL", "ModelEntry", "ModelRegistry"]
+__all__ = ["DEFAULT_MODEL", "ModelEntry", "ModelHealth", "ModelRegistry"]
 
 #: Name a single-model registry serves under when none is given.
 DEFAULT_MODEL = "default"
+
+
+class ModelHealth:
+    """Consecutive-failure circuit breaker for one registry entry.
+
+    Tracks backend execution outcomes per model and sheds load when the
+    backend looks sick, so a broken tenant fails fast with a typed
+    :class:`~repro.exceptions.ModelUnavailableError` instead of queueing
+    doomed work behind every healthy tenant.
+
+    States
+    ------
+    ``closed``
+        Healthy; every request is admitted.  ``threshold`` consecutive
+        failures trip the breaker to ``open``.
+    ``open``
+        Shedding; :meth:`allow` returns a retry-after hint (seconds
+        until the cooldown elapses).  After ``reset_seconds`` the next
+        request is admitted as a probe (``half_open``).
+    ``half_open``
+        Exactly one probe request is in flight; its success closes the
+        breaker, its failure re-opens it for another cooldown.  Other
+        requests keep shedding while the probe runs.
+
+    A ``threshold`` of 0 disables the breaker entirely.  Input errors
+    (:class:`~repro.exceptions.QueryError`) must be recorded as
+    *successes* — a backend that rejects bad records is working.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_seconds: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.threshold = int(threshold)
+        self.reset_seconds = float(reset_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.failures_total = 0
+        self.successes_total = 0
+        self.opens_total = 0
+        self.shed_total = 0
+
+    def configure(self, threshold: int, reset_seconds: float) -> None:
+        """Adopt the serving config's breaker settings (idempotent)."""
+        self.threshold = int(threshold)
+        self.reset_seconds = float(reset_seconds)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> float | None:
+        """Admit (``None``) or shed (seconds until the next probe slot).
+
+        Must be called once per request *before* backend work; an open
+        breaker counts the request as shed and returns the retry-after
+        hint callers surface to clients.
+        """
+        with self._lock:
+            if self.threshold <= 0 or self._state == self.CLOSED:
+                return None
+            if self._state == self.OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed < self.reset_seconds:
+                    self.shed_total += 1
+                    return max(self.reset_seconds - elapsed, 0.0)
+                self._state = self.HALF_OPEN
+                self._probing = True
+                return None
+            # half_open: admit exactly one probe at a time.
+            if self._probing:
+                self.shed_total += 1
+                return self.reset_seconds
+            self._probing = True
+            return None
+
+    def record_success(self) -> None:
+        """Backend executed a request: close the breaker."""
+        with self._lock:
+            self.successes_total += 1
+            self._consecutive_failures = 0
+            self._probing = False
+            self._state = self.CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        """Backend failed a request: count it, trip when over threshold."""
+        with self._lock:
+            self.failures_total += 1
+            self._consecutive_failures += 1
+            was_probe, self._probing = self._probing, False
+            if self.threshold <= 0:
+                return
+            if was_probe or self._consecutive_failures >= self.threshold:
+                if self._state != self.OPEN:
+                    self.opens_total += 1
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe view of the breaker (part of ``describe()``)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "threshold": self.threshold,
+                "reset_seconds": self.reset_seconds,
+                "consecutive_failures": self._consecutive_failures,
+                "failures_total": self.failures_total,
+                "successes_total": self.successes_total,
+                "opens_total": self.opens_total,
+                "shed_total": self.shed_total,
+            }
 
 
 class ModelEntry:
@@ -54,6 +177,9 @@ class ModelEntry:
         self.name = name
         self.path = None if path is None else Path(path)
         self.mmap = bool(mmap)
+        #: Per-tenant circuit breaker; the server stamps its configured
+        #: threshold/cooldown here and consults it before every query.
+        self.health = ModelHealth()
         self._model = model
         self._sessions: list[QuerySession] = []
         self._lock = threading.Lock()
@@ -149,6 +275,7 @@ class ModelEntry:
             "loaded": self.loaded,
             "mmap": self.mmap,
             "path": None if self.path is None else str(self.path),
+            "health": self.health.snapshot(),
         }
         if self.loaded:
             model = self.get()

@@ -47,10 +47,13 @@ import numpy as np
 from ..data.records import Record
 from ..exceptions import (
     ConfigurationError,
+    ModelUnavailableError,
+    QueryError,
     QueryTimeoutError,
     ServeError,
     ServerOverloadedError,
 )
+from ..faults import inject
 from ..model import QueryResult, QuerySession
 from .registry import DEFAULT_MODEL, ModelRegistry
 
@@ -87,6 +90,15 @@ class ServeConfig:
     default_mode:
         Query mode when a request does not say (``"online"`` coalesces;
         ``"exact"`` never does).
+    breaker_failures:
+        Consecutive backend failures that trip a model's circuit
+        breaker (:class:`~repro.serve.registry.ModelHealth`); while
+        open, requests for that model shed immediately with
+        :class:`~repro.exceptions.ModelUnavailableError` and a
+        retry-after hint.  ``0`` disables the breaker.
+    breaker_reset_seconds:
+        Cooldown before an open breaker admits a half-open probe; also
+        the retry-after hint shed requests carry.
     """
 
     max_batch_size: int = 16
@@ -97,6 +109,8 @@ class ServeConfig:
     default_timeout_seconds: float | None = 30.0
     default_k: int = 5
     default_mode: str = "online"
+    breaker_failures: int = 5
+    breaker_reset_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -111,6 +125,10 @@ class ServeConfig:
             raise ConfigurationError("sessions_per_model must be >= 1")
         if self.default_mode not in ("online", "exact"):
             raise ConfigurationError("default_mode must be 'online' or 'exact'")
+        if self.breaker_failures < 0:
+            raise ConfigurationError("breaker_failures must be >= 0 (0 disables)")
+        if self.breaker_reset_seconds <= 0:
+            raise ConfigurationError("breaker_reset_seconds must be positive")
 
 
 @dataclass
@@ -124,6 +142,7 @@ class ServeStats:
 
     requests_total: int = 0
     requests_rejected: int = 0
+    requests_shed: int = 0
     requests_timed_out: int = 0
     requests_failed: int = 0
     requests_completed: int = 0
@@ -144,6 +163,7 @@ class ServeStats:
             for name in (
                 "requests_total",
                 "requests_rejected",
+                "requests_shed",
                 "requests_timed_out",
                 "requests_failed",
                 "requests_completed",
@@ -354,11 +374,27 @@ class AsyncResolverServer:
                 f"request queue is full ({config.max_queue} in flight)"
             )
         entry = self.registry.entry(model)
+        health = entry.health
+        health.configure(config.breaker_failures, config.breaker_reset_seconds)
+        retry_after = health.allow()
+        if retry_after is not None:
+            self.stats.requests_shed += 1
+            raise ModelUnavailableError(
+                f"model {model!r} is shedding load (circuit breaker "
+                f"{health.state}); retry in {retry_after:.2f}s",
+                retry_after=retry_after,
+            )
         if not entry.loaded:
             # First use of a path-registered tenant: materialize the
             # artifact in a worker thread so the event loop (and every
             # pending batch timer) is not stalled for the load duration.
-            await asyncio.get_running_loop().run_in_executor(None, entry.get)
+            try:
+                await asyncio.get_running_loop().run_in_executor(None, entry.get)
+            except Exception:
+                # A model that cannot load is the sickest backend of
+                # all — repeated failures must trip the breaker.
+                health.record_failure()
+                raise
         # Validate on the caller's coroutine so one bad request fails
         # alone instead of poisoning the batch it would have joined.
         session = entry.session()
@@ -436,11 +472,25 @@ class AsyncResolverServer:
         """Run one non-coalescible exact-mode request on a pooled session."""
         async with self._slot(entry.name):
             session = entry.session()
+
+            def run_query() -> QueryResult:
+                inject("serve.backend")
+                return session.query(records, intents=intents, k=k, mode="exact")
+
             try:
-                return await asyncio.get_running_loop().run_in_executor(
-                    None,
-                    lambda: session.query(records, intents=intents, k=k, mode="exact"),
+                result = await asyncio.get_running_loop().run_in_executor(
+                    None, run_query
                 )
+            except QueryError:
+                # Rejecting bad input is the backend *working*.
+                entry.health.record_success()
+                raise
+            except Exception:
+                entry.health.record_failure()
+                raise
+            else:
+                entry.health.record_success()
+                return result
             finally:
                 entry.release(session)
 
@@ -516,13 +566,23 @@ class AsyncResolverServer:
                 for item in live:
                     records.extend(item.records)
                 session = entry.session()
+
+                def run_query() -> QueryResult:
+                    inject("serve.backend")
+                    return session.query(records, intents=intents, k=k, mode="online")
+
                 try:
                     result = await asyncio.get_running_loop().run_in_executor(
-                        None,
-                        lambda: session.query(
-                            records, intents=intents, k=k, mode="online"
-                        ),
+                        None, run_query
                     )
+                except QueryError:
+                    entry.health.record_success()
+                    raise
+                except Exception:
+                    entry.health.record_failure()
+                    raise
+                else:
+                    entry.health.record_success()
                 finally:
                     entry.release(session)
                 for item, part in zip(live, _split_result(result, live)):

@@ -16,9 +16,11 @@ small sidecar segments next to the unchanged base artifact and
 from .delta import (
     UPDATE_SEGMENT_KIND,
     CorpusDelta,
+    TornSegmentWarning,
     UpdateSegment,
     build_delta,
     fingerprint_segment,
+    read_segment_chain,
 )
 from .drift import CompactionPolicy, DriftMetrics
 from .engine import (
@@ -33,6 +35,7 @@ __all__ = [
     "CompactionPolicy",
     "CorpusDelta",
     "DriftMetrics",
+    "TornSegmentWarning",
     "UpdateResult",
     "UpdateSegment",
     "apply_delta_to_model",
@@ -40,4 +43,5 @@ __all__ = [
     "compact_model",
     "corpus_pair_order",
     "fingerprint_segment",
+    "read_segment_chain",
 ]

@@ -15,19 +15,24 @@ sidecar files before replaying them.
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass
+from pathlib import Path
 from collections.abc import Mapping, Sequence
 
 from ..data.records import Dataset, Record
-from ..exceptions import UpdateError
+from ..exceptions import DataError, UpdateError
 from ..pipeline.fingerprint import digest
 
 __all__ = [
     "UPDATE_SEGMENT_KIND",
     "CorpusDelta",
+    "TornSegmentWarning",
     "UpdateSegment",
     "build_delta",
     "fingerprint_segment",
+    "read_segment_chain",
 ]
 
 #: Artifact ``kind`` marker of persisted update segments.
@@ -224,3 +229,70 @@ class UpdateSegment:
             parent_fingerprint=parent,
             fingerprint=stored,
         )
+
+
+class TornSegmentWarning(UserWarning):
+    """Emitted when a torn trailing update segment is recovered.
+
+    The segment file was unreadable — the classic signature of a process
+    killed mid-write before atomic-rename protection existed, or of a
+    filesystem that lost the tail of the chain — and was quarantined so
+    the model loads cleanly from the last valid chain link.
+    """
+
+
+#: Suffix appended to quarantined (torn) segment files.  Quarantined
+#: files no longer match the ``*.upd-NNNN.npz`` chain pattern, so they
+#: are invisible to replay but preserved for post-mortem inspection.
+TORN_SEGMENT_SUFFIX = ".torn"
+
+
+def read_segment_chain(
+    base: str | Path, recover: bool = True
+) -> tuple[list[tuple[Path, "UpdateSegment"]], list[Path]]:
+    """Read and verify the update-segment sidecars of ``base``, in order.
+
+    Returns ``(segments, recovered)`` where ``segments`` pairs each
+    sidecar path with its fingerprint-verified :class:`UpdateSegment`
+    and ``recovered`` lists quarantined torn files (empty on a healthy
+    chain).
+
+    Crash-tail recovery: when ``recover`` is true and the *trailing*
+    segment file is unreadable (:class:`~repro.exceptions.DataError` —
+    truncated or half-written, e.g. by a crash mid-append), the file is
+    renamed aside with :data:`TORN_SEGMENT_SUFFIX`, a
+    :class:`TornSegmentWarning` is emitted, and the chain is cleanly
+    truncated at the last valid link instead of failing the whole load.
+    Only unreadable *tails* recover: an unreadable segment with valid
+    successors chained on it cannot have been a torn append (appends are
+    sequential), and a *readable* segment that fails fingerprint or
+    chain verification is tampering, not a crash — both still raise.
+    """
+    from ..data.serialization import list_segment_paths, read_artifact
+
+    segment_files = list_segment_paths(base)
+    segments: list[tuple[Path, UpdateSegment]] = []
+    recovered: list[Path] = []
+    for position, segment_file in enumerate(segment_files):
+        try:
+            _, metadata = read_artifact(segment_file)
+        except DataError as error:
+            if recover and position == len(segment_files) - 1:
+                quarantine = segment_file.with_name(
+                    segment_file.name + TORN_SEGMENT_SUFFIX
+                )
+                os.replace(segment_file, quarantine)
+                recovered.append(segment_file)
+                warnings.warn(
+                    f"update segment {segment_file} is unreadable ({error}); "
+                    f"recovered the chain at its last valid link and quarantined "
+                    f"the torn file as {quarantine.name}",
+                    TornSegmentWarning,
+                    stacklevel=2,
+                )
+                break
+            raise
+        segments.append(
+            (segment_file, UpdateSegment.from_metadata(metadata, source=str(segment_file)))
+        )
+    return segments, recovered

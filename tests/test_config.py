@@ -91,9 +91,21 @@ class TestFlexERConfig:
             "graph_builder",
             "classifier",
             "executor",
+            "retry",
         }
         assert as_dict["graph"]["k_neighbors"] == config.graph.k_neighbors
         assert as_dict["solver"] == {"type": "in_parallel", "params": {}}
+        assert as_dict["retry"] is None
+
+    def test_retry_normalizes_and_round_trips(self):
+        from repro.faults import RetryPolicy
+
+        config = FlexERConfig(retry={"attempts": 4, "base_delay": 0.01})
+        assert isinstance(config.retry, RetryPolicy)
+        assert config.retry.attempts == 4
+        rebuilt = FlexERConfig.from_dict(config.to_dict())
+        assert rebuilt.retry == config.retry
+        assert FlexERConfig.from_dict(FlexERConfig().to_dict()).retry is None
 
     def test_component_specs_normalize_to_canonical_form(self):
         config = FlexERConfig(solver="multi_label", blocker={"type": "qgram", "q": 3})

@@ -1,0 +1,551 @@
+"""Tests for the fault-injection harness and the recovery paths it drives.
+
+The contract under test: with a :class:`~repro.faults.FaultPlan` armed,
+every injected failure — a SIGKILLed pool worker, a write torn mid-copy,
+a dropped serve connection, a sick backend — is either absorbed by the
+stack's own recovery machinery (shard retry, atomic replace, torn-tail
+quarantine, reconnect-and-resend, circuit breaking) or surfaces as a
+*typed* library exception.  Surviving results must be byte-identical to
+a fault-free run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import filecmp
+import os
+import shutil
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import FlexERConfig, GNNConfig, GraphConfig, MatcherConfig
+from repro.data.records import Dataset, Record
+from repro.data.serialization import (
+    artifact_base_path,
+    list_segment_paths,
+    read_artifact,
+    write_artifact,
+)
+from repro.datasets import BENCHMARK_LABELERS, load_benchmark
+from repro.exceptions import (
+    ConfigurationError,
+    ConnectionLostError,
+    DataError,
+    ExecutionError,
+    FaultInjectionError,
+    ModelError,
+    ModelUnavailableError,
+    ReproError,
+)
+from repro.exec import ProcessExecutor, SerialExecutor
+from repro.faults import (
+    ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    as_retry_policy,
+    inject,
+)
+from repro.faults import reset as reset_faults
+from repro.model import ResolverModel
+from repro.pipeline.cache import Artifact, ArtifactCache
+from repro.serve import AsyncResolverServer, ModelHealth, ModelRegistry, ServeClient, ServeConfig
+from repro.serve.cli import validate_model_paths
+from repro.update import TornSegmentWarning
+
+
+# Top-level so the process pool can pickle them.
+def _vector(value):
+    """A deterministic array payload for executor byte-identity checks."""
+    return np.full(8, float(value), dtype=np.float64) * 1.5
+
+
+def _square(value):
+    return value * value
+
+
+@pytest.fixture(scope="module")
+def robust_world():
+    """A small fitted model plus held-out records to upsert and probe."""
+    benchmark = load_benchmark("amazon_mi", num_pairs=60, products_per_domain=8, seed=7)
+    labeler = BENCHMARK_LABELERS["amazon_mi"]
+    products = benchmark.record_products
+
+    def label_pair(left, right):
+        return labeler.label_pair(products[left.record_id], products[right.record_id])
+
+    records = list(benchmark.dataset.records)
+    holdout = records[-6:]
+    corpus = Dataset(
+        records=records[:-6],
+        name=benchmark.dataset.name,
+        attributes=benchmark.dataset.attributes,
+    )
+    config = FlexERConfig(
+        matcher=MatcherConfig(hidden_dims=(24, 12), n_features=96, epochs=2, seed=5),
+        graph=GraphConfig(k_neighbors=2),
+        gnn=GNNConfig(hidden_dim=16, epochs=4, seed=5),
+        blocker={"type": "qgram", "min_shared": 14},
+    )
+    model = repro.fit(
+        corpus, intents=labeler.intent_names, labeler=label_pair, config=config
+    )
+    return model, holdout
+
+
+@pytest.fixture(scope="module")
+def saved_base(robust_world, tmp_path_factory) -> Path:
+    """The fitted model persisted once; tests copy it before mutating."""
+    model, _holdout = robust_world
+    path = tmp_path_factory.mktemp("faults-model") / "model.npz"
+    model.save(path)
+    return path
+
+
+def _copy_model(source: Path, dest_dir: Path) -> Path:
+    """Copy a base artifact (plus any segments) into a test-owned dir."""
+    base = artifact_base_path(source)
+    target = dest_dir / base.name
+    shutil.copyfile(base, target)
+    for segment in list_segment_paths(base):
+        shutil.copyfile(segment, dest_dir / segment.name)
+    return target
+
+
+# --------------------------------------------------------------------- plans
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(point="x", kind="meteor")
+
+    def test_times_and_after_counters(self):
+        plan = FaultPlan([FaultSpec(point="p", kind="exception", times=2, after=1)])
+        with plan:
+            inject("p")  # skipped by after=1
+            with pytest.raises(FaultInjectionError):
+                inject("p")
+            with pytest.raises(FaultInjectionError):
+                inject("p")
+            inject("p")  # times=2 exhausted
+            inject("unrelated.point")
+
+    def test_point_patterns_glob(self):
+        plan = FaultPlan([FaultSpec(point="exec.*", kind="exception", times=None)])
+        with plan:
+            with pytest.raises(FaultInjectionError):
+                inject("exec.encode")
+            inject("storage.artifact_write")
+
+    def test_probability_is_seed_deterministic(self):
+        spec = dict(point="p", kind="exception", probability=0.5, times=None)
+        left = FaultPlan([FaultSpec(**spec)], seed=3)
+        right = FaultPlan([FaultSpec(**spec)], seed=3)
+        pattern = [left.should_fire("p") is not None for _ in range(64)]
+        assert pattern == [right.should_fire("p") is not None for _ in range(64)]
+        assert any(pattern) and not all(pattern)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [FaultSpec(point="a.*", kind="slow", seconds=0.1, times=3)],
+            seed=9,
+            state_dir="/tmp/x",
+        )
+        rebuilt = FaultPlan.from_json(plan.to_json())
+        assert rebuilt.seed == plan.seed
+        assert rebuilt.state_dir == plan.state_dir
+        assert [spec.to_dict() for spec in rebuilt.specs] == [
+            spec.to_dict() for spec in plan.specs
+        ]
+
+    def test_context_manager_sets_and_restores_env(self):
+        plan = FaultPlan([FaultSpec(point="p")], seed=1)
+        before = os.environ.get(ENV_VAR)
+        with plan:
+            assert os.environ[ENV_VAR] == plan.to_json()
+        assert os.environ.get(ENV_VAR) == before
+
+    def test_env_var_arms_inject(self):
+        """What subprocess workers do: pick the plan up from the env."""
+        plan = FaultPlan([FaultSpec(point="worker.point", kind="exception")])
+        saved = os.environ.get(ENV_VAR)
+        os.environ[ENV_VAR] = plan.to_json()
+        reset_faults()
+        try:
+            with pytest.raises(FaultInjectionError):
+                inject("worker.point")
+        finally:
+            if saved is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = saved
+            reset_faults()
+
+    def test_state_dir_markers_make_times_cross_process(self, tmp_path):
+        spec = FaultSpec(point="p", kind="exception", times=1)
+        first = FaultPlan([spec], seed=2, state_dir=str(tmp_path))
+        second = FaultPlan([spec], seed=2, state_dir=str(tmp_path))
+        assert first.should_fire("p") is not None
+        # A second plan instance (standing in for a second process)
+        # loses the marker race and must not fire again.
+        assert second.should_fire("p") is None
+        assert (tmp_path / "fired-0-0").exists()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+
+    def test_delays_are_deterministic_and_capped(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.1, max_delay=0.4, multiplier=2.0, seed=1
+        )
+        delays = [policy.delay(k) for k in range(1, 6)]
+        assert delays == [
+            RetryPolicy(
+                attempts=6, base_delay=0.1, max_delay=0.4, multiplier=2.0, seed=1
+            ).delay(k)
+            for k in range(1, 6)
+        ]
+        assert all(0.0 <= delay <= 0.4 for delay in delays)
+        exact = RetryPolicy(attempts=4, base_delay=0.1, max_delay=0.4, jitter=0.0)
+        assert [exact.delay(k) for k in range(1, 4)] == [0.1, 0.2, 0.4]
+
+    def test_round_trip_and_normalization(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.2)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+        assert as_retry_policy(None) is None
+        assert as_retry_policy(policy) is policy
+        assert as_retry_policy({"attempts": 2}) == RetryPolicy(attempts=2)
+        assert policy.retries == 3
+
+
+# ------------------------------------------------------------------ executors
+
+
+class TestExecutorRetry:
+    def test_worker_sigkill_retried_byte_identical(self, tmp_path):
+        """The headline guarantee: SIGKILL a pool worker mid-stage and the
+        shard retry must reproduce the fault-free bytes exactly."""
+        payloads = list(range(6))
+        clean = ProcessExecutor(workers=2)
+        try:
+            expected = clean.map(_vector, payloads)
+        finally:
+            clean.close()
+
+        state = tmp_path / "state"
+        executor = ProcessExecutor(workers=2)
+        executor.retry = RetryPolicy(attempts=3, base_delay=0.01)
+        plan = FaultPlan(
+            [FaultSpec(point="exec.task", kind="crash", times=1)],
+            seed=11,
+            state_dir=str(state),
+        )
+        try:
+            with plan:
+                survived = executor.map(_vector, payloads)
+        finally:
+            executor.close()
+        # The crash actually happened (the dying worker left its marker) …
+        assert (state / "fired-0-0").exists()
+
+        # … and the dumped artifacts are byte-identical all the same.
+        clean_dump = tmp_path / "clean.npz"
+        chaos_dump = tmp_path / "chaos.npz"
+        write_artifact(clean_dump, {f"{i:03d}": a for i, a in enumerate(expected)}, {})
+        write_artifact(chaos_dump, {f"{i:03d}": a for i, a in enumerate(survived)}, {})
+        assert filecmp.cmp(clean_dump, chaos_dump, shallow=False)
+
+    def test_worker_sigkill_without_retry_is_typed(self, tmp_path):
+        executor = ProcessExecutor(workers=2)
+        plan = FaultPlan(
+            [FaultSpec(point="exec.task", kind="crash", times=1)],
+            seed=11,
+            state_dir=str(tmp_path / "state"),
+        )
+        try:
+            with plan, pytest.raises(ExecutionError):
+                executor.map(_vector, list(range(6)))
+        finally:
+            executor.close()
+
+    def test_serial_executor_retries_exceptions(self):
+        executor = SerialExecutor()
+        executor.retry = RetryPolicy(attempts=3, base_delay=0.0)
+        plan = FaultPlan([FaultSpec(point="exec.task", kind="exception", times=2)])
+        with plan:
+            assert executor.map(_square, [2, 3]) == [4, 9]
+
+    def test_retry_budget_exhaustion_is_typed(self):
+        executor = SerialExecutor()
+        executor.retry = RetryPolicy(attempts=2, base_delay=0.0)
+        plan = FaultPlan([FaultSpec(point="exec.task", kind="exception", times=None)])
+        with plan, pytest.raises(ExecutionError):
+            executor.map(_square, [2, 3])
+
+
+# -------------------------------------------------------------------- storage
+
+
+class TestCrashSafeStorage:
+    def test_interrupted_write_preserves_previous_artifact(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, {"a": np.arange(4.0)}, {"version": 1})
+        plan = FaultPlan(
+            [FaultSpec(point="storage.artifact_write", kind="exception", times=1)]
+        )
+        with plan, pytest.raises(FaultInjectionError):
+            write_artifact(path, {"a": np.arange(8.0)}, {"version": 2})
+        arrays, metadata = read_artifact(path)
+        assert metadata["version"] == 1
+        assert np.array_equal(arrays["a"], np.arange(4.0))
+        # No temp-file litter either.
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.npz"]
+
+    def test_save_killed_mid_segment_write_keeps_model_loadable(
+        self, robust_world, saved_base, tmp_path
+    ):
+        _model, holdout = robust_world
+        path = _copy_model(saved_base, tmp_path)
+        worker = ResolverModel.load(path, mmap=False)
+        base_count = len(worker.corpus)
+        worker.update(upserts=holdout[:2], compact="never")
+        plan = FaultPlan(
+            [FaultSpec(point="storage.artifact_write", kind="exception", times=1)]
+        )
+        with plan, pytest.raises(FaultInjectionError):
+            worker.save(path)
+        # The previous on-disk state survived the mid-write crash.
+        reloaded = ResolverModel.load(path, mmap=False)
+        assert len(reloaded.corpus) == base_count
+
+    def test_torn_trailing_segment_recovers_on_load(
+        self, robust_world, saved_base, tmp_path
+    ):
+        _model, holdout = robust_world
+        path = _copy_model(saved_base, tmp_path)
+        worker = ResolverModel.load(path, mmap=False)
+        base_count = len(worker.corpus)
+        worker.update(upserts=holdout[:2], compact="never")
+        worker.save(path)
+        (segment,) = list_segment_paths(path)
+        payload = segment.read_bytes()
+        segment.write_bytes(payload[: len(payload) // 2])
+
+        with pytest.warns(TornSegmentWarning):
+            recovered = ResolverModel.load(path, mmap=False)
+        # The torn tail was quarantined and the model fell back to the
+        # last intact link of the chain (here: the base artifact).
+        assert len(recovered.corpus) == base_count
+        assert segment.with_name(segment.name + ".torn").exists()
+        assert list_segment_paths(path) == []
+
+        # The restarted maintenance job redoes the update cleanly.
+        recovered.update(upserts=holdout[:2], compact="never")
+        recovered.save(path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TornSegmentWarning)
+            final = ResolverModel.load(path, mmap=False)
+        assert len(final.corpus) == base_count + 2
+
+    def test_truncated_raw_artifact_always_raises_typed(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        write_artifact(path, {"a": np.arange(32.0), "b": np.ones((4, 4))}, {"k": 1})
+        payload = path.read_bytes()
+        target = tmp_path / "cut.npz"
+        stride = max(1, len(payload) // 97)
+        for cut in range(1, len(payload), stride):
+            target.write_bytes(payload[:cut])
+            try:
+                read_artifact(target)
+            except DataError:
+                pass  # the only acceptable failure: a typed one
+
+    def test_truncated_model_artifacts_load_clean_or_typed(
+        self, robust_world, saved_base, tmp_path
+    ):
+        """The truncation sweep: cut the base artifact and the update
+        segment at sampled byte boundaries; every load must either
+        succeed (possibly via torn-tail recovery) or raise a typed
+        ModelError/DataError — never an unhandled exception."""
+        _model, holdout = robust_world
+        path = _copy_model(saved_base, tmp_path)
+        worker = ResolverModel.load(path, mmap=False)
+        worker.update(upserts=holdout[:2], compact="never")
+        worker.save(path)
+        (segment,) = list_segment_paths(path)
+
+        for victim in (artifact_base_path(path), segment):
+            payload = victim.read_bytes()
+            stride = max(1, len(payload) // 48)
+            for cut in range(1, len(payload), stride):
+                victim.write_bytes(payload[:cut])
+                torn = victim.with_name(victim.name + ".torn")
+                try:
+                    with warnings.catch_warnings():
+                        warnings.simplefilter("ignore", TornSegmentWarning)
+                        ResolverModel.load(path, mmap=False)
+                except (ModelError, DataError):
+                    pass
+                finally:
+                    if torn.exists():
+                        torn.unlink()
+            victim.write_bytes(payload)
+        # Intact files restored: the full chain loads without recovery.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TornSegmentWarning)
+            ResolverModel.load(path, mmap=False)
+
+
+# ---------------------------------------------------------------- serve layer
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_sheds_with_retry_after(self):
+        now = [0.0]
+        health = ModelHealth(threshold=3, reset_seconds=10.0, clock=lambda: now[0])
+        for _ in range(2):
+            health.record_failure()
+        assert health.state == ModelHealth.CLOSED and health.allow() is None
+        health.record_failure()
+        assert health.state == ModelHealth.OPEN
+        retry_after = health.allow()
+        assert retry_after is not None and 0.0 < retry_after <= 10.0
+        assert health.shed_total == 1
+
+    def test_half_open_probe_cycle(self):
+        now = [0.0]
+        health = ModelHealth(threshold=1, reset_seconds=5.0, clock=lambda: now[0])
+        health.record_failure()
+        assert health.state == ModelHealth.OPEN
+        now[0] = 6.0
+        assert health.allow() is None  # the probe is admitted
+        assert health.state == ModelHealth.HALF_OPEN
+        assert health.allow() is not None  # …but only one at a time
+        health.record_failure()  # probe failed: re-open for another cooldown
+        assert health.state == ModelHealth.OPEN
+        now[0] = 12.0
+        assert health.allow() is None
+        health.record_success()
+        assert health.state == ModelHealth.CLOSED
+        assert health.allow() is None
+
+    def test_threshold_zero_disables(self):
+        health = ModelHealth(threshold=0, reset_seconds=1.0)
+        for _ in range(10):
+            health.record_failure()
+        assert health.allow() is None
+
+    def test_server_sheds_sick_model_with_typed_error(self, tmp_path):
+        """A backend that cannot even load trips the breaker; subsequent
+        requests shed fast with ModelUnavailableError + retry-after,
+        carried intact over the wire."""
+
+        async def scenario():
+            registry = ModelRegistry()
+            registry.add(path=tmp_path / "missing.npz", mmap=False)
+            server = AsyncResolverServer(
+                registry,
+                ServeConfig(breaker_failures=2, breaker_reset_seconds=60.0),
+            )
+            tcp = await server.serve_tcp(host="127.0.0.1", port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            record = Record(record_id="probe", values={"title": "x"})
+            try:
+                async with ServeClient("127.0.0.1", port) as client:
+                    for _ in range(2):
+                        with pytest.raises(ReproError) as excinfo:
+                            await client.query([record], k=1)
+                        assert not isinstance(
+                            excinfo.value, ModelUnavailableError
+                        )
+                    with pytest.raises(ModelUnavailableError) as excinfo:
+                        await client.query([record], k=1)
+                    assert excinfo.value.retry_after is not None
+                    assert 0.0 < excinfo.value.retry_after <= 60.0
+                    stats = await client.stats()
+            finally:
+                await server.stop()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats["requests_shed"] == 1
+
+
+class TestServeClientRetry:
+    def test_ping_survives_dropped_connections(self):
+        async def scenario():
+            server = AsyncResolverServer(ModelRegistry())
+            tcp = await server.serve_tcp(host="127.0.0.1", port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            try:
+                client = ServeClient(
+                    "127.0.0.1",
+                    port,
+                    retry=RetryPolicy(attempts=4, base_delay=0.01),
+                )
+                async with client:
+                    return await client.ping()
+            finally:
+                await server.stop()
+
+        plan = FaultPlan([FaultSpec(point="serve.send", kind="drop", times=2)])
+        with plan:
+            assert asyncio.run(scenario()) == "pong"
+
+    def test_dropped_connection_without_retry_is_typed(self):
+        async def scenario():
+            server = AsyncResolverServer(ModelRegistry())
+            tcp = await server.serve_tcp(host="127.0.0.1", port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            try:
+                async with ServeClient("127.0.0.1", port) as client:
+                    with pytest.raises(ConnectionLostError):
+                        await client.ping()
+            finally:
+                await server.stop()
+
+        plan = FaultPlan([FaultSpec(point="serve.send", kind="drop", times=1)])
+        with plan:
+            asyncio.run(scenario())
+
+
+class TestServeCliValidation:
+    def test_missing_artifact_fails_fast(self, tmp_path):
+        with pytest.raises(SystemExit, match="artifact not found"):
+            validate_model_paths([("default", str(tmp_path / "missing.npz"))])
+
+    def test_readable_artifact_passes(self, tmp_path):
+        path = tmp_path / "model.npz"
+        write_artifact(path, {"a": np.zeros(2)}, {})
+        validate_model_paths([("default", str(path))])
+
+
+# ---------------------------------------------------------------------- cache
+
+
+class TestCacheColdStartRace:
+    def test_put_leaves_published_artifact_untouched(self, tmp_path):
+        artifact = Artifact(arrays={"a": np.arange(3.0)}, metadata={"x": 1})
+        first = ArtifactCache(tmp_path)
+        first.put("stage", "digest", artifact)
+        path = first.artifact_path("stage", "digest")
+        stamp = path.stat().st_mtime_ns
+
+        # A second process racing the same cold start publishes the same
+        # content-addressed bytes; the loser must not rewrite the file.
+        second = ArtifactCache(tmp_path)
+        second.put("stage", "digest", artifact)
+        assert path.stat().st_mtime_ns == stamp
+        hit = second.get("stage", "digest")
+        assert hit is not None
+        assert np.array_equal(hit.arrays["a"], np.arange(3.0))
