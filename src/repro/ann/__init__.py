@@ -1,5 +1,13 @@
-"""Exact nearest-neighbour search (Faiss substitute)."""
+"""Nearest-neighbour search: exact (Faiss substitute) and sub-linear indexes."""
 
+from .hnsw import HnswGraphIndex, seeded_levels
 from .knn import ExactNearestNeighbors, NeighborResult
+from .lsh import SrpBandIndex
 
-__all__ = ["ExactNearestNeighbors", "NeighborResult"]
+__all__ = [
+    "ExactNearestNeighbors",
+    "HnswGraphIndex",
+    "NeighborResult",
+    "SrpBandIndex",
+    "seeded_levels",
+]

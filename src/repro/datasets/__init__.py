@@ -16,7 +16,8 @@ from .labeling import (
     same_general_category,
     same_wdc_general_category,
 )
-from .sampler import PairSampler, StratumWeights
+from .sampler import PairSampler, StratumWeights, sample_clusters
+from .scale import ScaleWorkload, ScaleWorkloadConfig, make_scale_workload
 from .benchmark import (
     MIERBenchmark,
     BenchmarkSpec,
@@ -56,6 +57,10 @@ __all__ = [
     "same_wdc_general_category",
     "PairSampler",
     "StratumWeights",
+    "sample_clusters",
+    "ScaleWorkload",
+    "ScaleWorkloadConfig",
+    "make_scale_workload",
     "MIERBenchmark",
     "BenchmarkSpec",
     "build_benchmark",

@@ -109,3 +109,81 @@ class TitlePerturber:
     def variants(self, title: str, count: int) -> list[str]:
         """Return ``count`` independent perturbed variants of ``title``."""
         return [self.perturb(title) for _ in range(count)]
+
+    def _typo_at(self, token: str, kind: int, fraction: float) -> str:
+        """The :meth:`_typo` edit with externally drawn randomness."""
+        if len(token) < 3:
+            return token
+        position = 1 + int(fraction * (len(token) - 2))
+        if kind == 0:  # deletion
+            return token[:position] + token[position + 1 :]
+        if kind == 1:  # transposition
+            chars = list(token)
+            chars[position], chars[position - 1] = chars[position - 1], chars[position]
+            return "".join(chars)
+        # duplication
+        return token[:position] + token[position] + token[position:]
+
+    def perturb_batch(self, titles: list[str]) -> list[str]:
+        """Noisy variants of many titles with all randomness pre-drawn.
+
+        :meth:`perturb` makes ~15 scalar generator calls per title,
+        which dominates million-record workload generation.  This path
+        draws every random quantity as one vectorized array up front
+        (positions as fractions scaled to each title's token count) and
+        then applies the same perturbation kinds in a plain loop.  The
+        output distribution matches :meth:`perturb`; the random stream
+        differs, so the two paths produce different (equally valid)
+        variants.
+        """
+        n = len(titles)
+        if n == 0:
+            return []
+        config = self.config
+        rng = self.rng
+        apply_lower = rng.random(n) < config.p_lowercase_all
+        apply_upper = rng.random(n) < config.p_uppercase_token
+        upper_at = rng.random(n)
+        apply_typo = rng.random(n) < config.p_typo
+        typo_at = rng.random(n)
+        typo_kind = rng.integers(3, size=n)
+        typo_char_at = rng.random(n)
+        apply_drop = rng.random(n) < config.p_drop_token
+        drop_at = rng.random(n)
+        apply_swap = rng.random(n) < config.p_swap_tokens
+        swap_at = rng.random(n)
+        apply_abbrev = rng.random(n) < config.p_abbreviate
+        apply_color = rng.random(n) < config.p_add_color_spec
+        color_a = rng.integers(len(COLORS), size=n)
+        color_b = rng.integers(len(COLORS), size=n)
+        apply_suffix = rng.random(n) < config.p_add_model_suffix
+        suffix = rng.integers(10, 9999, size=n)
+
+        out: list[str] = []
+        for row, title in enumerate(titles):
+            tokens = title.split()
+            if apply_lower[row]:
+                tokens = [token.lower() for token in tokens]
+            if tokens and apply_upper[row]:
+                index = int(upper_at[row] * len(tokens))
+                tokens[index] = tokens[index].upper()
+            if tokens and apply_typo[row]:
+                index = int(typo_at[row] * len(tokens))
+                tokens[index] = self._typo_at(
+                    tokens[index], int(typo_kind[row]), float(typo_char_at[row])
+                )
+            if len(tokens) > 4 and apply_drop[row]:
+                index = int(drop_at[row] * len(tokens))
+                tokens = tokens[:index] + tokens[index + 1 :]
+            if len(tokens) > 2 and apply_swap[row]:
+                index = int(swap_at[row] * (len(tokens) - 1))
+                tokens[index], tokens[index + 1] = tokens[index + 1], tokens[index]
+            if apply_abbrev[row]:
+                tokens = [ABBREVIATIONS.get(token.lower(), token) for token in tokens]
+            title_out = " ".join(tokens)
+            if apply_color[row]:
+                title_out = f"{title_out}, {COLORS[color_a[row]]}/{COLORS[color_b[row]]}"
+            if apply_suffix[row]:
+                title_out = f"{title_out} {int(suffix[row])}"
+            out.append(title_out)
+        return out

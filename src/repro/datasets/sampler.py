@@ -223,3 +223,32 @@ class PairSampler:
             seen.add(pair)
             pairs.append(pair)
         return pairs
+
+
+def sample_clusters(
+    cluster_sizes: np.ndarray,
+    num_queries: int,
+    rng: np.random.Generator,
+    size_weighted: bool = True,
+) -> np.ndarray:
+    """Vectorized draw of ``num_queries`` cluster indices for query synthesis.
+
+    The scale workload (:mod:`repro.datasets.scale`) queries a fitted
+    corpus with fresh variants of existing entities; this helper picks
+    *which* entities.  With ``size_weighted`` (the default) a cluster is
+    drawn proportionally to its member count — entities represented by
+    more records are the ones real traffic asks about more often —
+    otherwise uniformly.  One vectorized draw, so sampling a million
+    queries costs the same as sampling a hundred.
+    """
+    sizes = np.asarray(cluster_sizes, dtype=np.float64)
+    if sizes.ndim != 1 or len(sizes) == 0:
+        raise ConfigurationError("cluster_sizes must be a non-empty 1-D array")
+    if num_queries <= 0:
+        raise ConfigurationError("num_queries must be positive")
+    if size_weighted:
+        total = sizes.sum()
+        if total <= 0:
+            raise ConfigurationError("cluster sizes must sum to a positive count")
+        return rng.choice(len(sizes), size=num_queries, p=sizes / total)
+    return rng.integers(0, len(sizes), size=num_queries)

@@ -1,0 +1,154 @@
+"""Seeded million-record synthetic workload for retrieval scaling runs.
+
+The benchmark generators in this package target *label fidelity* (Table
+3/4 analogues) at a few thousand records; the retrieval scale bench
+needs *volume*: a corpus of duplicate clusters large enough to measure
+sub-linear query growth at 10k/100k/1M records, generated in seconds.
+This module builds such a corpus directly from the vocabulary tables —
+each cluster is one synthetic entity with a clean base title plus
+perturbed variants (:meth:`~repro.datasets.perturb.TitlePerturber.perturb_batch`),
+and queries are *fresh* perturbed variants of sampled entities, so no
+query record exists in the corpus.
+
+Everything is derived from one seed: the same
+:class:`ScaleWorkloadConfig` always yields byte-identical records,
+which lets the perf suite and CI compare candidate dumps across
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.records import Dataset, Record
+from ..exceptions import ConfigurationError
+from .perturb import PerturbationConfig, TitlePerturber
+from .sampler import sample_clusters
+from .vocab import AUDIENCES, BRANDS, PRODUCT_LINES, USAGE_BY_DOMAIN
+
+
+@dataclass(frozen=True)
+class ScaleWorkloadConfig:
+    """Shape of one synthetic retrieval-scale workload.
+
+    ``cluster_sizes`` cycle over the generated clusters; the defaults
+    average 15 records per entity, so the exact top-10 of a query is
+    (almost always) inside its own cluster and recall@10 against the
+    exact oracle is a meaningful bar.
+    """
+
+    num_records: int
+    num_queries: int = 200
+    cluster_sizes: tuple[int, ...] = (8, 12, 16, 24)
+    seed: int = 0
+    id_prefix: str = "s"
+
+    def __post_init__(self) -> None:
+        if self.num_records <= 0:
+            raise ConfigurationError("num_records must be positive")
+        if self.num_queries <= 0:
+            raise ConfigurationError("num_queries must be positive")
+        if not self.cluster_sizes or any(size <= 0 for size in self.cluster_sizes):
+            raise ConfigurationError("cluster_sizes must be positive")
+
+
+@dataclass(frozen=True)
+class ScaleWorkload:
+    """A generated scale corpus plus its held-out query records.
+
+    ``cluster_of`` maps each corpus row to its entity cluster and
+    ``query_clusters`` each query to the cluster it perturbs — handy
+    for diagnosing recall failures, though ground truth for recall@k is
+    always the exact oracle's ranking, not cluster membership.
+    """
+
+    corpus: Dataset
+    queries: tuple[Record, ...]
+    cluster_of: np.ndarray
+    query_clusters: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of distinct entity clusters in the corpus."""
+        return int(self.cluster_of.max()) + 1 if len(self.cluster_of) else 0
+
+
+def _base_titles(num_clusters: int, rng: np.random.Generator) -> list[str]:
+    """One clean, mostly-distinct title per entity cluster, vectorized."""
+    brands = np.concatenate([np.asarray(BRANDS[d], dtype=object) for d in BRANDS])
+    lines = np.concatenate([np.asarray(PRODUCT_LINES[d], dtype=object) for d in PRODUCT_LINES])
+    usages = np.concatenate(
+        [np.asarray(USAGE_BY_DOMAIN[d], dtype=object) for d in USAGE_BY_DOMAIN]
+    )
+    audiences = np.asarray(AUDIENCES, dtype=object)
+    brand = rng.choice(brands, size=num_clusters)
+    audience = rng.choice(audiences, size=num_clusters)
+    line = rng.choice(lines, size=num_clusters)
+    usage = rng.choice(usages, size=num_clusters)
+    model = rng.integers(1, 9999, size=num_clusters)
+    # The serial keeps clusters lexically separable even when the vocab
+    # combination collides (inevitable beyond ~1e5 clusters).
+    return [
+        f"{brand[i]} {audience[i]} {line[i]} {model[i]} {usage[i]} #{i}"
+        for i in range(num_clusters)
+    ]
+
+
+def make_scale_workload(config: ScaleWorkloadConfig) -> ScaleWorkload:
+    """Generate the corpus and query records of ``config``.
+
+    Each cluster's first record keeps the clean base title; the rest are
+    batch-perturbed variants.  Queries are fresh variants of clusters
+    drawn size-weighted by :func:`~repro.datasets.sampler.sample_clusters`,
+    with ids under a ``q-`` prefix so they never collide with corpus ids.
+    """
+    rng = np.random.default_rng(config.seed)
+    cycle = np.asarray(config.cluster_sizes, dtype=np.int64)
+    mean_size = float(cycle.mean())
+    num_clusters = max(int(np.ceil(config.num_records / mean_size)), 1)
+    sizes = np.tile(cycle, num_clusters // len(cycle) + 1)[:num_clusters]
+    while sizes.sum() < config.num_records:
+        num_clusters += 1
+        sizes = np.tile(cycle, num_clusters // len(cycle) + 1)[:num_clusters]
+    # Trim the overshoot off the last clusters so the total is exact.
+    cumulative = np.cumsum(sizes)
+    sizes = np.minimum(sizes, np.maximum(config.num_records - (cumulative - sizes), 0))
+    sizes = sizes[sizes > 0]
+    num_clusters = len(sizes)
+
+    base = _base_titles(num_clusters, rng)
+    cluster_of = np.repeat(np.arange(num_clusters), sizes)
+    titles = [base[cluster] for cluster in cluster_of]
+    perturber = TitlePerturber(PerturbationConfig(), rng)
+    first_of_cluster = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+    noisy = perturber.perturb_batch(titles)
+    for first in first_of_cluster:
+        noisy[first] = titles[first]  # keep one clean representative
+
+    width = len(str(config.num_records))
+    records = [
+        Record(
+            record_id=f"{config.id_prefix}{row:0{width}d}",
+            values={"title": noisy[row]},
+        )
+        for row in range(len(noisy))
+    ]
+    corpus = Dataset(records=records, name=f"scale-{config.num_records}", attributes=("title",))
+
+    query_clusters = sample_clusters(sizes, config.num_queries, rng)
+    query_titles = perturber.perturb_batch([base[cluster] for cluster in query_clusters])
+    queries = tuple(
+        Record(record_id=f"q-{config.id_prefix}{row:06d}", values={"title": title})
+        for row, title in enumerate(query_titles)
+    )
+    return ScaleWorkload(
+        corpus=corpus,
+        queries=queries,
+        cluster_of=cluster_of,
+        query_clusters=np.asarray(query_clusters, dtype=np.int64),
+    )
+
+
+__all__ = ["ScaleWorkload", "ScaleWorkloadConfig", "make_scale_workload"]

@@ -14,8 +14,18 @@ from .multi_intent import (
     preventable_error,
 )
 from .report import format_table, format_metric_rows, comparison_summary
+from .retrieval import (
+    RetrievalQuality,
+    candidate_overlap,
+    evaluate_candidates,
+    recall_at_k,
+)
 
 __all__ = [
+    "RetrievalQuality",
+    "candidate_overlap",
+    "evaluate_candidates",
+    "recall_at_k",
     "BlockingQuality",
     "admissible_pair_count",
     "evaluate_blocking",

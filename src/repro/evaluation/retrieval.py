@@ -1,0 +1,142 @@
+"""Retrieval-quality measures: recall@k and candidate-set overlap.
+
+The sub-linear retrievers (``hnsw``, ``lsh``) trade exactness for query
+time, so their quality is measured *against the exact retriever* rather
+than against a golden standard: the exact ``ann_knn`` ranking over the
+same vectors is the oracle, and an approximate retriever is judged by
+how much of the oracle's top-``k`` it reproduces.
+
+Definitions per query record ``q`` with oracle candidates ``O_k(q)``
+and approximate candidates ``A_k(q)`` (both ranked, size ≤ ``k``):
+
+* ``recall@k  = |A_k(q) ∩ O_k(q)| / |O_k(q)|`` — averaged over queries
+  with a non-empty oracle set.
+* ``overlap@k = |A_k(q) ∩ O_k(q)| / |A_k(q) ∪ O_k(q)|`` (Jaccard) —
+  penalizes spurious extras as well as misses.
+
+``recall@k`` is the headline number (the acceptance bar of the scale
+bench); ``overlap@k`` separates "missed oracle candidates" from
+"returned different-but-plausible ones", which matters when the
+downstream matcher scores whatever the retriever hands it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..data.records import Record
+from ..exceptions import EvaluationError
+from ..retrieval.candidates import CandidateRetriever
+
+
+def recall_at_k(
+    approximate: Sequence[Sequence[str]], oracle: Sequence[Sequence[str]]
+) -> float:
+    """Mean fraction of each oracle candidate list found by the retriever.
+
+    Queries whose oracle list is empty are skipped (there is nothing to
+    recall); the mean over zero scorable queries is defined as ``1.0``.
+    """
+    if len(approximate) != len(oracle):
+        raise EvaluationError("approximate and oracle lists must align one-to-one")
+    scores: list[float] = []
+    for approx_ids, oracle_ids in zip(approximate, oracle, strict=True):
+        if not oracle_ids:
+            continue
+        scores.append(len(set(approx_ids) & set(oracle_ids)) / len(oracle_ids))
+    return sum(scores) / len(scores) if scores else 1.0
+
+
+def candidate_overlap(
+    approximate: Sequence[Sequence[str]], oracle: Sequence[Sequence[str]]
+) -> float:
+    """Mean Jaccard overlap between approximate and oracle candidate sets.
+
+    Queries where both sets are empty are skipped; the mean over zero
+    scorable queries is defined as ``1.0``.
+    """
+    if len(approximate) != len(oracle):
+        raise EvaluationError("approximate and oracle lists must align one-to-one")
+    scores: list[float] = []
+    for approx_ids, oracle_ids in zip(approximate, oracle, strict=True):
+        union = set(approx_ids) | set(oracle_ids)
+        if not union:
+            continue
+        scores.append(len(set(approx_ids) & set(oracle_ids)) / len(union))
+    return sum(scores) / len(scores) if scores else 1.0
+
+
+@dataclass(frozen=True)
+class RetrievalQuality:
+    """Quality profile of one approximate retriever vs the exact oracle.
+
+    ``recall`` and ``overlap`` map each evaluated ``k`` to its mean
+    score over the query set; ``empty_candidate_queries`` counts queries
+    the approximate retriever answered with nothing at all (a bucket
+    miss under ``lsh``, an unreachable region under ``hnsw``).
+    """
+
+    num_queries: int
+    ks: tuple[int, ...]
+    recall: dict[int, float] = field(default_factory=dict)
+    overlap: dict[int, float] = field(default_factory=dict)
+    empty_candidate_queries: int = 0
+
+    def summary(self) -> dict[str, object]:
+        """JSON-ready flat summary (keys like ``recall@10``)."""
+        payload: dict[str, object] = {
+            "num_queries": self.num_queries,
+            "empty_candidate_queries": self.empty_candidate_queries,
+        }
+        for k in self.ks:
+            payload[f"recall@{k}"] = self.recall[k]
+            payload[f"overlap@{k}"] = self.overlap[k]
+        return payload
+
+
+def evaluate_candidates(
+    retriever: CandidateRetriever,
+    oracle: CandidateRetriever,
+    queries: Sequence[Record],
+    ks: Sequence[int] = (1, 10),
+) -> RetrievalQuality:
+    """Score ``retriever`` against ``oracle`` over the same query records.
+
+    Both retrievers must be fitted over the same corpus (and the same
+    vector space) for the comparison to be meaningful; the harness only
+    checks that each answers the queries.  Candidates are retrieved once
+    at ``max(ks)`` and truncated per ``k``, mirroring how a serving
+    deployment would slice one ranked list.
+    """
+    if not queries:
+        raise EvaluationError("evaluate_candidates requires at least one query record")
+    ks = tuple(sorted({int(k) for k in ks}))
+    if not ks or ks[0] <= 0:
+        raise EvaluationError("every k must be positive")
+    top_k = ks[-1]
+    approximate = retriever.retrieve(queries, top_k)
+    exact = oracle.retrieve(queries, top_k)
+    recall: dict[int, float] = {}
+    overlap: dict[int, float] = {}
+    for k in ks:
+        approx_k = [ids[:k] for ids in approximate]
+        exact_k = [ids[:k] for ids in exact]
+        recall[k] = recall_at_k(approx_k, exact_k)
+        overlap[k] = candidate_overlap(approx_k, exact_k)
+    empty = sum(1 for ids in approximate if not ids)
+    return RetrievalQuality(
+        num_queries=len(queries),
+        ks=ks,
+        recall=recall,
+        overlap=overlap,
+        empty_candidate_queries=empty,
+    )
+
+
+__all__ = [
+    "RetrievalQuality",
+    "candidate_overlap",
+    "evaluate_candidates",
+    "recall_at_k",
+]

@@ -23,6 +23,8 @@ import sys
 from collections.abc import Sequence
 
 from .bench import (
+    RETRIEVAL_SCALE_SIZES,
+    RETRIEVAL_SCALE_SMOKE_SIZES,
     SCHEMA_VERSION,
     check_regression,
     load_report,
@@ -85,6 +87,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "add the query-latency section per workload: fit a ResolverModel "
             "once, then profile online query() micro-batches (p50/p95)"
+        ),
+    )
+    parser.add_argument(
+        "--retrieval-scale",
+        action="store_true",
+        help=(
+            "add the retrieval-scale section: build the hnsw/lsh sub-linear "
+            "retrievers over seeded synthetic corpora and report build time, "
+            "query p50/p95, RSS, and recall@k vs the exact ann_knn oracle"
+        ),
+    )
+    parser.add_argument(
+        "--retrieval-scale-sizes",
+        default=None,
+        metavar="SIZES",
+        help=(
+            "comma-separated corpus sizes of the retrieval-scale curve "
+            "(default: 10000,100000,1000000; 1000,4000 with --smoke)"
         ),
     )
     parser.add_argument(
@@ -179,6 +199,41 @@ def _print_summary(report: dict[str, object]) -> None:
                 )
 
 
+def _print_retrieval_scale(section: dict[str, object]) -> None:
+    print(
+        f"  retrieval scale [k={section['k']}, n_features={section['n_features']}, "
+        f"{section['num_queries']} queries/size]:"
+    )
+    for entry in section["entries"]:
+        exact = entry["exact"]
+        print(
+            f"    n={entry['num_records']}: exact p50 {exact['query_p50_ms']:.2f}ms, "
+            f"vectorize {entry['vectorize_seconds']:.1f}s, "
+            f"rss {entry['rss_bytes'] / (1 << 20):.0f}MiB"
+        )
+        for name, stats in entry["retrievers"].items():
+            extras = ""
+            if "mean_candidates_per_query" in stats:
+                extras = f", {stats['mean_candidates_per_query']:.0f} cands/q"
+            print(
+                f"      {name}: build {stats['build_seconds']:.1f}s, "
+                f"p50 {stats['query_p50_ms']:.2f}ms, p95 {stats['query_p95_ms']:.2f}ms, "
+                f"recall@{section['k']} {stats['recall@' + str(section['k'])]:.3f}, "
+                f"{stats['speedup_vs_exact_p50']:.1f}x vs exact{extras}"
+            )
+    growth = section.get("growth") or {}
+    if growth:
+        factors = ", ".join(
+            f"{key.removesuffix('_query_p50_factor')} {value:.1f}x"
+            for key, value in growth.items()
+            if key.endswith("_query_p50_factor") and value is not None
+        )
+        print(
+            f"    growth over {growth['size_factor']:.0f}x corpus: "
+            f"query p50 {factors}"
+        )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     scaling_workers = None
@@ -186,6 +241,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         scaling_workers = tuple(
             int(value) for value in args.scaling_workers.split(",") if value.strip()
         )
+    retrieval_scale_sizes = None
+    if args.retrieval_scale:
+        if args.retrieval_scale_sizes:
+            retrieval_scale_sizes = tuple(
+                int(value) for value in args.retrieval_scale_sizes.split(",") if value.strip()
+            )
+        else:
+            retrieval_scale_sizes = (
+                RETRIEVAL_SCALE_SMOKE_SIZES if args.smoke else RETRIEVAL_SCALE_SIZES
+            )
     report = run_perf_suite(
         smoke=args.smoke,
         compare_reference=not args.no_reference,
@@ -193,9 +258,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         scaling_executor=args.scaling_executor,
         measure_query_latency=args.query_latency,
         measure_serve_load=args.serve_load,
+        retrieval_scale_sizes=retrieval_scale_sizes,
     )
     path = write_report(report, args.output)
     _print_summary(report)
+    if report.get("retrieval_scale"):
+        _print_retrieval_scale(report["retrieval_scale"])
     print(f"report written to {path}")
 
     kernels_broken = [

@@ -7,6 +7,7 @@ Usage (module form)::
     PYTHONPATH=src python -m repro.pipeline fit --save-model model.npz --query-holdout 6
     PYTHONPATH=src python -m repro.pipeline query --model model.npz --query-holdout 6
     PYTHONPATH=src python -m repro.pipeline update --model model.npz --upsert 3
+    PYTHONPATH=src python -m repro.pipeline retrieval-eval --model model.npz --min-recall 0.9
     PYTHONPATH=src python -m repro.pipeline sweep-k --k-values 0,2,4,6
     PYTHONPATH=src python -m repro.pipeline cache --cache-dir .repro-cache
 
@@ -20,7 +21,10 @@ in a fresh process and resolves the held-out records against the fitted
 corpus online; ``update`` absorbs held-out records (and optional
 deletes) into a persisted model without a refit, appending update
 segments next to the unchanged base artifact;
-``sweep-k`` executes a Table-8-style grid through the
+``retrieval-eval`` scores a persisted model's bundled candidate
+retriever against a freshly fitted exact ``ann_knn`` oracle (recall@k +
+Jaccard overlap, optional recall floor and deterministic candidate
+dump); ``sweep-k`` executes a Table-8-style grid through the
 :class:`~repro.pipeline.batch.BatchRunner`; ``cache`` inspects (or
 clears) an on-disk artifact cache.  All components are named by registry
 keys (``--solver``, ``--blocker``, ``--retriever``) and constructed
@@ -171,6 +175,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="online candidate retriever bundled with the model",
     )
     fit.add_argument(
+        "--retriever-arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "extra retriever spec parameter, repeatable — e.g. "
+            "--retriever-arg num_bands=64 --retriever-arg rows_per_band=6 "
+            "tunes the lsh banding for a small corpus"
+        ),
+    )
+    fit.add_argument(
         "--save-model",
         required=True,
         metavar="PATH",
@@ -276,6 +291,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-save",
         action="store_true",
         help="do not persist the update segments back next to --model",
+    )
+
+    retrieval_eval = commands.add_parser(
+        "retrieval-eval",
+        help="score a persisted model's candidate retriever against the exact oracle",
+    )
+    _add_common_options(retrieval_eval)
+    retrieval_eval.add_argument(
+        "--model",
+        required=True,
+        metavar="PATH",
+        help="path of a ResolverModel artifact written by fit --save-model",
+    )
+    retrieval_eval.add_argument(
+        "--query-holdout",
+        type=int,
+        default=6,
+        help="hold the last N benchmark records out as query records (must match fit)",
+    )
+    retrieval_eval.add_argument(
+        "--ks",
+        default="1,10",
+        help="comma-separated candidate-list sizes to score (default: %(default)s)",
+    )
+    retrieval_eval.add_argument(
+        "--min-recall",
+        type=float,
+        default=None,
+        metavar="R",
+        help="exit 4 if recall at the largest k falls below R",
+    )
+    retrieval_eval.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the model's payload arrays instead of materializing them",
+    )
+    retrieval_eval.add_argument(
+        "--dump-candidates",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the retriever's ranked candidate lists as a deterministic "
+            ".npz artifact (cmp'd across processes by the retrieval-smoke CI job)"
+        ),
     )
 
     sweep = commands.add_parser(
@@ -531,6 +590,22 @@ def _command_resolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _coerce_spec_value(raw: str) -> object:
+    """Parse a ``--retriever-arg`` value into int, float, bool, or str."""
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
 def _benchmark_labeler(args: argparse.Namespace, benchmark):
     """The record-level labeling callable of a synthetic benchmark."""
     labeler = BENCHMARK_LABELERS[args.dataset]
@@ -618,6 +693,11 @@ def _command_fit(args: argparse.Namespace) -> int:
         retriever_spec["blocker"] = blocker_spec
     elif benchmark.dataset.sources:
         retriever_spec["cross_source_only"] = True
+    for item in args.retriever_arg:
+        key, separator, raw = item.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--retriever-arg must look like KEY=VALUE, got {item!r}")
+        retriever_spec[key] = _coerce_spec_value(raw)
     resolver = _Resolver(
         config=_make_config(args, k_neighbors=args.k, blocker=blocker_spec),
         cache=_make_cache(args),
@@ -673,6 +753,89 @@ def _command_query(args: argparse.Namespace) -> int:
     if args.dump_result:
         _dump_query_result(result, args.dump_result)
         print(f"query artifact written to {args.dump_result}")
+    return 0
+
+
+def _command_retrieval_eval(args: argparse.Namespace) -> int:
+    """Score a persisted model's retriever against the exact ``ann_knn`` oracle."""
+    from ..evaluation.retrieval import evaluate_candidates
+    from ..model import ResolverModel
+    from ..registry.components import CANDIDATE_RETRIEVERS
+
+    benchmark = load_benchmark(
+        args.dataset,
+        num_pairs=args.num_pairs,
+        products_per_domain=args.products,
+        seed=args.seed,
+    )
+    _, holdout_records = _holdout_corpus(args, benchmark)
+    if not holdout_records:
+        raise SystemExit("retrieval-eval requires --query-holdout > 0")
+    ks = tuple(int(value) for value in args.ks.split(",") if value.strip())
+    if not ks:
+        raise SystemExit("--ks must name at least one candidate-list size")
+
+    model = ResolverModel.load(args.model, mmap=args.mmap)
+    spec = model.retriever_spec
+    # The oracle re-vectorizes the model's corpus with the retriever's own
+    # hashing parameters, so both rank candidates in the same vector space;
+    # only the index structure (exact scan vs graph/buckets) differs.
+    oracle_spec: dict[str, object] = {"type": "ann_knn"}
+    for key in ("metric", "n_features", "attributes", "cross_source_only"):
+        if key in spec:
+            oracle_spec[key] = spec[key]
+    oracle = CANDIDATE_RETRIEVERS.create(oracle_spec)
+    oracle.fit(model.corpus)
+    if model.tombstones:
+        oracle.set_tombstones(model.tombstones)
+
+    quality = evaluate_candidates(model.retriever, oracle, holdout_records, ks=ks)
+    summary = quality.summary()
+    rows = [[k, quality.recall[k], quality.overlap[k]] for k in quality.ks]
+    print(
+        format_table(
+            ["k", "Recall@k", "Overlap@k"],
+            rows,
+            title=(
+                f"retriever '{spec['type']}' vs exact oracle on {args.dataset}: "
+                f"{quality.num_queries} queries, "
+                f"{quality.empty_candidate_queries} empty candidate lists"
+            ),
+        )
+    )
+
+    if args.dump_candidates:
+        top_k = max(quality.ks)
+        candidates = model.retriever.retrieve(holdout_records, top_k)
+        width = max((len(ids) for ids in candidates), default=0)
+        padded = np.array(
+            [list(ids) + [""] * (width - len(ids)) for ids in candidates],
+            dtype=np.str_,
+        ).reshape(len(candidates), width)
+        write_artifact(
+            args.dump_candidates,
+            {
+                "query_ids": np.array(
+                    [record.record_id for record in holdout_records], dtype=np.str_
+                ),
+                "candidates": padded,
+            },
+            metadata={"k": top_k, "retriever": str(spec["type"])},
+        )
+        print(f"candidate artifact written to {args.dump_candidates}")
+
+    if args.min_recall is not None:
+        headline = float(summary[f"recall@{max(quality.ks)}"])
+        if headline < args.min_recall:
+            print(
+                f"FAIL: recall@{max(quality.ks)} {headline:.3f} "
+                f"< floor {args.min_recall:.3f}"
+            )
+            return 4
+        print(
+            f"recall@{max(quality.ks)} {headline:.3f} "
+            f">= floor {args.min_recall:.3f}"
+        )
     return 0
 
 
@@ -857,6 +1020,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_query(args)
     if args.command == "update":
         return _command_update(args)
+    if args.command == "retrieval-eval":
+        return _command_retrieval_eval(args)
     if args.command == "sweep-k":
         return _command_sweep_k(args)
     return _command_cache(args)

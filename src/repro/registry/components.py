@@ -44,7 +44,7 @@ from ..exec.executors import BUILTIN_EXECUTORS
 from ..graph.builder import IntentGraphBuilder
 from ..graph.sage import IntentNodeClassifier
 from ..matching.solvers import InParallelSolver, MultiLabelSolver, NaiveSolver
-from ..retrieval.candidates import BUILTIN_RETRIEVERS
+from ..retrieval import BUILTIN_RETRIEVERS
 from .core import ComponentRegistry
 
 SOLVERS = ComponentRegistry("solver")

@@ -3,8 +3,10 @@
 The serve-side counterpart of :mod:`repro.blocking`: instead of joining
 a whole corpus against itself, retrievers answer "which corpus records
 should this *new* record be scored against?" in micro-batch time.  See
-:mod:`repro.retrieval.candidates` for the built-in implementations and
-:data:`repro.registry.CANDIDATE_RETRIEVERS` for the registry family.
+:mod:`repro.retrieval.candidates` for the exact built-ins,
+:mod:`repro.retrieval.hnsw` / :mod:`repro.retrieval.lsh` for the
+sub-linear ones, and :data:`repro.registry.CANDIDATE_RETRIEVERS` for
+the registry family.
 """
 
 from .candidates import (
@@ -12,11 +14,20 @@ from .candidates import (
     AnnKnnRetriever,
     BlockerRetriever,
     CandidateRetriever,
+    HashedVectorRetriever,
 )
+from .hnsw import HnswRetriever
+from .lsh import LshRetriever
+
+BUILTIN_RETRIEVERS[HnswRetriever.spec_type] = HnswRetriever
+BUILTIN_RETRIEVERS[LshRetriever.spec_type] = LshRetriever
 
 __all__ = [
     "AnnKnnRetriever",
     "BlockerRetriever",
     "BUILTIN_RETRIEVERS",
     "CandidateRetriever",
+    "HashedVectorRetriever",
+    "HnswRetriever",
+    "LshRetriever",
 ]

@@ -140,7 +140,84 @@ class CandidateRetriever(abc.ABC):
             raise NotFittedError(f"{type(self).__name__} must be fitted before retrieving")
 
 
-class AnnKnnRetriever(CandidateRetriever):
+class HashedVectorRetriever(CandidateRetriever):
+    """Shared machinery of retrievers ranking hashed n-gram record vectors.
+
+    Concrete subclasses (:class:`AnnKnnRetriever` and the sub-linear
+    ``hnsw``/``lsh`` retrievers) differ only in the index structure that
+    ranks corpus rows for a query vector; the text-to-vector encoding,
+    the corpus bookkeeping (record ids, sources), and the candidate
+    filtering rules (self-match, tombstones, ``cross_source_only``) are
+    identical and live here.
+
+    Parameters
+    ----------
+    n_features:
+        Buckets of the hashing vectorizer encoding each record's text.
+    attributes:
+        Record attributes included in the text; ``None`` uses all.
+    cross_source_only:
+        Restrict candidates to records from a different source than the
+        query record (clean-clean resolution).
+    """
+
+    def __init__(
+        self,
+        n_features: int = 256,
+        attributes: Sequence[str] | None = None,
+        cross_source_only: bool = False,
+    ) -> None:
+        if n_features <= 0:
+            raise ConfigurationError("n_features must be positive")
+        self.n_features = int(n_features)
+        self.attributes = tuple(attributes) if attributes is not None else None
+        self.cross_source_only = cross_source_only
+        self._vectorizer = HashingVectorizer(HashingVectorizerConfig(n_features=self.n_features))
+        self._record_ids: list[str] = []
+        self._sources: list[str | None] = []
+        self._tombstones: set[str] = set()
+        self._fitted = False
+
+    def _vectorize(self, records: Sequence[Record]) -> np.ndarray:
+        names = list(self.attributes) if self.attributes is not None else None
+        return self._vectorizer.transform([record.text(names) for record in records])
+
+    def _register_corpus(self, dataset: Dataset) -> None:
+        """Record the corpus id/source layout the index rows map onto."""
+        self._record_ids = list(dataset.record_ids)
+        self._sources = [record.source for record in dataset]
+
+    def _filter_positions(self, record: Record, positions: Sequence[int], k: int) -> list[str]:
+        """Apply the admissibility rules to ranked index positions.
+
+        Walks ``positions`` best-first, dropping padding (``-1``), the
+        query record itself, tombstoned ids, and — under
+        ``cross_source_only`` — same-source records, until ``k``
+        admissible ids are collected.
+        """
+        ids: list[str] = []
+        for position in positions:
+            if position < 0:
+                continue
+            corpus_id = self._record_ids[position]
+            if corpus_id == record.record_id:
+                continue
+            if corpus_id in self._tombstones:
+                continue
+            if (
+                self.cross_source_only
+                and record.source is not None
+                and self._sources[position] is not None
+                and record.source == self._sources[position]
+            ):
+                continue
+            ids.append(corpus_id)
+            if len(ids) >= k:
+                break
+        return ids
+
+
+class AnnKnnRetriever(HashedVectorRetriever):
     """Nearest-neighbour retrieval over hashed n-gram record vectors.
 
     Parameters
@@ -165,18 +242,11 @@ class AnnKnnRetriever(CandidateRetriever):
         attributes: Sequence[str] | None = None,
         cross_source_only: bool = False,
     ) -> None:
-        if n_features <= 0:
-            raise ConfigurationError("n_features must be positive")
+        super().__init__(
+            n_features=n_features, attributes=attributes, cross_source_only=cross_source_only
+        )
         self.metric = metric
-        self.n_features = int(n_features)
-        self.attributes = tuple(attributes) if attributes is not None else None
-        self.cross_source_only = cross_source_only
-        self._vectorizer = HashingVectorizer(HashingVectorizerConfig(n_features=self.n_features))
         self._index = ExactNearestNeighbors(metric=metric)
-        self._record_ids: list[str] = []
-        self._sources: list[str | None] = []
-        self._tombstones: set[str] = set()
-        self._fitted = False
 
     def to_spec(self) -> dict[str, object]:
         """Serialize the retriever configuration into a registry spec."""
@@ -190,14 +260,9 @@ class AnnKnnRetriever(CandidateRetriever):
             },
         }
 
-    def _vectorize(self, records: Sequence[Record]) -> np.ndarray:
-        names = list(self.attributes) if self.attributes is not None else None
-        return self._vectorizer.transform([record.text(names) for record in records])
-
     def fit(self, dataset: Dataset) -> "AnnKnnRetriever":
         """Vectorize and index every corpus record."""
-        self._record_ids = list(dataset.record_ids)
-        self._sources = [record.source for record in dataset]
+        self._register_corpus(dataset)
         self._index.fit(self._vectorize(list(dataset)))
         self._tombstones = set()
         self._fitted = True
@@ -289,24 +354,7 @@ class AnnKnnRetriever(CandidateRetriever):
         candidates: list[list[str]] = []
         for row, record in enumerate(records):
             result = self._index.search(queries[row : row + 1], search_k)
-            ids: list[str] = []
-            for position in result.indices[0].tolist():
-                corpus_id = self._record_ids[position]
-                if corpus_id == record.record_id:
-                    continue
-                if corpus_id in self._tombstones:
-                    continue
-                if (
-                    self.cross_source_only
-                    and record.source is not None
-                    and self._sources[position] is not None
-                    and record.source == self._sources[position]
-                ):
-                    continue
-                ids.append(corpus_id)
-                if len(ids) >= k:
-                    break
-            candidates.append(ids)
+            candidates.append(self._filter_positions(record, result.indices[0].tolist(), k))
         return candidates
 
 
@@ -464,5 +512,6 @@ __all__ = [
     "BlockerRetriever",
     "BUILTIN_RETRIEVERS",
     "CandidateRetriever",
+    "HashedVectorRetriever",
     "record_content_key",
 ]

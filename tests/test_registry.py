@@ -70,7 +70,7 @@ class TestUnknownKeys:
         }
         assert registry.available("graph_builder") == ("intent_graph",)
         assert registry.available("executor") == ("serial", "threads", "processes")
-        assert registry.available("candidate_retriever") == ("ann_knn", "blocker")
+        assert registry.available("candidate_retriever") == ("ann_knn", "blocker", "hnsw", "lsh")
 
 
 class TestRoundTrips:
