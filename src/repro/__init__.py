@@ -89,16 +89,17 @@ from . import registry
 
 
 def __getattr__(name: str):
-    """Lazily import heavyweight optional subsystems (``repro.serve``).
+    """Lazily import heavyweight optional subsystems.
 
-    The serving layer pulls in :mod:`asyncio` plumbing most library
-    users never touch, so it loads on first attribute access instead of
-    at ``import repro`` time.
+    The serving layer pulls in :mod:`asyncio` plumbing and the workload
+    scenarios pull in the synthetic benchmarks; most library users
+    never touch either, so they load on first attribute access instead
+    of at ``import repro`` time.
     """
-    if name == "serve":
+    if name in ("serve", "scenarios"):
         import importlib
 
-        module = importlib.import_module(".serve", __name__)
+        module = importlib.import_module(f".{name}", __name__)
         globals()[name] = module
         return module
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -171,5 +172,6 @@ __all__ = [
     "exec",
     "registry",
     "serve",
+    "scenarios",
     "__version__",
 ]

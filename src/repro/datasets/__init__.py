@@ -1,7 +1,14 @@
 """Synthetic MIER benchmark generators (AmazonMI, Walmart-Amazon, WDC analogues)."""
 
 from .catalog import Product, CatalogConfig, CatalogGenerator
-from .perturb import PerturbationConfig, TitlePerturber
+from .perturb import (
+    DEFAULT_FIELD_ALIASES,
+    FieldCorruptionConfig,
+    PerturbationConfig,
+    RecordPerturber,
+    TitlePerturber,
+    typo_edit,
+)
 from .labeling import (
     IntentLabeler,
     AMAZON_MI_LABELER,
@@ -43,6 +50,10 @@ __all__ = [
     "CatalogGenerator",
     "PerturbationConfig",
     "TitlePerturber",
+    "FieldCorruptionConfig",
+    "RecordPerturber",
+    "DEFAULT_FIELD_ALIASES",
+    "typo_edit",
     "IntentLabeler",
     "AMAZON_MI_LABELER",
     "WALMART_AMAZON_LABELER",

@@ -1,21 +1,51 @@
-"""Title perturbation engine.
+"""Title and field perturbation engine.
 
 Record duplication in real product data originates from discordant
 representations: capitalization differences, typos, abbreviations,
 re-ordered or dropped tokens, and added specification such as colour
 (Section 1.1 of the paper, e.g. ``Nike Men's Lunar Force 1 Duckboot`` vs
 ``NIKE Men Lunar Force 1 Duckboot, Black/Dark Loden-BROGHT Crimson``).
-This module applies such perturbations to a clean title to create
-alternative records of the same real-world product.
+:class:`TitlePerturber` applies such perturbations to a clean title to
+create alternative records of the same real-world product.
+
+Production corpora additionally degrade at the *field* level: values go
+missing, land in the wrong column, or arrive under a different schema
+after an upstream rename.  :class:`RecordPerturber` models those three
+axes (drop field, swap fields, schema-rename) plus value typos on whole
+:class:`~repro.data.records.Record` objects — the corruption engine
+behind the robustness-grid scenarios (:mod:`repro.scenarios`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..data.records import Dataset, Record
 from .vocab import ABBREVIATIONS, COLORS
+
+
+def typo_edit(token: str, kind: int, fraction: float) -> str:
+    """One character-level typo (delete/transpose/duplicate) on ``token``.
+
+    The randomness is external: ``kind`` selects the edit and
+    ``fraction`` (in ``[0, 1)``) selects the character position, so the
+    edit itself is a pure function and callers control the random
+    stream.  Tokens shorter than three characters pass through.
+    """
+    if len(token) < 3:
+        return token
+    position = 1 + int(fraction * (len(token) - 2))
+    if kind == 0:  # deletion
+        return token[:position] + token[position + 1 :]
+    if kind == 1:  # transposition
+        chars = list(token)
+        chars[position], chars[position - 1] = chars[position - 1], chars[position]
+        return "".join(chars)
+    # duplication
+    return token[:position] + token[position] + token[position:]
 
 
 @dataclass(frozen=True)
@@ -112,17 +142,7 @@ class TitlePerturber:
 
     def _typo_at(self, token: str, kind: int, fraction: float) -> str:
         """The :meth:`_typo` edit with externally drawn randomness."""
-        if len(token) < 3:
-            return token
-        position = 1 + int(fraction * (len(token) - 2))
-        if kind == 0:  # deletion
-            return token[:position] + token[position + 1 :]
-        if kind == 1:  # transposition
-            chars = list(token)
-            chars[position], chars[position - 1] = chars[position - 1], chars[position]
-            return "".join(chars)
-        # duplication
-        return token[:position] + token[position] + token[position:]
+        return typo_edit(token, kind, fraction)
 
     def perturb_batch(self, titles: list[str]) -> list[str]:
         """Noisy variants of many titles with all randomness pre-drawn.
@@ -187,3 +207,148 @@ class TitlePerturber:
                 title_out = f"{title_out} {int(suffix[row])}"
             out.append(title_out)
         return out
+
+
+#: Default schema-rename aliases: attribute → the name it arrives under
+#: after an upstream schema change (the "mixed schemas" corruption axis).
+DEFAULT_FIELD_ALIASES: dict[str, str] = {
+    "title": "name",
+    "brand": "manufacturer",
+    "category": "product_type",
+    "model": "model_number",
+    "usage": "intended_use",
+}
+
+
+@dataclass(frozen=True)
+class FieldCorruptionConfig:
+    """Probabilities of field-level corruptions applied per record.
+
+    Attributes
+    ----------
+    p_drop_field:
+        Null out one randomly chosen non-null attribute (missing field).
+    p_swap_fields:
+        Swap the values of two randomly chosen attributes.
+    p_rename_field:
+        Move one value under its schema alias (see ``aliases``), so the
+        corpus ends up with mixed schemas.
+    p_value_typo:
+        Apply one character-level typo to a random token of a random
+        non-null value.
+    aliases:
+        Mapping from attribute name to its renamed form; attributes
+        without an alias are never renamed.
+    """
+
+    p_drop_field: float = 0.0
+    p_swap_fields: float = 0.0
+    p_rename_field: float = 0.0
+    p_value_typo: float = 0.0
+    aliases: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_FIELD_ALIASES)
+    )
+
+    def scaled(self, factor: float) -> "FieldCorruptionConfig":
+        """A copy with every probability multiplied by ``factor`` (capped at 1)."""
+        return FieldCorruptionConfig(
+            p_drop_field=min(1.0, self.p_drop_field * factor),
+            p_swap_fields=min(1.0, self.p_swap_fields * factor),
+            p_rename_field=min(1.0, self.p_rename_field * factor),
+            p_value_typo=min(1.0, self.p_value_typo * factor),
+            aliases=dict(self.aliases),
+        )
+
+
+class RecordPerturber:
+    """Apply field-level corruptions to whole records.
+
+    Unlike :class:`TitlePerturber`, which rewrites a single title
+    string, this perturber degrades the *structure* of a record: fields
+    go missing, values land in the wrong column, and attributes arrive
+    under renamed schema keys.  All randomness comes from one seeded
+    generator, and for each record the per-axis decision draws happen in
+    a fixed order, so the same ``(config, seed, records)`` triple always
+    produces byte-identical output — the robustness-grid determinism
+    contract.
+
+    Parameters
+    ----------
+    config:
+        Corruption probabilities and the schema-rename alias table.
+    rng:
+        Numpy random generator; pass a seeded generator for
+        reproducible corpora.
+    """
+
+    def __init__(
+        self,
+        config: FieldCorruptionConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or FieldCorruptionConfig()
+        self.rng = rng or np.random.default_rng(0)
+
+    def _pick(self, names: Sequence[str]) -> str:
+        """Choose one attribute name uniformly."""
+        return names[int(self.rng.integers(len(names)))]
+
+    def corrupt(self, record: Record) -> Record:
+        """Return a corrupted copy of ``record`` (same id and source)."""
+        config = self.config
+        values: dict[str, str | None] = dict(record.values)
+
+        # Decision draws happen unconditionally and in a fixed order so
+        # the random stream does not depend on which corruptions fire.
+        do_drop = bool(self.rng.random() < config.p_drop_field)
+        do_swap = bool(self.rng.random() < config.p_swap_fields)
+        do_rename = bool(self.rng.random() < config.p_rename_field)
+        do_typo = bool(self.rng.random() < config.p_value_typo)
+
+        if do_drop:
+            present = [name for name, value in values.items() if value]
+            if present:
+                values[self._pick(present)] = None
+        if do_swap and len(values) >= 2:
+            names = list(values)
+            first = self._pick(names)
+            second = self._pick([name for name in names if name != first])
+            values[first], values[second] = values[second], values[first]
+        if do_rename:
+            renamable = [name for name in values if name in config.aliases]
+            if renamable:
+                name = self._pick(renamable)
+                renamed = dict(values)
+                alias = config.aliases[name]
+                if alias not in renamed:
+                    renamed[alias] = renamed.pop(name)
+                    values = renamed
+        if do_typo:
+            present = [name for name, value in values.items() if value]
+            if present:
+                name = self._pick(present)
+                tokens = str(values[name]).split()
+                if tokens:
+                    index = int(self.rng.integers(len(tokens)))
+                    kind = int(self.rng.integers(3))
+                    fraction = float(self.rng.random())
+                    tokens[index] = typo_edit(tokens[index], kind, fraction)
+                    values[name] = " ".join(tokens)
+        return Record(record_id=record.record_id, values=values, source=record.source)
+
+    def corrupt_all(self, records: Sequence[Record]) -> list[Record]:
+        """Corrupt ``records`` in order (one shared random stream)."""
+        return [self.corrupt(record) for record in records]
+
+    def corrupt_dataset(self, dataset: Dataset, name: str | None = None) -> Dataset:
+        """Return a corrupted copy of ``dataset`` with an inferred schema.
+
+        Schema-renames introduce attributes outside the original
+        schema, so the corrupted dataset infers its attribute set from
+        the corrupted records (mixed schemas are the point).
+        """
+        return Dataset(
+            records=self.corrupt_all(dataset.records),
+            name=name or f"{dataset.name}-corrupted",
+            attributes=None,
+        )

@@ -2,11 +2,20 @@
 
 Incremental maintenance (:meth:`~repro.model.ResolverModel.update`) is
 driven by batches of records arriving over time.  :func:`stream_chunks`
-turns any record collection into that shape deterministically: fixed
-chunk sizes, evenly spaced synthetic timestamps, original record order
-preserved.  The same sampled benchmark therefore replays identically
-across processes — the property the ``update`` CLI subcommand and the
-streaming tests rely on.
+turns any record collection into that shape deterministically, in one
+of two modes:
+
+* **index mode** (``chunk_size=``): fixed chunk sizes, evenly spaced
+  synthetic timestamps, original record order preserved.
+* **time mode** (``timestamp_attribute=`` + ``window=``): records carry
+  their own arrival time in a numeric attribute; they are stably
+  ordered by that timestamp and grouped into fixed-width windows, so a
+  corpus with a real (or synthesised) time column replays by wall-clock
+  bucket instead of by position.
+
+Either way the same sampled benchmark replays identically across
+processes — the property the ``update`` CLI subcommand, the scenario
+engine (:mod:`repro.scenarios`), and the streaming tests rely on.
 
 Example
 -------
@@ -35,9 +44,12 @@ class CorpusChunk:
     index:
         Zero-based position of the chunk in the stream.
     timestamp:
-        Synthetic arrival time, ``start_time + index * interval``.
+        Arrival time of the chunk.  In index mode this is the synthetic
+        ``start_time + index * interval``; in time mode it is the start
+        of the chunk's time window.
     records:
-        The chunk's records, in original corpus order.
+        The chunk's records — original corpus order in index mode,
+        stably timestamp-ordered in time mode.
     """
 
     index: int
@@ -48,12 +60,60 @@ class CorpusChunk:
         return len(self.records)
 
 
+def _record_timestamp(record: Record, attribute: str) -> float:
+    """Read ``record``'s arrival time from ``attribute`` as a float."""
+    value = record.get(attribute)
+    if value is None or str(value).strip() == "":
+        raise DataError(
+            f"record {record.record_id!r} has no {attribute!r} timestamp attribute"
+        )
+    try:
+        return float(value)
+    except (TypeError, ValueError) as error:
+        raise DataError(
+            f"record {record.record_id!r} has a non-numeric {attribute!r} "
+            f"timestamp: {value!r}"
+        ) from error
+
+
+def _stream_by_time(
+    items: tuple[Record, ...],
+    timestamp_attribute: str,
+    window: float,
+) -> Iterator[CorpusChunk]:
+    """Yield ``items`` grouped into fixed-width time windows."""
+    if window <= 0:
+        raise DataError(f"window must be > 0, got {window}")
+    stamped = [(_record_timestamp(record, timestamp_attribute), record) for record in items]
+    # Stable sort: ties keep original corpus order, so replay is
+    # deterministic even with coarse timestamps.
+    stamped.sort(key=lambda pair: pair[0])
+    if not stamped:
+        return
+    origin = stamped[0][0]
+    index = 0
+    bucket: list[Record] = []
+    bucket_start = origin
+    for timestamp, record in stamped:
+        start = origin + window * int((timestamp - origin) // window)
+        if bucket and start != bucket_start:
+            yield CorpusChunk(index=index, timestamp=bucket_start, records=tuple(bucket))
+            index += 1
+            bucket = []
+        bucket_start = start
+        bucket.append(record)
+    if bucket:
+        yield CorpusChunk(index=index, timestamp=bucket_start, records=tuple(bucket))
+
+
 def stream_chunks(
     records: Sequence[Record] | Dataset,
-    chunk_size: int,
+    chunk_size: int | None = None,
     *,
     start_time: float = 0.0,
     interval: float = 1.0,
+    timestamp_attribute: str | None = None,
+    window: float | None = None,
 ) -> Iterator[CorpusChunk]:
     """Yield ``records`` as consecutive timestamped :class:`CorpusChunk`\\ s.
 
@@ -61,25 +121,47 @@ def stream_chunks(
     ----------
     records:
         The records to replay — a sequence or a whole
-        :class:`~repro.data.records.Dataset`.  Order is preserved; the
-        final chunk may be short.
+        :class:`~repro.data.records.Dataset`.
     chunk_size:
-        Records per chunk (the last chunk holds the remainder).
+        Index mode: records per chunk (the last chunk holds the
+        remainder).  Order is preserved.  Mutually exclusive with
+        ``timestamp_attribute``.
     start_time:
-        Timestamp of the first chunk.
+        Index mode: timestamp of the first chunk.
     interval:
-        Spacing between consecutive chunk timestamps (must be ``>= 0``).
+        Index mode: spacing between consecutive chunk timestamps (must
+        be ``>= 0``).
+    timestamp_attribute:
+        Time mode: name of a numeric record attribute carrying the
+        arrival time.  Records are stably sorted by it (ties keep
+        corpus order) and grouped into fixed-width windows.
+    window:
+        Time mode: window width (must be ``> 0``).  Each chunk's
+        ``timestamp`` is its window start; empty windows are skipped.
 
     Raises
     ------
     DataError
-        If ``chunk_size`` is not positive or ``interval`` is negative.
+        If neither or both modes are selected, ``chunk_size`` is not
+        positive, ``interval`` is negative, ``window`` is not positive,
+        or a record is missing / has a non-numeric timestamp attribute.
     """
+    items = tuple(records.records if isinstance(records, Dataset) else records)
+    if timestamp_attribute is not None:
+        if chunk_size is not None:
+            raise DataError("chunk_size and timestamp_attribute are mutually exclusive")
+        if window is None:
+            raise DataError("time mode requires window= alongside timestamp_attribute=")
+        yield from _stream_by_time(items, timestamp_attribute, float(window))
+        return
+    if window is not None:
+        raise DataError("window= requires timestamp_attribute=")
+    if chunk_size is None:
+        raise DataError("either chunk_size= or timestamp_attribute= is required")
     if chunk_size < 1:
         raise DataError(f"chunk_size must be >= 1, got {chunk_size}")
     if interval < 0:
         raise DataError(f"interval must be >= 0, got {interval}")
-    items = tuple(records.records if isinstance(records, Dataset) else records)
     for index, offset in enumerate(range(0, len(items), chunk_size)):
         yield CorpusChunk(
             index=index,

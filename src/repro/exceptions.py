@@ -95,6 +95,16 @@ class UpdateError(ReproError):
     """
 
 
+class ScenarioError(ReproError):
+    """Raised for invalid or failed workload scenarios.
+
+    Covers malformed scenario parameters (stream/probe sizes that leave
+    no corpus, empty grids, unknown named presets) and violated
+    invariants during a run — most importantly the streaming scenario's
+    final exact-mode parity assertion against a fresh union fit.
+    """
+
+
 class FaultInjectionError(ReproError):
     """Raised by an armed :mod:`repro.faults` injection point.
 

@@ -29,6 +29,7 @@ __all__ = [
     "rss_bytes",
     "run_perf_suite",
     "scaling_curve",
+    "scenario_matrix_profile",
     "write_report",
     "check_regression",
     "use_reference_implementations",
@@ -39,6 +40,7 @@ __all__ = [
 _LAZY = {
     "run_perf_suite": "bench",
     "scaling_curve": "bench",
+    "scenario_matrix_profile": "bench",
     "write_report": "bench",
     "check_regression": "bench",
     "SCALING_WORKER_COUNTS": "bench",

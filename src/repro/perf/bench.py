@@ -764,6 +764,39 @@ def retrieval_scale_profile(
     }
 
 
+def scenario_matrix_profile(
+    names: tuple[str, ...] | None = None, seed: int = 0
+) -> dict[str, object]:
+    """Run named workload scenarios and collect their quality×latency matrices.
+
+    Runs each preset of :data:`repro.scenarios.HEADLINE_SCENARIOS` (or
+    the given ``names``) at ``seed`` and returns a section mapping the
+    scenario name to its full report document — the deterministic
+    quality matrix and summary plus the wall-clock ``timings`` — along
+    with a ``headline_macro_f1`` (the mean ``macro_f1`` over matrix
+    rows) and the scenario's total wall seconds, the two numbers
+    :func:`check_regression` gates.
+    """
+    from ..scenarios import HEADLINE_SCENARIOS, named_scenario
+
+    selected = tuple(names) if names else HEADLINE_SCENARIOS
+    section: dict[str, object] = {"seed": int(seed), "scenarios": {}}
+    for name in selected:
+        scenario = named_scenario(name)
+        start = time.perf_counter()
+        report = scenario.run(seed=seed, name=name)
+        wall = time.perf_counter() - start
+        macros = [
+            float(row["macro_f1"]) for row in report.matrix if "macro_f1" in row
+        ]
+        section["scenarios"][name] = {
+            "report": report.to_document(include_timings=True),
+            "headline_macro_f1": float(np.mean(macros)) if macros else None,
+            "wall_seconds": float(wall),
+        }
+    return section
+
+
 def _results_match(loop_value, vectorized_value) -> bool:
     """Equivalence verdict for a kernel pair (arrays, edge tuples, pair lists)."""
     if isinstance(loop_value, np.ndarray):
@@ -782,6 +815,7 @@ def run_perf_suite(
     measure_query_latency: bool = False,
     measure_serve_load: bool = False,
     retrieval_scale_sizes: tuple[int, ...] | None = None,
+    scenario_names: tuple[str, ...] | None = None,
 ) -> dict[str, object]:
     """Run the workload matrix and assemble the ``BENCH_perf.json`` document.
 
@@ -796,7 +830,11 @@ def run_perf_suite(
     With ``retrieval_scale_sizes`` the report carries a top-level
     ``retrieval_scale`` section — the sub-linear retriever scaling
     curve of :func:`retrieval_scale_profile` over those corpus sizes
-    (independent of the workload matrix).
+    (independent of the workload matrix).  With ``scenario_names`` the
+    report carries a top-level ``scenarios`` section — the
+    quality×latency matrices of :func:`scenario_matrix_profile` for the
+    named workload scenarios, gated on wall time and headline macro F1
+    by :func:`check_regression`.
     """
     selected = (
         workloads if workloads is not None else (SMOKE_WORKLOADS if smoke else FULL_WORKLOADS)
@@ -833,6 +871,10 @@ def run_perf_suite(
     if retrieval_scale_sizes:
         retrieval_scale = retrieval_scale_profile(sizes=retrieval_scale_sizes)
 
+    scenarios_section = None
+    if scenario_names:
+        scenarios_section = scenario_matrix_profile(names=tuple(scenario_names))
+
     total_wall = float(
         sum(entry["vectorized"]["end_to_end_wall_seconds"] for entry in entries)
     )
@@ -858,6 +900,8 @@ def run_perf_suite(
     }
     if retrieval_scale is not None:
         report["retrieval_scale"] = retrieval_scale
+    if scenarios_section is not None:
+        report["scenarios"] = scenarios_section
     return report
 
 
@@ -959,6 +1003,37 @@ def check_regression(
                 f"{current_qps[name]:.1f} QPS vs baseline {baseline_qps[name]:.1f} QPS "
                 f"(floor {floor:.1f} at -{max_regression:.0%})"
             )
+
+    def scenario_entries(report: dict[str, object]) -> dict[str, dict[str, object]]:
+        section = report.get("scenarios") or {}
+        entries = section.get("scenarios", {}) if isinstance(section, dict) else {}
+        return entries if isinstance(entries, dict) else {}
+
+    current_scenarios = scenario_entries(current)
+    baseline_scenarios = scenario_entries(baseline)
+    for name in sorted(set(current_scenarios) & set(baseline_scenarios)):
+        current_entry = current_scenarios[name]
+        baseline_entry = baseline_scenarios[name]
+        baseline_wall = float(baseline_entry.get("wall_seconds") or 0.0)
+        current_wall = float(current_entry.get("wall_seconds") or 0.0)
+        limit = baseline_wall * (1.0 + max_regression)
+        if baseline_wall > 0 and current_wall > limit:
+            problems.append(
+                f"[scenario {name}] wall time regressed: "
+                f"{current_wall:.3f}s vs baseline {baseline_wall:.3f}s "
+                f"(limit {limit:.3f}s at +{max_regression:.0%})"
+            )
+        baseline_macro = baseline_entry.get("headline_macro_f1")
+        current_macro = current_entry.get("headline_macro_f1")
+        if baseline_macro is not None and current_macro is not None:
+            floor = float(baseline_macro) * (1.0 - max_regression)
+            if float(current_macro) < floor:
+                problems.append(
+                    f"[scenario {name}] headline macro F1 regressed: "
+                    f"{float(current_macro):.4f} vs baseline "
+                    f"{float(baseline_macro):.4f} "
+                    f"(floor {floor:.4f} at -{max_regression:.0%})"
+                )
     return problems
 
 

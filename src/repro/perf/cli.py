@@ -108,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--scenarios",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "add the workload-scenario section: run the comma-separated "
+            "named scenarios (or 'headline' for the gated smoke set) and "
+            "record their quality x latency matrices"
+        ),
+    )
+    parser.add_argument(
         "--serve-load",
         action="store_true",
         help=(
@@ -234,6 +244,18 @@ def _print_retrieval_scale(section: dict[str, object]) -> None:
         )
 
 
+def _print_scenarios(section: dict[str, object]) -> None:
+    print(f"  workload scenarios (seed {section['seed']}):")
+    for name, entry in sorted(section["scenarios"].items()):
+        macro = entry.get("headline_macro_f1")
+        macro_text = f"{macro:.4f}" if macro is not None else "n/a"
+        cells = len(entry["report"].get("matrix", []))
+        print(
+            f"    [{name}] {cells} cells, headline macro F1 {macro_text}, "
+            f"{entry['wall_seconds']:.1f}s"
+        )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     scaling_workers = None
@@ -251,6 +273,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             retrieval_scale_sizes = (
                 RETRIEVAL_SCALE_SMOKE_SIZES if args.smoke else RETRIEVAL_SCALE_SIZES
             )
+    scenario_names = None
+    if args.scenarios:
+        if args.scenarios.strip() == "headline":
+            from ..scenarios import HEADLINE_SCENARIOS
+
+            scenario_names = HEADLINE_SCENARIOS
+        else:
+            scenario_names = tuple(
+                value.strip() for value in args.scenarios.split(",") if value.strip()
+            )
     report = run_perf_suite(
         smoke=args.smoke,
         compare_reference=not args.no_reference,
@@ -259,11 +291,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         measure_query_latency=args.query_latency,
         measure_serve_load=args.serve_load,
         retrieval_scale_sizes=retrieval_scale_sizes,
+        scenario_names=scenario_names,
     )
     path = write_report(report, args.output)
     _print_summary(report)
     if report.get("retrieval_scale"):
         _print_retrieval_scale(report["retrieval_scale"])
+    if report.get("scenarios"):
+        _print_scenarios(report["scenarios"])
     print(f"report written to {path}")
 
     kernels_broken = [

@@ -9,6 +9,7 @@ Usage (module form)::
     PYTHONPATH=src python -m repro.pipeline update --model model.npz --upsert 3
     PYTHONPATH=src python -m repro.pipeline retrieval-eval --model model.npz --min-recall 0.9
     PYTHONPATH=src python -m repro.pipeline sweep-k --k-values 0,2,4,6
+    PYTHONPATH=src python -m repro.pipeline scenario --name streaming-smoke --seed 0
     PYTHONPATH=src python -m repro.pipeline cache --cache-dir .repro-cache
 
 ``run`` executes the four pipeline stages once over a synthetic
@@ -345,6 +346,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--k-values",
         default="0,2,4,6,8,10",
         help="comma-separated k values to sweep",
+    )
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="run a named workload scenario (streaming replay / robustness grid)",
+    )
+    scenario.add_argument(
+        "--name",
+        default=None,
+        help="named scenario preset (see --list)",
+    )
+    scenario.add_argument(
+        "--list", action="store_true", help="list the named scenario presets"
+    )
+    scenario.add_argument("--seed", type=int, default=0, help="scenario seed")
+    scenario.add_argument(
+        "--executor",
+        default="serial",
+        choices=registry.available("executor"),
+        help="sharded-execution backend (never changes report content)",
+    )
+    scenario.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel workers for --executor threads/processes",
+    )
+    scenario.add_argument(
+        "--report",
+        default=None,
+        help="write the timings-free report JSON here (byte-reproducible)",
+    )
+    scenario.add_argument(
+        "--timings",
+        default=None,
+        help="write the full report JSON (with wall-clock timings) here",
     )
 
     cache = commands.add_parser("cache", help="inspect or clear an artifact cache")
@@ -993,6 +1030,37 @@ def _command_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenario(args: argparse.Namespace) -> int:
+    # Imported lazily: the scenarios package pulls in the whole stack
+    # (resolver, datasets, batch runner) and most CLI commands never
+    # need it.
+    from ..scenarios import NAMED_SCENARIOS, named_scenario
+
+    if args.list:
+        width = max(len(name) for name in NAMED_SCENARIOS)
+        for name in sorted(NAMED_SCENARIOS):
+            description = NAMED_SCENARIOS[name]["description"]
+            print(f"{name:<{width}}  {description}")
+        return 0
+    if not args.name:
+        raise SystemExit("scenario needs --name (or --list to see the presets)")
+
+    scenario = named_scenario(args.name)
+    executor = executor_spec(args.executor, args.workers)
+    report = scenario.run(seed=args.seed, executor=executor, name=args.name)
+    print(report.matrix_table())
+    for key in ("final_macro_f1", "final_exact_parity", "per_level_macro_f1"):
+        if key in report.summary:
+            print(f"{key}: {report.summary[key]}")
+    if args.report:
+        path = report.write(args.report, include_timings=False)
+        print(f"deterministic scenario report written to {path}")
+    if args.timings:
+        path = report.write(args.timings, include_timings=True)
+        print(f"scenario report with timings written to {path}")
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     if not args.cache_dir:
         print("no cache directory given (use --cache-dir or $REPRO_CACHE_DIR)")
@@ -1024,6 +1092,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_retrieval_eval(args)
     if args.command == "sweep-k":
         return _command_sweep_k(args)
+    if args.command == "scenario":
+        return _command_scenario(args)
     return _command_cache(args)
 
 

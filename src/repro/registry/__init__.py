@@ -28,6 +28,7 @@ from .components import (
     GRAPH_BUILDERS,
     INTENT_CLASSIFIERS,
     MODELS,
+    SCENARIOS,
     SOLVERS,
 )
 
@@ -82,6 +83,7 @@ __all__ = [
     "EXECUTORS",
     "CANDIDATE_RETRIEVERS",
     "MODELS",
+    "SCENARIOS",
     "FAMILIES",
     "family",
     "register",

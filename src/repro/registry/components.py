@@ -33,6 +33,10 @@ Families and creation context:
 ``MODELS``
     Persistable fit artifacts (``flexer``).  Context: ``arrays`` — the
     numpy payload the spec's metadata describes.
+``SCENARIOS``
+    End-to-end workload scenarios (``streaming`` / ``intent_drift`` /
+    ``robustness_grid``).  No context; a scenario spec fully describes
+    a seeded, reproducible run (see :mod:`repro.scenarios`).
 """
 
 from __future__ import annotations
@@ -76,6 +80,11 @@ for _key, _retriever in BUILTIN_RETRIEVERS.items():
 # pipeline runner).
 MODELS = ComponentRegistry("model")
 
+# The built-in scenarios register themselves on first import of
+# repro.scenarios (same cycle-avoidance pattern as MODELS: scenarios
+# import the resolver and pipeline layers).
+SCENARIOS = ComponentRegistry("scenario")
+
 #: All registries keyed by family name.
 FAMILIES: dict[str, ComponentRegistry] = {
     SOLVERS.family: SOLVERS,
@@ -85,4 +94,5 @@ FAMILIES: dict[str, ComponentRegistry] = {
     EXECUTORS.family: EXECUTORS,
     CANDIDATE_RETRIEVERS.family: CANDIDATE_RETRIEVERS,
     MODELS.family: MODELS,
+    SCENARIOS.family: SCENARIOS,
 }

@@ -1,0 +1,74 @@
+"""Workload scenarios: streaming/temporal replay and robustness grids.
+
+``repro.scenarios`` turns the library's moving parts — incremental
+:meth:`~repro.model.ResolverModel.update`, online queries, field-level
+corruption, the component registries — into *seeded, end-to-end
+workloads* that produce a schema-versioned quality×latency matrix:
+
+>>> from repro import scenarios
+>>> report = scenarios.named_scenario("streaming-smoke").run(seed=0)
+>>> print(report.matrix_table())  # doctest: +SKIP
+
+Three scenario families are registered (registry family ``scenario``):
+
+* :class:`StreamingScenario` — replay a timestamped stream through
+  ``update()`` with interleaved online probe queries, measuring
+  quality-over-time, staleness, compaction triggers, and per-step
+  latency, then asserting exact-mode parity with a fresh union fit;
+* :class:`IntentDriftScenario` — the same replay with a mid-stream
+  label-distribution shift, tracking per-intent quality across it;
+* :class:`RobustnessGridScenario` — corruption levels × component
+  specs, one quality×latency cell per combination.
+
+Everything outside a report's ``timings`` section is byte-reproducible
+for a fixed ``(spec, seed)`` under any executor — the contract the
+``scenario-smoke`` CI job enforces with ``cmp``.
+"""
+
+from __future__ import annotations
+
+from ..registry import SCENARIOS
+from .base import WorkloadScenario, make_scenario_config, query_quality
+from .drift import IntentDriftScenario
+from .presets import (
+    HEADLINE_SCENARIOS,
+    NAMED_SCENARIOS,
+    build_scenario,
+    named_scenario,
+    scenario_names,
+)
+from .report import (
+    SCENARIO_REPORT_KIND,
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioReport,
+    load_scenario_report,
+)
+from .robustness import RobustnessGridScenario
+from .streaming import StreamingScenario, assert_exact_parity, timestamped_chunks
+
+# Scenarios self-register on first package import (like repro.model's
+# MODELS entry), keeping repro.registry import-cycle free.
+if StreamingScenario.spec_type not in SCENARIOS.keys():
+    SCENARIOS.register(StreamingScenario.spec_type, StreamingScenario)
+    SCENARIOS.register(IntentDriftScenario.spec_type, IntentDriftScenario)
+    SCENARIOS.register(RobustnessGridScenario.spec_type, RobustnessGridScenario)
+
+__all__ = [
+    "SCENARIO_REPORT_KIND",
+    "SCENARIO_SCHEMA_VERSION",
+    "HEADLINE_SCENARIOS",
+    "NAMED_SCENARIOS",
+    "ScenarioReport",
+    "WorkloadScenario",
+    "StreamingScenario",
+    "IntentDriftScenario",
+    "RobustnessGridScenario",
+    "assert_exact_parity",
+    "build_scenario",
+    "load_scenario_report",
+    "make_scenario_config",
+    "named_scenario",
+    "query_quality",
+    "scenario_names",
+    "timestamped_chunks",
+]

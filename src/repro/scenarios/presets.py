@@ -1,0 +1,143 @@
+"""Named scenario presets: the CLI/CI/nightly workload catalog.
+
+Each preset is a plain ``(registry spec, description)`` pair.  The
+``*-smoke`` presets are sized for CI and for the perf harness's
+headline regression gate; the full presets are what the nightly
+workflow runs end to end.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ScenarioError
+from ..registry import SCENARIOS
+
+__all__ = [
+    "NAMED_SCENARIOS",
+    "HEADLINE_SCENARIOS",
+    "build_scenario",
+    "named_scenario",
+    "scenario_names",
+]
+
+#: Name → ``{"description": ..., "spec": ...}``.  Specs are JSON-plain
+#: registry specs (family ``scenario``), so presets serialize into the
+#: reports they produce.
+NAMED_SCENARIOS: dict[str, dict[str, object]] = {
+    "streaming-smoke": {
+        "description": (
+            "CI-sized streaming replay: 3 chunks through update() with "
+            "interleaved online probes and the final exact-parity check"
+        ),
+        "spec": {
+            "type": "streaming",
+            "params": {
+                "num_pairs": 100,
+                "products": 8,
+                "matcher_epochs": 1,
+                "gnn_epochs": 2,
+                "probe_count": 5,
+                "stream_records": 12,
+                "chunk_size": 4,
+                "query_k": 4,
+            },
+        },
+    },
+    "streaming-replay": {
+        "description": (
+            "Nightly streaming replay: 6 chunks over a larger corpus, "
+            "auto compaction enabled"
+        ),
+        "spec": {
+            "type": "streaming",
+            "params": {
+                "num_pairs": 220,
+                "products": 16,
+                "matcher_epochs": 2,
+                "gnn_epochs": 4,
+                "probe_count": 10,
+                "stream_records": 36,
+                "chunk_size": 6,
+                "query_k": 5,
+            },
+        },
+    },
+    "intent-drift": {
+        "description": (
+            "Streaming replay with a mid-stream domain shift; tracks "
+            "per-intent quality before vs after the shift"
+        ),
+        "spec": {
+            "type": "intent_drift",
+            "params": {
+                "num_pairs": 160,
+                "products": 12,
+                "matcher_epochs": 1,
+                "gnn_epochs": 3,
+                "probe_count": 8,
+                "stream_records": 24,
+                "chunk_size": 6,
+                "query_k": 4,
+            },
+        },
+    },
+    "robustness-smoke": {
+        "description": (
+            "CI-sized robustness grid: 3 corruption levels x 3 solver "
+            "specs on the enriched multi-field corpus"
+        ),
+        "spec": {
+            "type": "robustness_grid",
+            "params": {
+                "num_pairs": 90,
+                "products": 8,
+                "matcher_epochs": 1,
+                "gnn_epochs": 2,
+                "solver_specs": ["in_parallel", "multi_label", "naive"],
+            },
+        },
+    },
+    "robustness-grid": {
+        "description": (
+            "Full robustness grid: 3 corruption levels x (3 solvers + "
+            "2 blockers + 2 retrievers)"
+        ),
+        "spec": {
+            "type": "robustness_grid",
+            "params": {
+                "num_pairs": 160,
+                "products": 12,
+                "matcher_epochs": 2,
+                "gnn_epochs": 3,
+                "solver_specs": ["in_parallel", "multi_label", "naive"],
+                "blocker_specs": ["qgram", "token"],
+                "retriever_specs": ["ann_knn", "lsh"],
+            },
+        },
+    },
+}
+
+#: The presets the perf harness records into ``BENCH_perf.json`` and
+#: gates with the regression check.
+HEADLINE_SCENARIOS: tuple[str, ...] = ("streaming-smoke", "robustness-smoke")
+
+
+def build_scenario(spec: object):
+    """Build a scenario instance from a registry spec."""
+    return SCENARIOS.create(spec)
+
+
+def named_scenario(name: str):
+    """Build the scenario of preset ``name`` (raises on unknown names)."""
+    try:
+        entry = NAMED_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_SCENARIOS))
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {known}"
+        ) from None
+    return build_scenario(entry["spec"])
+
+
+def scenario_names() -> tuple[str, ...]:
+    """The preset names, sorted."""
+    return tuple(sorted(NAMED_SCENARIOS))

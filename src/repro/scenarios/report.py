@@ -1,0 +1,185 @@
+"""Schema-versioned scenario reports and the quality×latency matrix.
+
+Every scenario run produces a :class:`ScenarioReport`: a flat list of
+*matrix rows* (one per scenario cell — a replayed chunk, a grid cell),
+a deterministic ``summary``, and a parallel ``timings`` section keyed by
+the same cell names.  The split is deliberate: everything outside
+``timings`` is **content-derived and byte-reproducible** — two runs with
+the same spec and seed (under any executor) serialize to identical JSON
+— while ``timings`` carries the wall-clock measurements that make the
+quality×latency matrix.  :meth:`ScenarioReport.to_json` therefore takes
+``include_timings``: the determinism contract (and the ``scenario-smoke``
+CI ``cmp``) applies to the timings-free document, and the full document
+is what lands in ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..evaluation import format_table
+from ..exceptions import ScenarioError
+
+#: Version of the scenario report document layout.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Document kind marker (guards against comparing unrelated JSON files).
+SCENARIO_REPORT_KIND = "repro-scenario-report"
+
+
+def _json_plain(value: object) -> object:
+    """Round-trip through JSON so tuples and numpy scalars normalize."""
+    return json.loads(json.dumps(value, sort_keys=True, default=_coerce))
+
+
+def _coerce(value: object) -> object:
+    """JSON fallback for numpy scalar types."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON-serializable: {value!r} ({type(value).__name__})")
+
+
+@dataclass
+class ScenarioReport:
+    """The structured outcome of one scenario run.
+
+    Attributes
+    ----------
+    name:
+        Scenario name (a named preset such as ``streaming-smoke``, or
+        the registry type for ad-hoc runs).
+    scenario:
+        The normalized registry spec (``{"type": ..., "params": ...}``)
+        that reproduces this run.
+    seed:
+        The run seed; together with ``scenario`` it pins the content of
+        every non-timing field.
+    matrix:
+        The quality matrix — one dict per cell with a unique ``cell``
+        key plus scenario-specific quality columns.  Deterministic.
+    summary:
+        Headline deterministic numbers (final quality, staleness
+        statistics, parity verdicts, ...).
+    timings:
+        Wall-clock measurements keyed like the matrix: a ``cells``
+        mapping from cell name to latency fields, plus scenario-level
+        totals.  Excluded from the determinism contract.
+    """
+
+    name: str
+    scenario: dict[str, object]
+    seed: int
+    matrix: list[dict[str, object]] = field(default_factory=list)
+    summary: dict[str, object] = field(default_factory=dict)
+    timings: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cells = [str(row.get("cell", "")) for row in self.matrix]
+        if any(not cell for cell in cells):
+            raise ScenarioError("every matrix row needs a non-empty 'cell' key")
+        if len(set(cells)) != len(cells):
+            raise ScenarioError(f"matrix cell names must be unique, got {cells}")
+
+    # ------------------------------------------------------------- documents
+
+    def to_document(self, include_timings: bool = True) -> dict[str, object]:
+        """The JSON-plain report document (schema-versioned)."""
+        document: dict[str, object] = {
+            "kind": SCENARIO_REPORT_KIND,
+            "schema_version": SCENARIO_SCHEMA_VERSION,
+            "name": self.name,
+            "scenario": _json_plain(self.scenario),
+            "seed": int(self.seed),
+            "matrix": _json_plain(self.matrix),
+            "summary": _json_plain(self.summary),
+        }
+        if include_timings:
+            document["timings"] = _json_plain(self.timings)
+        return document
+
+    def to_json(self, include_timings: bool = True) -> str:
+        """Serialize deterministically (sorted keys, trailing newline)."""
+        return (
+            json.dumps(self.to_document(include_timings), indent=2, sort_keys=True)
+            + "\n"
+        )
+
+    def write(self, path: str | Path, include_timings: bool = True) -> Path:
+        """Write the report JSON to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_json(include_timings), encoding="utf-8")
+        return path
+
+    # -------------------------------------------------------------- rendering
+
+    def cell_timings(self, cell: str) -> dict[str, object]:
+        """The timing fields recorded for ``cell`` (empty when absent)."""
+        cells = self.timings.get("cells", {})
+        entry = cells.get(cell, {}) if isinstance(cells, dict) else {}
+        return dict(entry) if isinstance(entry, dict) else {}
+
+    def matrix_table(self, float_digits: int = 4) -> str:
+        """Render the quality×latency matrix as a fixed-width text table.
+
+        Quality columns come from the union of matrix-row keys (scalar
+        values only — nested dicts are flattened one level with
+        ``::``-joined headers); latency columns come from the per-cell
+        timing entries.  Cells missing a column render as ``-``.
+        """
+        if not self.matrix:
+            return f"(empty matrix for scenario {self.name})"
+
+        def flatten(row: dict[str, object]) -> dict[str, object]:
+            flat: dict[str, object] = {}
+            for key, value in row.items():
+                if isinstance(value, dict):
+                    for sub_key, sub_value in value.items():
+                        if not isinstance(sub_value, (dict, list)):
+                            flat[f"{key}::{sub_key}"] = sub_value
+                elif not isinstance(value, list):
+                    flat[key] = value
+            return flat
+
+        flat_rows = [flatten(row) for row in self.matrix]
+        timing_rows = [flatten(self.cell_timings(str(row["cell"]))) for row in self.matrix]
+
+        quality_columns: list[str] = []
+        for flat in flat_rows:
+            for key in flat:
+                if key != "cell" and key not in quality_columns:
+                    quality_columns.append(key)
+        latency_columns: list[str] = []
+        for flat in timing_rows:
+            for key in flat:
+                if key not in latency_columns:
+                    latency_columns.append(key)
+
+        headers = ["cell"] + quality_columns + latency_columns
+        rows = []
+        for flat, timing in zip(flat_rows, timing_rows):
+            row = [flat.get("cell", "-")]
+            row += [flat.get(column, "-") for column in quality_columns]
+            row += [timing.get(column, "-") for column in latency_columns]
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=f"scenario {self.name} (seed {self.seed})",
+            float_digits=float_digits,
+        )
+
+
+def load_scenario_report(path: str | Path) -> dict[str, object]:
+    """Load a scenario report document, validating kind and schema."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("kind") != SCENARIO_REPORT_KIND:
+        raise ScenarioError(f"{path} is not a {SCENARIO_REPORT_KIND} document")
+    if document.get("schema_version") != SCENARIO_SCHEMA_VERSION:
+        raise ScenarioError(
+            f"{path} has schema version {document.get('schema_version')}, "
+            f"expected {SCENARIO_SCHEMA_VERSION}"
+        )
+    return document

@@ -67,6 +67,7 @@ class TestUnknownKeys:
             "executor",
             "candidate_retriever",
             "model",
+            "scenario",
         }
         assert registry.available("graph_builder") == ("intent_graph",)
         assert registry.available("executor") == ("serial", "threads", "processes")
